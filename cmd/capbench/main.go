@@ -1,0 +1,134 @@
+// Command capbench regenerates every table and figure of the paper's
+// evaluation on the simulated platforms.
+//
+// Usage:
+//
+//	capbench <experiment> [flags]
+//
+// Experiments:
+//
+//	fig1     single-GPU GEMM cap sweep (efficiency / perf / energy)
+//	table1   best cap per architecture and precision
+//	table2   the experiment configurations (sizes, tilings, P levels)
+//	fig3     plan sweeps, double precision, all platforms, GEMM+POTRF
+//	fig4     plan sweeps, single precision
+//	fig5     per-device energy split on 24-Intel-2-V100, double
+//	fig6     efficiency gain from capping CPU1 at 48 % TDP (V100 node)
+//	fig7     efficiency across tile sizes, all platforms
+//	autoplan automatic plan selection under a slowdown budget (extension)
+//	budget   node power budget -> per-GPU cap allocation (extension)
+//	ablation scheduler / calibration / transfer-model ablations (extension)
+//	all      everything above in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	opts := parseOpts(fs, args)
+
+	var err error
+	switch cmd {
+	case "fig1":
+		err = runFig1(opts)
+	case "table1":
+		err = runTable1(opts)
+	case "table2":
+		err = runTable2(opts)
+	case "fig3":
+		err = runFig34(opts, false)
+	case "fig4":
+		err = runFig34(opts, true)
+	case "fig5":
+		err = runFig5(opts)
+	case "fig6":
+		err = runFig6(opts)
+	case "fig7":
+		err = runFig7(opts)
+	case "autoplan":
+		err = runAutoPlan(opts)
+	case "ablation":
+		err = runAblation(opts)
+	case "budget":
+		err = runBudget(opts)
+	case "all":
+		err = runAll(opts)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "capbench %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+// options carries the shared flags.
+type options struct {
+	platform  string
+	csv       bool
+	scale     int
+	budget    float64
+	scheduler string
+	outDir    string
+}
+
+func parseOpts(fs *flag.FlagSet, args []string) *options {
+	o := &options{}
+	fs.StringVar(&o.platform, "platform", "all",
+		"platform name (24-Intel-2-V100, 64-AMD-2-A100, 32-AMD-4-A100) or \"all\"")
+	fs.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned tables")
+	fs.IntVar(&o.scale, "scale", 1, "divide matrix orders by this factor for quicker runs")
+	fs.Float64Var(&o.budget, "budget", 15, "autoplan: max slowdown in percent")
+	fs.StringVar(&o.scheduler, "scheduler", "", "override the dmdas scheduler")
+	fs.StringVar(&o.outDir, "out", "", "also write each table as a CSV file into this directory")
+	fs.Parse(args)
+	if o.scale < 1 {
+		o.scale = 1
+	}
+	return o
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
+usage: capbench <experiment> [flags]
+experiments: fig1 table1 table2 fig3 fig4 fig5 fig6 fig7 autoplan ablation budget all
+flags: -platform <name|all> -csv -scale N -budget PCT -scheduler NAME -out DIR`))
+}
+
+func runAll(o *options) error {
+	steps := []struct {
+		name string
+		fn   func(*options) error
+	}{
+		{"fig1", runFig1},
+		{"table1", runTable1},
+		{"table2", runTable2},
+		{"fig3", func(o *options) error { return runFig34(o, false) }},
+		{"fig4", func(o *options) error { return runFig34(o, true) }},
+		{"fig5", runFig5},
+		{"fig6", runFig6},
+		{"fig7", runFig7},
+		{"autoplan", runAutoPlan},
+		{"ablation", runAblation},
+		{"budget", runBudget},
+	}
+	for _, s := range steps {
+		fmt.Printf("==== %s ====\n", s.name)
+		if err := s.fn(o); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}

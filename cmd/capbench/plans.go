@@ -1,0 +1,230 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/prec"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+// specFor resolves a platform name.
+func specFor(name string) (platform.Spec, error) {
+	return platform.SpecByName(name)
+}
+
+// platformsFor expands "-platform all".
+func platformsFor(o *options) ([]string, error) {
+	if o.platform == "all" {
+		return []string{platform.FourA100Name, platform.TwoA100Name, platform.TwoV100Name}, nil
+	}
+	if _, err := specFor(o.platform); err != nil {
+		return nil, err
+	}
+	return []string{o.platform}, nil
+}
+
+// scaledRow shrinks a Table II row by the -scale factor, keeping the
+// tile size (and so the per-task behaviour) intact.
+func scaledRow(r core.TableIIRow, scale int) core.TableIIRow {
+	if scale <= 1 {
+		return r
+	}
+	nt := r.N / r.NB / scale
+	if nt < 2 {
+		nt = 2
+	}
+	r.N = nt * r.NB
+	return r
+}
+
+// runFig34 prints the plan sweeps of Fig. 3 (double) or Fig. 4 (single):
+// per plan, the performance and energy change against the default and
+// the absolute efficiency, for GEMM and POTRF on each platform.
+func runFig34(o *options, single bool) error {
+	p := prec.Double
+	fig := "Fig. 3"
+	if single {
+		p = prec.Single
+		fig = "Fig. 4"
+	}
+	platforms, err := platformsFor(o)
+	if err != nil {
+		return err
+	}
+	for _, plat := range platforms {
+		for _, op := range []core.Operation{core.GEMM, core.POTRF} {
+			row, err := core.LookupTableII(plat, op, p)
+			if err != nil {
+				return err
+			}
+			row = scaledRow(row, o.scale)
+			results, err := core.SweepPlans(row, core.SweepOptions{Scheduler: o.scheduler})
+			if err != nil {
+				return err
+			}
+			tbl := report.NewTable(
+				fmt.Sprintf("%s — %s on %s (%s)", fig, row.Workload(), plat, schedName(o)),
+				"plan", "perf Δ%", "energy Δ%", "Gflop/s/W", "Gflop/s", "trend")
+			for _, r := range results {
+				tbl.AddRow(r.Plan.String(), r.Delta.PerfPct, r.Delta.EnergyPct,
+					r.Result.Efficiency, float64(r.Result.Rate)/units.Giga,
+					report.Bar(r.Delta.EffGainPct, 40, 12))
+			}
+			if err := emit(o, tbl); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func schedName(o *options) string {
+	if o.scheduler == "" {
+		return "dmdas"
+	}
+	return o.scheduler
+}
+
+// runFig5 prints the per-device energy split per plan on the V100 node
+// in double precision — the paper's Fig. 5.
+func runFig5(o *options) error {
+	for _, op := range []core.Operation{core.GEMM, core.POTRF} {
+		row, err := core.LookupTableII(platform.TwoV100Name, op, prec.Double)
+		if err != nil {
+			return err
+		}
+		row = scaledRow(row, o.scale)
+		results, err := core.SweepPlans(row, core.SweepOptions{Scheduler: o.scheduler})
+		if err != nil {
+			return err
+		}
+		tbl := report.NewTable(
+			fmt.Sprintf("Fig. 5 — per-device energy, %s on %s", row.Workload(), platform.TwoV100Name),
+			"plan", "CPU0_J", "CPU1_J", "GPU0_J", "GPU1_J", "total_J", "CPU share %")
+		for _, r := range results {
+			d := r.Result.Device
+			cpu := d["CPU0"] + d["CPU1"]
+			tbl.AddRow(r.Plan.String(), float64(d["CPU0"]), float64(d["CPU1"]),
+				float64(d["GPU0"]), float64(d["GPU1"]), float64(r.Result.Energy),
+				100*float64(cpu)/float64(r.Result.Energy))
+		}
+		if err := emit(o, tbl); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// runFig6 compares every plan with and without the paper's CPU cap
+// (socket 1 at 48 % TDP = 60 W) on the V100 node, both precisions.
+func runFig6(o *options) error {
+	cpuCaps := map[int]units.Watts{1: 60}
+	for _, p := range prec.All {
+		for _, op := range []core.Operation{core.GEMM, core.POTRF} {
+			row, err := core.LookupTableII(platform.TwoV100Name, op, p)
+			if err != nil {
+				return err
+			}
+			row = scaledRow(row, o.scale)
+			plain, err := core.SweepPlans(row, core.SweepOptions{Scheduler: o.scheduler})
+			if err != nil {
+				return err
+			}
+			capped, err := core.SweepPlans(row, core.SweepOptions{Scheduler: o.scheduler, CPUCaps: cpuCaps})
+			if err != nil {
+				return err
+			}
+			var defaultRate float64
+			for _, r := range plain {
+				if r.Plan.AllHigh() {
+					defaultRate = float64(r.Result.Rate)
+				}
+			}
+			tbl := report.NewTable(
+				fmt.Sprintf("Fig. 6 — CPU1 capped at 60 W, %s on %s", row.Workload(), platform.TwoV100Name),
+				"plan", "eff (no CPU cap)", "eff (CPU cap)", "improvement %", "perf Δ% vs uncapped-CPU default")
+			for i := range plain {
+				base := plain[i].Result
+				with := capped[i].Result
+				tbl.AddRow(plain[i].Plan.String(), base.Efficiency, with.Efficiency,
+					units.PercentChange(base.Efficiency, with.Efficiency),
+					units.PercentChange(defaultRate, float64(with.Rate)))
+			}
+			if err := emit(o, tbl); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+// runFig7 prints the efficiency of every plan across the Fig. 7 tile
+// sizes.  On the V100 platform one CPU is capped, as the figure notes.
+func runFig7(o *options) error {
+	platforms, err := platformsFor(o)
+	if err != nil {
+		return err
+	}
+	for _, plat := range platforms {
+		var cpuCaps map[int]units.Watts
+		if plat == platform.TwoV100Name {
+			cpuCaps = map[int]units.Watts{1: 60}
+		}
+		for _, op := range []core.Operation{core.GEMM, core.POTRF} {
+			for _, p := range prec.All {
+				row, err := core.LookupTableII(plat, op, p)
+				if err != nil {
+					return err
+				}
+				type cell struct {
+					plan string
+					eff  float64
+				}
+				byTile := map[int][]cell{}
+				var planOrder []string
+				for _, nb := range core.Fig7TileSizes(plat, op) {
+					r := row
+					r.NB = nb
+					r = scaledRow(r, o.scale)
+					results, err := core.SweepPlans(r, core.SweepOptions{Scheduler: o.scheduler, CPUCaps: cpuCaps})
+					if err != nil {
+						return err
+					}
+					planOrder = planOrder[:0]
+					for _, pr := range results {
+						byTile[nb] = append(byTile[nb], cell{pr.Plan.String(), pr.Result.Efficiency})
+						planOrder = append(planOrder, pr.Plan.String())
+					}
+				}
+				tiles := core.Fig7TileSizes(plat, op)
+				sort.Ints(tiles)
+				headers := []string{"plan"}
+				for _, nb := range tiles {
+					headers = append(headers, fmt.Sprintf("Nt=%d", nb))
+				}
+				tbl := report.NewTable(
+					fmt.Sprintf("Fig. 7 — Gflop/s/W per tile size, %s%s on %s", p.BLASPrefix(), op, plat),
+					headers...)
+				for i, plan := range planOrder {
+					cells := []interface{}{plan}
+					for _, nb := range tiles {
+						cells = append(cells, byTile[nb][i].eff)
+					}
+					tbl.AddRow(cells...)
+				}
+				if err := emit(o, tbl); err != nil {
+					return err
+				}
+				fmt.Println()
+			}
+		}
+	}
+	return nil
+}

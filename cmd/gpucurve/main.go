@@ -1,0 +1,77 @@
+// Command gpucurve inspects the fitted GPU power/performance model: for
+// an architecture and precision it prints the DVFS operating point,
+// throughput, power and energy efficiency across the cap range, plus
+// the fitted curve parameters — the raw material behind Fig. 1.
+//
+// Usage:
+//
+//	gpucurve [-arch A100-SXM4-40GB] [-precision double] [-size 5120] [-step 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gpu"
+	"repro/internal/prec"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+func main() {
+	archName := flag.String("arch", gpu.A100SXM4Name, "GPU architecture name")
+	precName := flag.String("precision", "double", "single or double")
+	size := flag.Int("size", 5120, "square GEMM size determining occupancy")
+	stepPct := flag.Float64("step", 2, "cap sweep step in percent of TDP")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	arch, err := gpu.Lookup(*archName)
+	if err != nil {
+		fatal(err)
+	}
+	var p prec.Precision
+	switch *precName {
+	case "single":
+		p = prec.Single
+	case "double":
+		p = prec.Double
+	default:
+		fatal(fmt.Errorf("unknown precision %q (single or double)", *precName))
+	}
+	curve := arch.Curve(p)
+	work := units.Flops(2 * float64(*size) * float64(*size) * float64(*size))
+	occ := arch.Occupancy(work)
+
+	fmt.Printf("%s, %s precision — fitted curve: draw=%.0f W sigma=%.3f alpha=%.3f beta=%.1f xmin=%.3f peak=%v\n",
+		arch.Name, p, float64(curve.Draw), curve.Sigma, curve.Alpha, curve.Beta, curve.XMin, curve.PeakRate)
+	fmt.Printf("kernel: %dx%d gemm, %.3g flop, occupancy %.3f\n\n", *size, *size, float64(work), occ)
+
+	tbl := report.NewTable("", "cap_W", "cap_%TDP", "clock_%", "duty", "Gflop/s", "power_W", "Gflop/s/W", "throttled")
+	step := float64(arch.TDP) * *stepPct / 100
+	bestCap, bestEff := units.Watts(0), 0.0
+	for cap := float64(arch.MinPower); cap <= float64(arch.TDP)+step/2; cap += step {
+		op := curve.Operate(units.Watts(cap), occ)
+		eff := units.GFlopsPerWatt(op.Rate, op.Power)
+		tbl.AddRow(cap, cap/float64(arch.TDP)*100, op.X*100, op.Duty,
+			float64(op.Rate)/units.Giga, float64(op.Power), eff, fmt.Sprintf("%v", op.Throttled))
+		if eff > bestEff {
+			bestEff, bestCap = eff, units.Watts(cap)
+		}
+	}
+	if *csv {
+		if err := tbl.WriteCSV(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else if err := tbl.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nbest cap: %v (%.0f%% of TDP) at %.1f Gflop/s/W\n",
+		bestCap, float64(bestCap)/float64(arch.TDP)*100, bestEff)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpucurve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,221 @@
+// Command schedtrace runs one workload/plan configuration and dumps the
+// scheduling internals: per-worker statistics, per-codelet counts, the
+// calibrated performance-model table and (optionally) a Gantt CSV.
+//
+// Usage:
+//
+//	schedtrace [-platform 32-AMD-4-A100] [-op gemm|potrf] [-precision double]
+//	           [-plan HHBB] [-scheduler dmdas] [-scale 4] [-gantt out.csv]
+//	           [-power power.csv] [-chrome trace.json] [-model]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chameleon"
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+	"repro/internal/platform"
+	"repro/internal/powercap"
+	"repro/internal/prec"
+	"repro/internal/starpu"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func main() {
+	platName := flag.String("platform", platform.FourA100Name, "platform name")
+	opName := flag.String("op", "gemm", "gemm or potrf")
+	precName := flag.String("precision", "double", "single or double")
+	planStr := flag.String("plan", "", "power plan (default all-H)")
+	sched := flag.String("scheduler", "dmdas", "scheduling policy")
+	scale := flag.Int("scale", 4, "divide the Table II matrix order by this factor")
+	ganttPath := flag.String("gantt", "", "write a Gantt CSV to this path")
+	powerPath := flag.String("power", "", "write a per-device power-timeline CSV to this path")
+	chromePath := flag.String("chrome", "", "write a chrome://tracing / Perfetto JSON trace to this path")
+	dumpModel := flag.Bool("model", false, "dump the calibrated performance-model table")
+	flag.Parse()
+
+	if err := run(*platName, *opName, *precName, *planStr, *sched, *scale, *ganttPath, *powerPath, *chromePath, *dumpModel); err != nil {
+		fmt.Fprintln(os.Stderr, "schedtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(platName, opName, precName, planStr, sched string, scale int, ganttPath, powerPath, chromePath string, dumpModel bool) error {
+	op := core.GEMM
+	if opName == "potrf" {
+		op = core.POTRF
+	} else if opName != "gemm" {
+		return fmt.Errorf("unknown op %q", opName)
+	}
+	p := prec.Double
+	if precName == "single" {
+		p = prec.Single
+	} else if precName != "double" {
+		return fmt.Errorf("unknown precision %q", precName)
+	}
+	row, err := core.LookupTableII(platName, op, p)
+	if err != nil {
+		return err
+	}
+	if scale > 1 {
+		nt := row.N / row.NB / scale
+		if nt < 2 {
+			nt = 2
+		}
+		row.N = nt * row.NB
+	}
+	spec, err := platform.SpecByName(platName)
+	if err != nil {
+		return err
+	}
+	plan := powercap.MustParsePlan(allHigh(spec.GPUCount))
+	if planStr != "" {
+		plan, err = powercap.ParsePlan(planStr)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Build the platform directly (rather than core.Run) so the runtime
+	// and the model stay inspectable after the run.
+	plat, err := platform.New(spec)
+	if err != nil {
+		return err
+	}
+	if err := plat.SetGPUCaps(plan.Caps(spec.GPUArch, row.BestFrac)); err != nil {
+		return err
+	}
+	model := perfmodel.NewHistory()
+	calRT, err := starpu.New(plat, starpu.Config{Scheduler: "calibrate", Model: model})
+	if err != nil {
+		return err
+	}
+	if err := submit(calRT, row, min(row.N/row.NB, 4)*row.NB); err != nil {
+		return err
+	}
+	if _, err := calRT.Run(); err != nil {
+		return err
+	}
+
+	if powerPath != "" {
+		plat.EnablePowerTraces()
+	}
+	rt, err := starpu.New(plat, starpu.Config{Scheduler: sched, Model: model})
+	if err != nil {
+		return err
+	}
+	if err := submit(rt, row, row.N); err != nil {
+		return err
+	}
+	makespan, err := rt.Run()
+	if err != nil {
+		return err
+	}
+
+	flops := op.Flops(row.N)
+	fmt.Printf("%s on %s, plan %s, scheduler %s\n", row.Workload(), platName,
+		powercap.Describe(plan, spec.GPUArch, row.BestFrac), sched)
+	fmt.Printf("makespan %v, %v\n\n", makespan, units.Rate(flops, makespan))
+	fmt.Print(trace.Collect(rt).String())
+	cp := trace.ComputeCriticalPath(rt)
+	fmt.Printf("critical path: %d tasks, %v (%.0f%% of makespan), %.0f%% of it on CPUs\n",
+		len(cp.Tasks), cp.Length, cp.Bound*100, cp.CPUShare()*100)
+	if rt.MemoryStats().Evictions > 0 {
+		fmt.Printf("device memory: %d evictions, %v written back\n",
+			rt.MemoryStats().Evictions, rt.MemoryStats().WritebackBytes)
+	}
+
+	if dumpModel {
+		fmt.Println("\nperformance model:")
+		fmt.Print(model.Dump())
+	}
+	if ganttPath != "" {
+		f, err := os.Create(ganttPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteGantt(f, rt); err != nil {
+			return err
+		}
+		fmt.Printf("\ngantt written to %s (%d tasks)\n", ganttPath, len(rt.Tasks()))
+	}
+	if powerPath != "" {
+		f, err := os.Create(powerPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WritePowerTrace(f, plat.PowerTraces()); err != nil {
+			return err
+		}
+		fmt.Printf("power timeline written to %s\n", powerPath)
+		// With traces available, the NVML thermal sensor works: report
+		// the per-GPU temperature at the end of the run.
+		n, _ := plat.NVML.DeviceGetCount()
+		fmt.Print("final temperatures:")
+		for i := 0; i < n; i++ {
+			h, _ := plat.NVML.DeviceGetHandleByIndex(i)
+			if temp, ret := h.GetTemperature(); ret.Error() == nil {
+				fmt.Printf(" GPU%d=%d°C", i, temp)
+			}
+		}
+		fmt.Println()
+	}
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteChromeTrace(f, rt); err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", chromePath)
+	}
+	return nil
+}
+
+func submit(rt *starpu.Runtime, row core.TableIIRow, n int) error {
+	switch row.Precision {
+	case prec.Single:
+		return submitTyped[float32](rt, row, n)
+	default:
+		return submitTyped[float64](rt, row, n)
+	}
+}
+
+func submitTyped[T interface{ ~float32 | ~float64 }](rt *starpu.Runtime, row core.TableIIRow, n int) error {
+	if row.Op == core.POTRF {
+		d, err := chameleon.NewDesc[T](rt, n, row.NB, false)
+		if err != nil {
+			return err
+		}
+		return chameleon.Potrf(rt, d)
+	}
+	a, err := chameleon.NewDesc[T](rt, n, row.NB, false)
+	if err != nil {
+		return err
+	}
+	b, err := chameleon.NewDesc[T](rt, n, row.NB, false)
+	if err != nil {
+		return err
+	}
+	c, err := chameleon.NewDesc[T](rt, n, row.NB, false)
+	if err != nil {
+		return err
+	}
+	return chameleon.Gemm[T](rt, 1, a, b, 0, c)
+}
+
+func allHigh(n int) string {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = 'H'
+	}
+	return string(s)
+}

@@ -1,0 +1,67 @@
+// Capsweep reproduces the paper's §II motivation study through the
+// NVML-style facade: sweep a single GPU's power limit across its driver
+// window, run a GEMM kernel at each cap and find P_best — the cap that
+// maximises Gflop/s/W.  This is exactly the procedure that produced the
+// paper's Table I and the B levels of Table II.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gpu"
+	"repro/internal/nvml"
+	"repro/internal/prec"
+	"repro/internal/units"
+)
+
+func main() {
+	// One A100-SXM4 board behind the NVML facade, as a capping script
+	// would see it.
+	device := gpu.NewDevice(gpu.A100SXM4(), 0)
+	api := nvml.New([]*gpu.Device{device}, nil)
+	if ret := api.Init(); ret != nvml.SUCCESS {
+		log.Fatal(ret)
+	}
+	defer api.Shutdown()
+
+	h, ret := api.DeviceGetHandleByIndex(0)
+	if ret != nvml.SUCCESS {
+		log.Fatal(ret)
+	}
+	name, _ := h.GetName()
+	minMW, maxMW, _ := h.GetPowerManagementLimitConstraints()
+	fmt.Printf("device: %s, power window %d..%d mW\n\n", name, minMW, maxMW)
+
+	const n = 5120 // the paper's sweep size for this architecture
+	work := units.Flops(2.0 * n * n * n)
+
+	fmt.Println("cap_W  Gflop/s  power_W  Gflop/s/W")
+	bestCap, bestEff := uint32(0), 0.0
+	step := (maxMW - minMW) / 50
+	for capMW := minMW; capMW <= maxMW; capMW += step {
+		if ret := h.SetPowerManagementLimit(capMW); ret != nvml.SUCCESS {
+			log.Fatalf("cap %d mW rejected: %v", capMW, ret)
+		}
+		// "Run" the kernel: the device model resolves the DVFS operating
+		// point the cap induces.
+		dur, op := device.KernelTime(prec.Double, work, 1)
+		rate := units.Rate(work, dur)
+		eff := units.GFlopsPerWatt(rate, op.Power)
+		fmt.Printf("%5.0f  %7.0f  %7.1f  %9.2f\n",
+			float64(capMW)/1000, float64(rate)/units.Giga, float64(op.Power), eff)
+		if eff > bestEff {
+			bestEff, bestCap = eff, capMW
+		}
+	}
+
+	tdp := float64(maxMW)
+	fmt.Printf("\nP_best = %.0f W (%.0f%% of TDP) at %.1f Gflop/s/W\n",
+		float64(bestCap)/1000, float64(bestCap)/tdp*100, bestEff)
+	fmt.Println("(paper, Table I: 54% of TDP, +28.81% efficiency for dgemm on A100-SXM4)")
+
+	// Restore the default limit, as a well-behaved capping script must.
+	if ret := h.SetPowerManagementLimit(0); ret != nvml.SUCCESS {
+		log.Fatal(ret)
+	}
+}

@@ -1,0 +1,128 @@
+// Mixedprecision demonstrates the paper's second future-work thread:
+// "mixed precision computations as a complementary way to find the best
+// trade-off between raw performance and energy consumption".
+//
+// It solves the same SPD system three ways and compares time, energy
+// and accuracy:
+//
+//  1. all-double POSV,
+//  2. mixed-precision POSV (single-precision Cholesky + double-precision
+//     iterative refinement), and
+//  3. mixed-precision POSV with every GPU capped at P_best — stacking
+//     both energy levers.
+//
+// The numeric accuracy claim is verified on a small instance first.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+
+	"repro/internal/chameleon"
+	"repro/internal/linalg"
+	"repro/internal/platform"
+	"repro/internal/powercap"
+	"repro/internal/starpu"
+	"repro/internal/units"
+)
+
+func main() {
+	verifyAccuracy()
+	compareEnergy()
+}
+
+func verifyAccuracy() {
+	const n, nb, nrhs = 512, 128, 128
+	p, err := platform.New(platform.FourA100Spec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := starpu.New(p, starpu.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	a, _ := chameleon.NewDesc[float64](rt, n, nb, true)
+	b, _ := chameleon.NewDescRect[float64](rt, n, nrhs, nb, true)
+	spd := linalg.NewSPD[float64](n, rng)
+	want := linalg.NewRandom[float64](n, nrhs, rng)
+	rhs := linalg.NewMat[float64](n, nrhs)
+	linalg.Gemm(linalg.NoTrans, linalg.NoTrans, 1, spd, want, 0, rhs)
+	if err := a.Scatter(spd); err != nil {
+		log.Fatal(err)
+	}
+	if err := b.Scatter(rhs); err != nil {
+		log.Fatal(err)
+	}
+	if err := chameleon.PosvMixed(rt, a, b, 2); err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.RunNumeric(runtime.NumCPU()); err != nil {
+		log.Fatal(err)
+	}
+	got, _ := b.Gather()
+	diff := linalg.MaxAbsDiff(got, want)
+	fmt.Printf("numeric: %d x %d system, float32 factor + 2 refinements: max |x - x*| = %.2e\n\n", n, n, diff)
+	if diff > 1e-9 {
+		log.Fatal("mixed-precision accuracy verification FAILED")
+	}
+}
+
+func compareEnergy() {
+	const nb = 2880
+	n := nb * 24 // factor-dominated regime: n >> nrhs
+	fmt.Printf("simulated: SPD solve, N=%d, NRHS=%d, on %s\n", n, nb, platform.FourA100Name)
+
+	type variant struct {
+		label string
+		mixed bool
+		plan  string
+	}
+	variants := []variant{
+		{"double POSV, no caps", false, "HHHH"},
+		{"mixed POSV, no caps", true, "HHHH"},
+		{"mixed POSV, BBBB caps", true, "BBBB"},
+	}
+	var baseE units.Joules
+	for _, v := range variants {
+		p, err := platform.New(platform.FourA100Spec())
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan := powercap.MustParsePlan(v.plan)
+		// The B level is the single-precision P_best when the factor is
+		// single precision (Table II: 40 % of TDP).
+		if err := p.SetGPUCaps(plan.Caps(p.GPUArch, 0.40)); err != nil {
+			log.Fatal(err)
+		}
+		rt, err := starpu.New(p, starpu.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, _ := chameleon.NewDesc[float64](rt, n, nb, false)
+		b, _ := chameleon.NewDescRect[float64](rt, n, nb, nb, false)
+		if v.mixed {
+			err = chameleon.PosvMixed(rt, a, b, 1)
+		} else {
+			err = chameleon.Posv(rt, a, b)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms, err := rt.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := p.TotalEnergy()
+		if baseE == 0 {
+			baseE = e
+		}
+		fmt.Printf("  %-24s %8.2f s  %8.0f J  (energy %+5.1f%%)\n",
+			v.label, float64(ms), float64(e), 100*(float64(e)/float64(baseE)-1))
+	}
+	fmt.Println("\n(the two levers stack: precision cuts the work, capping cuts the Watts;")
+	fmt.Println(" with many right-hand sides the double-precision residual GEMMs grow and")
+	fmt.Println(" the advantage shrinks — iterative refinement wants nrhs << n)")
+}

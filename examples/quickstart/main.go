@@ -1,0 +1,53 @@
+// Quickstart: run the paper's headline experiment in a few lines —
+// tiled double-precision GEMM on the 4xA100 node, default power vs the
+// best-efficiency cap on every GPU (plan BBBB) — and print the
+// performance / energy / efficiency trade-off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/powercap"
+	"repro/internal/prec"
+)
+
+func main() {
+	// The paper's Table II configuration for this platform.
+	row, err := core.LookupTableII(platform.FourA100Name, core.GEMM, prec.Double)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseline, err := core.Run(core.Config{
+		Spec:     platform.FourA100Spec(),
+		Workload: row.Workload(),
+		Plan:     powercap.MustParsePlan("HHHH"), // default: no caps
+		BestFrac: row.BestFrac,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	capped, err := core.Run(core.Config{
+		Spec:     platform.FourA100Spec(),
+		Workload: row.Workload(),
+		Plan:     powercap.MustParsePlan("BBBB"), // every GPU at P_best
+		BestFrac: row.BestFrac,                   // 54 % of TDP = 216 W
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s on %s\n\n", row.Workload(), platform.FourA100Name)
+	for _, r := range []*core.Result{baseline, capped} {
+		fmt.Printf("%s: %v, %v, %v total, %.1f Gflop/s/W\n",
+			r.Plan, r.Makespan, r.Rate, r.Energy, r.Efficiency)
+	}
+	d := core.Compare(baseline, capped)
+	fmt.Printf("\nBBBB vs HHHH: perf %+.1f%%, energy savings %+.1f%%, efficiency %+.1f%%\n",
+		d.PerfPct, d.EnergyPct, d.EffGainPct)
+	fmt.Println("(paper, Fig. 3a: about -21% performance for about +20% efficiency)")
+}

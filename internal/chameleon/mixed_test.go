@@ -1,0 +1,235 @@
+package chameleon
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/platform"
+	"repro/internal/starpu"
+)
+
+// solveMixed runs PosvMixed numerically and reports max |x - x*|.
+func solveMixed(t *testing.T, n, nb, iters int) float64 {
+	t.Helper()
+	rt := newRuntime(t)
+	rng := rand.New(rand.NewSource(50))
+	aD, _ := NewDesc[float64](rt, n, nb, true)
+	bD, _ := NewDesc[float64](rt, n, nb, true)
+	spd := linalg.NewSPD[float64](n, rng)
+	want := linalg.NewRandom[float64](n, n, rng)
+	rhs := linalg.NewMat[float64](n, n)
+	linalg.Gemm(linalg.NoTrans, linalg.NoTrans, 1, spd, want, 0, rhs)
+	if err := aD.Scatter(spd); err != nil {
+		t.Fatal(err)
+	}
+	if err := bD.Scatter(rhs); err != nil {
+		t.Fatal(err)
+	}
+	if err := PosvMixed(rt, aD, bD, iters); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunNumeric(8); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bD.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return linalg.MaxAbsDiff(got, want)
+}
+
+func TestPosvMixedRefinesToDoubleAccuracy(t *testing.T) {
+	const n, nb = 48, 16
+	// No refinement: single-precision accuracy only.
+	coarse := solveMixed(t, n, nb, 0)
+	if coarse < 1e-7 {
+		t.Fatalf("unrefined solve suspiciously accurate (%g) — not using float32?", coarse)
+	}
+	// Two refinement steps: near double accuracy.
+	fine := solveMixed(t, n, nb, 2)
+	if fine > 1e-10 {
+		t.Errorf("refined solve error %g, want < 1e-10", fine)
+	}
+	if fine >= coarse/1e3 {
+		t.Errorf("refinement barely improved accuracy: %g -> %g", coarse, fine)
+	}
+}
+
+func TestPosvMixedValidation(t *testing.T) {
+	rt := newRuntime(t)
+	a, _ := NewDesc[float64](rt, 32, 16, false)
+	b, _ := NewDesc[float64](rt, 32, 8, false)
+	if err := PosvMixed(rt, a, b, 1); err == nil {
+		t.Error("mismatched descriptors accepted")
+	}
+	b2, _ := NewDesc[float64](rt, 32, 16, false)
+	if err := PosvMixed(rt, a, b2, -1); err == nil {
+		t.Error("negative refinement count accepted")
+	}
+}
+
+// TestPosvMixedSavesEnergy: the future-work hypothesis — the
+// single-precision factorisation makes the mixed solver cheaper in time
+// AND energy than the all-double solver, on the simulated 4xA100 node.
+func TestPosvMixedSavesEnergy(t *testing.T) {
+	const nb = 2880
+	n := nb * 10
+	run := func(mixed bool) (makespan, energy float64) {
+		p, err := platform.New(platform.FourA100Spec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := starpu.New(p, starpu.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := NewDesc[float64](rt, n, nb, false)
+		// Tall-skinny right-hand sides (one tile column), the regime
+		// where the O(n^3) factorisation dominates and iterative
+		// refinement pays off.
+		b, _ := NewDescRect[float64](rt, n, nb, nb, false)
+		if mixed {
+			err = PosvMixed(rt, a, b, 2)
+		} else {
+			err = Posv(rt, a, b)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := rt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(ms), float64(p.TotalEnergy())
+	}
+	dTime, dEnergy := run(false)
+	mTime, mEnergy := run(true)
+	if mEnergy >= dEnergy {
+		t.Errorf("mixed precision used more energy: %.0f J vs %.0f J", mEnergy, dEnergy)
+	}
+	t.Logf("double: %.2f s / %.0f J; mixed: %.2f s / %.0f J (energy %+.1f%%)",
+		dTime, dEnergy, mTime, mEnergy, 100*(mEnergy/dEnergy-1))
+}
+
+func TestRectDescriptorGeometry(t *testing.T) {
+	rt := newRuntime(t)
+	d, err := NewDescRect[float64](rt, 100, 40, 32, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MT != 4 || d.NT != 2 {
+		t.Errorf("grid = %dx%d, want 4x2", d.MT, d.NT)
+	}
+	if d.Square() {
+		t.Error("100x40 reported square")
+	}
+	if d.TileRows(3) != 4 || d.TileCols(1) != 8 {
+		t.Errorf("edge tiles = %dx%d, want 4x8", d.TileRows(3), d.TileCols(1))
+	}
+	rng := rand.New(rand.NewSource(60))
+	m := linalg.NewRandom[float64](100, 40, rng)
+	if err := d.Scatter(m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !linalg.Equalish(m, back, 0) {
+		t.Error("rect scatter/gather mismatch")
+	}
+	if err := d.FillSPD(rng); err == nil {
+		t.Error("FillSPD accepted a rectangular descriptor")
+	}
+}
+
+func TestRectGemm(t *testing.T) {
+	// C (24x8) = A (24x16) * B (16x8), tiles of 8.
+	rt := newRuntime(t)
+	rng := rand.New(rand.NewSource(61))
+	a, _ := NewDescRect[float64](rt, 24, 16, 8, true)
+	b, _ := NewDescRect[float64](rt, 16, 8, 8, true)
+	c, _ := NewDescRect[float64](rt, 24, 8, 8, true)
+	fa := linalg.NewRandom[float64](24, 16, rng)
+	fb := linalg.NewRandom[float64](16, 8, rng)
+	if err := a.Scatter(fa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Scatter(fb); err != nil {
+		t.Fatal(err)
+	}
+	if err := Gemm(rt, 1.0, a, b, 0.0, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunNumeric(4); err != nil {
+		t.Fatal(err)
+	}
+	want := linalg.NewMat[float64](24, 8)
+	linalg.Gemm(linalg.NoTrans, linalg.NoTrans, 1, fa, fb, 0, want)
+	got, _ := c.Gather()
+	if !linalg.Equalish(got, want, 1e-10) {
+		t.Errorf("rect gemm mismatch: %g", linalg.MaxAbsDiff(got, want))
+	}
+	// Shape mismatch rejected.
+	if err := Gemm(rt, 1.0, a, a, 0.0, c); err == nil {
+		t.Error("inner-dimension mismatch accepted")
+	}
+}
+
+func TestPotrsTallSkinnyRHS(t *testing.T) {
+	// Solve A X = B with B n x nrhs (single tile column).
+	const n, nb = 48, 16
+	rt := newRuntime(t)
+	rng := rand.New(rand.NewSource(62))
+	a, _ := NewDesc[float64](rt, n, nb, true)
+	b, _ := NewDescRect[float64](rt, n, nb, nb, true)
+	spd := linalg.NewSPD[float64](n, rng)
+	want := linalg.NewRandom[float64](n, nb, rng)
+	rhs := linalg.NewMat[float64](n, nb)
+	linalg.Gemm(linalg.NoTrans, linalg.NoTrans, 1, spd, want, 0, rhs)
+	if err := a.Scatter(spd); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Scatter(rhs); err != nil {
+		t.Fatal(err)
+	}
+	if err := Posv(rt, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunNumeric(4); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.Gather()
+	if !linalg.Equalish(got, want, 1e-8) {
+		t.Errorf("tall-skinny posv mismatch: %g", linalg.MaxAbsDiff(got, want))
+	}
+}
+
+func TestPosvMixedTallSkinnyNumeric(t *testing.T) {
+	const n, nb = 48, 16
+	rt := newRuntime(t)
+	rng := rand.New(rand.NewSource(63))
+	a, _ := NewDesc[float64](rt, n, nb, true)
+	b, _ := NewDescRect[float64](rt, n, nb, nb, true)
+	spd := linalg.NewSPD[float64](n, rng)
+	want := linalg.NewRandom[float64](n, nb, rng)
+	rhs := linalg.NewMat[float64](n, nb)
+	linalg.Gemm(linalg.NoTrans, linalg.NoTrans, 1, spd, want, 0, rhs)
+	if err := a.Scatter(spd); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Scatter(rhs); err != nil {
+		t.Fatal(err)
+	}
+	if err := PosvMixed(rt, a, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunNumeric(4); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.Gather()
+	if d := linalg.MaxAbsDiff(got, want); d > 1e-10 {
+		t.Errorf("tall-skinny mixed solve error %g", d)
+	}
+}

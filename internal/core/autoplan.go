@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AutoPlanResult is the outcome of an automatic plan search.
+type AutoPlanResult struct {
+	// Chosen is the selected plan's measurement and deltas.
+	Chosen PlanResult
+	// All lists every candidate, sorted by efficiency (best first).
+	All []PlanResult
+	// Frontier lists the Pareto-optimal candidates (no other plan is
+	// both faster and more efficient).
+	Frontier []PlanResult
+}
+
+// AutoPlan searches the canonical plan set for the most energy-efficient
+// configuration whose slowdown stays within maxSlowdownPct of the
+// default — the automation the paper's conclusion calls for ("this
+// process should be automated").
+//
+// maxSlowdownPct <= 0 means no performance constraint.
+func AutoPlan(row TableIIRow, maxSlowdownPct float64, opt SweepOptions) (*AutoPlanResult, error) {
+	results, err := SweepPlans(row, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := &AutoPlanResult{All: append([]PlanResult(nil), results...)}
+	sort.SliceStable(out.All, func(i, j int) bool {
+		return out.All[i].Result.Efficiency > out.All[j].Result.Efficiency
+	})
+	out.Frontier = paretoFrontier(results)
+
+	found := false
+	for _, r := range out.All {
+		slowdown := -r.Delta.PerfPct
+		if maxSlowdownPct > 0 && slowdown > maxSlowdownPct {
+			continue
+		}
+		out.Chosen = r
+		found = true
+		break
+	}
+	if !found {
+		return nil, fmt.Errorf("core: no plan meets the %.1f%% slowdown budget", maxSlowdownPct)
+	}
+	return out, nil
+}
+
+// paretoFrontier keeps the plans not dominated in (rate, efficiency).
+func paretoFrontier(results []PlanResult) []PlanResult {
+	var out []PlanResult
+	for _, a := range results {
+		dominated := false
+		for _, b := range results {
+			if b.Result.Rate >= a.Result.Rate && b.Result.Efficiency >= a.Result.Efficiency &&
+				(b.Result.Rate > a.Result.Rate || b.Result.Efficiency > a.Result.Efficiency) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Result.Rate > out[j].Result.Rate
+	})
+	return out
+}

@@ -1,0 +1,330 @@
+// Package core orchestrates the paper's experiments: it builds a
+// simulated platform, applies a power-cap plan through NVML/RAPL,
+// recalibrates the runtime's performance models (the paper's protocol
+// after every cap change), runs a task-based operation under the dmdas
+// scheduler and measures performance, energy and energy efficiency.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chameleon"
+	"repro/internal/linalg"
+	"repro/internal/perfmodel"
+	"repro/internal/platform"
+	"repro/internal/powercap"
+	"repro/internal/prec"
+	"repro/internal/starpu"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Operation selects the task-based workload.
+type Operation int
+
+// The paper's two operations (§III-C), plus the QR factorisation the
+// library also provides (the paper's intro lists it among Chameleon's
+// routines).
+const (
+	GEMM Operation = iota
+	POTRF
+	GEQRF
+)
+
+// String reports "GEMM", "POTRF" or "GEQRF".
+func (o Operation) String() string {
+	switch o {
+	case POTRF:
+		return "POTRF"
+	case GEQRF:
+		return "GEQRF"
+	}
+	return "GEMM"
+}
+
+// Flops reports the operation's total work for order n.
+func (o Operation) Flops(n int) units.Flops {
+	switch o {
+	case POTRF:
+		return chameleon.PotrfFlops(n)
+	case GEQRF:
+		return chameleon.GeqrfFlops(n)
+	}
+	return chameleon.GemmFlops(n)
+}
+
+// Workload is one (operation, size, tiling, precision) instance.
+type Workload struct {
+	Op        Operation
+	N, NB     int
+	Precision prec.Precision
+}
+
+// String renders e.g. "DGEMM N=74880 NB=5760".
+func (w Workload) String() string {
+	return fmt.Sprintf("%s%s N=%d NB=%d", w.Precision.BLASPrefix(), w.Op, w.N, w.NB)
+}
+
+// Config describes one measured run.
+type Config struct {
+	// Spec is the platform to build.
+	Spec platform.Spec
+	// Workload is the operation to run.
+	Workload Workload
+	// Plan assigns a power level per GPU; nil means all-H.
+	Plan powercap.Plan
+	// BestFrac resolves the plan's B levels (P_best as fraction of TDP,
+	// from Table II).
+	BestFrac float64
+	// CPUCaps maps socket index to a RAPL cap (§V-C's experiment).
+	CPUCaps map[int]units.Watts
+	// Scheduler overrides the policy (default dmdas).
+	Scheduler string
+	// SkipCalibration runs with cold performance models (ablation:
+	// what happens when the scheduler is *not* informed of the caps).
+	SkipCalibration bool
+	// StaleModels runs the paper's counterfactual: models are calibrated
+	// at the default power state, the caps are applied afterwards, and
+	// worker classes ignore the power state — so the scheduler plans
+	// with estimates that are wrong on every capped GPU.
+	StaleModels bool
+	// Model, when set, supplies pre-trained performance models and
+	// skips the calibration pass (used by ablations).
+	Model *perfmodel.History
+	// Seed drives randomised schedulers.
+	Seed int64
+}
+
+// Result is one measured run.
+type Result struct {
+	// Plan echoes the GPU plan ("HHBB").
+	Plan string
+	// Workload echoes the workload.
+	Workload Workload
+	// Makespan is the measured-pass execution time.
+	Makespan units.Seconds
+	// Rate is the achieved operation throughput.
+	Rate units.FlopsPerSec
+	// Energy is the node's total Joules over the measured pass (all
+	// CPUs + all GPUs, the paper's §IV-C protocol).
+	Energy units.Joules
+	// Device breaks Energy down per device ("CPU0", "GPU2", ...).
+	Device map[string]units.Joules
+	// Efficiency is Gflop/s/Watt, the paper's figure of merit.
+	Efficiency float64
+	// Stats digests the schedule.
+	Stats *trace.Stats
+}
+
+// Run executes one configuration: build platform, apply caps,
+// calibration pass, then the measured pass bracketed by RAPL and NVML
+// energy counter reads.
+func Run(cfg Config) (*Result, error) {
+	p, err := platform.New(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Plan == nil {
+		cfg.Plan = powercap.MustParsePlan(repeat('H', cfg.Spec.GPUCount))
+	}
+	if len(cfg.Plan) != cfg.Spec.GPUCount {
+		return nil, fmt.Errorf("core: plan %s does not match %d GPUs", cfg.Plan, cfg.Spec.GPUCount)
+	}
+	p.ClassIgnoresCap = cfg.StaleModels
+	if !cfg.StaleModels {
+		// Paper protocol: caps first, calibrate under them.
+		if err := p.SetGPUCaps(cfg.Plan.Caps(cfg.Spec.GPUArch, cfg.BestFrac)); err != nil {
+			return nil, err
+		}
+	}
+	for socket, cap := range cfg.CPUCaps {
+		if err := p.SetCPUCap(socket, cap); err != nil {
+			return nil, err
+		}
+	}
+
+	model := cfg.Model
+	if model == nil {
+		model = perfmodel.NewHistory()
+	}
+	sched := cfg.Scheduler
+	if sched == "" {
+		sched = "dmdas"
+	}
+
+	// Calibration pass: a reduced instance with the same tile size (so
+	// the same footprints) populates the model for every worker class
+	// under the caps just applied.
+	if !cfg.SkipCalibration && cfg.Model == nil {
+		calRT, err := starpu.New(p, starpu.Config{Scheduler: "calibrate", Model: model, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		cal := cfg.Workload
+		maxTiles := 6
+		if nt := (cal.N + cal.NB - 1) / cal.NB; nt > maxTiles {
+			cal.N = cal.NB * maxTiles
+		}
+		if err := submit(calRT, cal); err != nil {
+			return nil, err
+		}
+		if _, err := calRT.Run(); err != nil {
+			return nil, fmt.Errorf("core: calibration pass: %w", err)
+		}
+	}
+	if cfg.StaleModels {
+		// Counterfactual: the caps land after calibration and the model
+		// keys cannot tell the difference.
+		if err := p.SetGPUCaps(cfg.Plan.Caps(cfg.Spec.GPUArch, cfg.BestFrac)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Measured pass, bracketed by the energy counters the paper uses:
+	// PAPI/RAPL for the CPUs, NVML for the GPUs.
+	region, err := p.RAPL.Start()
+	if err != nil {
+		return nil, err
+	}
+	gpuStart, err := readGPUEnergies(p)
+	if err != nil {
+		return nil, err
+	}
+
+	rt, err := starpu.New(p, starpu.Config{Scheduler: sched, Model: model, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := submit(rt, cfg.Workload); err != nil {
+		return nil, err
+	}
+	makespan, err := rt.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	cpuJoules, err := region.Stop()
+	if err != nil {
+		return nil, err
+	}
+	gpuEnd, err := readGPUEnergies(p)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Plan:     cfg.Plan.String(),
+		Workload: cfg.Workload,
+		Makespan: makespan,
+		Device:   make(map[string]units.Joules),
+		Stats:    trace.Collect(rt),
+	}
+	for i, j := range cpuJoules {
+		res.Device[fmt.Sprintf("CPU%d", i)] = j
+		res.Energy += j
+	}
+	for i := range gpuEnd {
+		j := units.Joules(float64(gpuEnd[i]-gpuStart[i]) / 1000) // mJ -> J
+		res.Device[fmt.Sprintf("GPU%d", i)] = j
+		res.Energy += j
+	}
+	flops := cfg.Workload.Op.Flops(cfg.Workload.N)
+	res.Rate = units.Rate(flops, makespan)
+	if res.Energy > 0 {
+		res.Efficiency = float64(flops) / float64(res.Energy) / units.Giga
+	}
+	return res, nil
+}
+
+// readGPUEnergies snapshots every GPU's cumulative energy counter (mJ).
+func readGPUEnergies(p *platform.Platform) ([]uint64, error) {
+	n, ret := p.NVML.DeviceGetCount()
+	if err := ret.Error(); err != nil {
+		return nil, err
+	}
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		h, ret := p.NVML.DeviceGetHandleByIndex(i)
+		if err := ret.Error(); err != nil {
+			return nil, err
+		}
+		e, ret := h.GetTotalEnergyConsumption()
+		if err := ret.Error(); err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// submit builds the workload's DAG on the runtime (cost-only
+// descriptors; numeric validation lives in the test suite).
+func submit(rt *starpu.Runtime, w Workload) error {
+	switch w.Precision {
+	case prec.Single:
+		return submitTyped[float32](rt, w)
+	default:
+		return submitTyped[float64](rt, w)
+	}
+}
+
+func submitTyped[T linalg.Float](rt *starpu.Runtime, w Workload) error {
+	switch w.Op {
+	case POTRF:
+		d, err := chameleon.NewDesc[T](rt, w.N, w.NB, false)
+		if err != nil {
+			return err
+		}
+		return chameleon.Potrf(rt, d)
+	case GEQRF:
+		d, err := chameleon.NewDesc[T](rt, w.N, w.NB, false)
+		if err != nil {
+			return err
+		}
+		_, err = chameleon.Geqrf(rt, d)
+		return err
+	default:
+		a, err := chameleon.NewDesc[T](rt, w.N, w.NB, false)
+		if err != nil {
+			return err
+		}
+		b, err := chameleon.NewDesc[T](rt, w.N, w.NB, false)
+		if err != nil {
+			return err
+		}
+		c, err := chameleon.NewDesc[T](rt, w.N, w.NB, false)
+		if err != nil {
+			return err
+		}
+		return chameleon.Gemm[T](rt, 1, a, b, 0, c)
+	}
+}
+
+func repeat(c byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}
+
+// Delta compares a run against the default (all-H) baseline using the
+// paper's sign conventions: positive performance = speedup, positive
+// energy = savings.
+type Delta struct {
+	// PerfPct is the performance change in percent (negative = slowdown).
+	PerfPct float64
+	// EnergyPct is the energy saving in percent (negative = more energy).
+	EnergyPct float64
+	// EffGainPct is the relative efficiency improvement in percent.
+	EffGainPct float64
+}
+
+// Compare computes the paper's deltas of v relative to base.
+func Compare(base, v *Result) Delta {
+	return Delta{
+		PerfPct:    units.PercentChange(float64(base.Rate), float64(v.Rate)),
+		EnergyPct:  -units.PercentChange(float64(base.Energy), float64(v.Energy)),
+		EffGainPct: units.PercentChange(base.Efficiency, v.Efficiency),
+	}
+}

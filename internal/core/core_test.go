@@ -1,0 +1,326 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/gpu"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/powercap"
+	"repro/internal/prec"
+	"repro/internal/units"
+)
+
+// smallGemm is a reduced 4xA100 DGEMM (same tile size as Table II, fewer
+// tiles) so tests stay fast while exercising the full pipeline.
+func smallGemm() Config {
+	return Config{
+		Spec:     platform.FourA100Spec(),
+		Workload: Workload{Op: GEMM, N: 5760 * 6, NB: 5760, Precision: prec.Double},
+		BestFrac: 0.54,
+	}
+}
+
+func TestRunProducesConsistentResult(t *testing.T) {
+	res, err := Run(smallGemm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 || res.Rate <= 0 || res.Energy <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	// Energy must equal the sum of the device breakdown.
+	var sum units.Joules
+	for _, j := range res.Device {
+		sum += j
+	}
+	if math.Abs(float64(sum-res.Energy)) > 1e-6*float64(res.Energy) {
+		t.Errorf("device sum %v != total %v", sum, res.Energy)
+	}
+	// One CPU + four GPUs on this platform.
+	for _, dev := range []string{"CPU0", "GPU0", "GPU1", "GPU2", "GPU3"} {
+		if _, ok := res.Device[dev]; !ok {
+			t.Errorf("missing device %s in %v", dev, res.Device)
+		}
+	}
+	// Efficiency = flops / energy / 1e9.
+	wantEff := float64(res.Workload.Op.Flops(res.Workload.N)) / float64(res.Energy) / 1e9
+	if math.Abs(res.Efficiency-wantEff) > 1e-9*wantEff {
+		t.Errorf("efficiency %v != %v", res.Efficiency, wantEff)
+	}
+	if res.Stats == nil || res.Stats.TotalTasks != 6*6*6 {
+		t.Errorf("stats missing or wrong task count: %+v", res.Stats)
+	}
+}
+
+func TestBBBBTradeoff(t *testing.T) {
+	base, err := Run(smallGemm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallGemm()
+	cfg.Plan = powercap.MustParsePlan("BBBB")
+	capped, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compare(base, capped)
+	if d.PerfPct >= -5 || d.PerfPct <= -45 {
+		t.Errorf("BBBB slowdown = %.1f%%, want substantial but bounded", d.PerfPct)
+	}
+	if d.EffGainPct <= 5 {
+		t.Errorf("BBBB efficiency gain = %.1f%%, want clearly positive (paper ~20%%)", d.EffGainPct)
+	}
+	if d.EnergyPct <= 0 {
+		t.Errorf("BBBB energy saving = %.1f%%, want positive", d.EnergyPct)
+	}
+}
+
+func TestPlanLengthValidation(t *testing.T) {
+	cfg := smallGemm()
+	cfg.Plan = powercap.MustParsePlan("BB") // 2 levels for 4 GPUs
+	if _, err := Run(cfg); err == nil {
+		t.Error("mismatched plan length accepted")
+	}
+}
+
+func TestCPUCapValidation(t *testing.T) {
+	cfg := smallGemm()
+	cfg.CPUCaps = map[int]units.Watts{7: 60}
+	if _, err := Run(cfg); err == nil {
+		t.Error("cap on missing socket accepted")
+	}
+}
+
+func TestPermutationInvariance(t *testing.T) {
+	// §IV-C: permutations of one plan multiset give near-identical
+	// results, justifying the single-representative presentation.
+	var effs []float64
+	for _, plan := range []string{"HHHB", "HBHH", "BHHH"} {
+		cfg := smallGemm()
+		cfg.Plan = powercap.MustParsePlan(plan)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		effs = append(effs, res.Efficiency)
+	}
+	for i := 1; i < len(effs); i++ {
+		if math.Abs(effs[i]-effs[0])/effs[0] > 0.05 {
+			t.Errorf("permutation variance too large: %v", effs)
+		}
+	}
+}
+
+func TestSkipCalibrationStillCompletes(t *testing.T) {
+	cfg := smallGemm()
+	cfg.SkipCalibration = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Error("no makespan without calibration")
+	}
+}
+
+func TestSweepPlansBaselineFirst(t *testing.T) {
+	row := TableIIRow{
+		Platform: platform.FourA100Name, Op: GEMM,
+		N: 5760 * 5, NB: 5760, Precision: prec.Double, BestFrac: 0.54,
+	}
+	plans := []powercap.Plan{
+		powercap.MustParsePlan("HHHH"),
+		powercap.MustParsePlan("BBBB"),
+	}
+	results, err := SweepPlans(row, SweepOptions{Plans: plans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	base := results[0]
+	if !base.Plan.AllHigh() {
+		t.Errorf("first result plan = %s, want HHHH", base.Plan)
+	}
+	if base.Delta.PerfPct != 0 || base.Delta.EffGainPct != 0 {
+		t.Errorf("baseline deltas nonzero: %+v", base.Delta)
+	}
+	if results[1].Delta.PerfPct >= 0 {
+		t.Errorf("BBBB should slow down: %+v", results[1].Delta)
+	}
+}
+
+func TestCompareSignConventions(t *testing.T) {
+	base := &Result{Rate: 100e9, Energy: 1000, Efficiency: 40}
+	faster := &Result{Rate: 110e9, Energy: 900, Efficiency: 44}
+	d := Compare(base, faster)
+	if d.PerfPct <= 0 {
+		t.Errorf("speedup should be positive: %v", d.PerfPct)
+	}
+	if d.EnergyPct <= 0 {
+		t.Errorf("lower Joules should be positive savings: %v", d.EnergyPct)
+	}
+	if math.Abs(d.EffGainPct-10) > 1e-9 {
+		t.Errorf("EffGainPct = %v, want 10", d.EffGainPct)
+	}
+	slower := &Result{Rate: 50e9, Energy: 1600, Efficiency: 20}
+	d = Compare(base, slower)
+	if d.PerfPct >= 0 || d.EnergyPct >= 0 || d.EffGainPct >= 0 {
+		t.Errorf("worse run should be all-negative: %+v", d)
+	}
+}
+
+func TestLookupTableII(t *testing.T) {
+	row, err := LookupTableII(platform.FourA100Name, GEMM, prec.Double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.N != 74880 || row.NB != 5760 || row.BestFrac != 0.54 {
+		t.Errorf("unexpected row: %+v", row)
+	}
+	if _, err := LookupTableII("no-such-platform", GEMM, prec.Double); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if len(TableII) != 12 {
+		t.Errorf("Table II has %d rows, want 12", len(TableII))
+	}
+}
+
+func TestTableIIDivisibility(t *testing.T) {
+	for _, r := range TableII {
+		if r.N%r.NB != 0 {
+			t.Errorf("%s %s: NB %d does not divide N %d", r.Platform, r.Op, r.NB, r.N)
+		}
+	}
+}
+
+func TestFig7TileSizesDivideN(t *testing.T) {
+	for _, r := range TableII {
+		sizes := Fig7TileSizes(r.Platform, r.Op)
+		if len(sizes) == 0 {
+			t.Errorf("no Fig 7 sizes for %s/%s", r.Platform, r.Op)
+			continue
+		}
+		for _, nb := range sizes {
+			if r.N%nb != 0 {
+				t.Errorf("%s %s: Fig 7 tile %d does not divide N=%d", r.Platform, r.Op, nb, r.N)
+			}
+		}
+	}
+	if Fig7TileSizes("nope", GEMM) != nil {
+		t.Error("unknown platform should have no sizes")
+	}
+}
+
+func TestFig1SweepShape(t *testing.T) {
+	pts := Fig1Sweep(mustArch(t), prec.Double, []int{1024, 5120})
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	// Larger matrices achieve higher peak efficiency (Fig. 1).
+	best := map[int]float64{}
+	for _, p := range pts {
+		if p.EffGFW > best[p.Size] {
+			best[p.Size] = p.EffGFW
+		}
+		if p.PowerW > p.CapW+1e-9 {
+			t.Errorf("power %v above cap %v", p.PowerW, p.CapW)
+		}
+	}
+	if best[1024] >= best[5120] {
+		t.Errorf("small matrix peak efficiency %v >= large %v", best[1024], best[5120])
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 6 {
+		t.Fatalf("Table 1 has %d rows, want 6", len(rows))
+	}
+	want := map[string]struct{ capPct, saving float64 }{
+		"A100-SXM4-40GB/single": {40, 27.76},
+		"A100-SXM4-40GB/double": {54, 28.81},
+		"A100-PCIE-40GB/single": {60, 23.17},
+		"A100-PCIE-40GB/double": {78, 10.92},
+		"V100-PCIE-32GB/single": {58, 20.74},
+		"V100-PCIE-32GB/double": {60, 18.52},
+	}
+	for _, r := range rows {
+		key := r.Arch + "/" + r.Precision.String()
+		w, ok := want[key]
+		if !ok {
+			t.Errorf("unexpected row %q", key)
+			continue
+		}
+		if math.Abs(r.BestCapPct-w.capPct) > 2.5 {
+			t.Errorf("%s: best cap %.1f%%, paper %.0f%%", key, r.BestCapPct, w.capPct)
+		}
+		if math.Abs(r.SavingPct-w.saving) > 3.5 {
+			t.Errorf("%s: saving %.1f%%, paper %.2f%%", key, r.SavingPct, w.saving)
+		}
+		if r.SlowdownPct <= 0 || r.SlowdownPct >= 50 {
+			t.Errorf("%s: slowdown %.1f%% implausible", key, r.SlowdownPct)
+		}
+	}
+}
+
+func TestAutoPlan(t *testing.T) {
+	row := TableIIRow{
+		Platform: platform.FourA100Name, Op: GEMM,
+		N: 5760 * 5, NB: 5760, Precision: prec.Double, BestFrac: 0.54,
+	}
+	res, err := AutoPlan(row, 15, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowdown := -res.Chosen.Delta.PerfPct
+	if slowdown > 15 {
+		t.Errorf("chosen plan %s violates 15%% budget: %.1f%%", res.Chosen.Plan, slowdown)
+	}
+	if len(res.Frontier) == 0 {
+		t.Fatal("empty Pareto frontier")
+	}
+	// The frontier must contain the fastest (HHHH) configuration.
+	foundDefault := false
+	for _, f := range res.Frontier {
+		if f.Plan.AllHigh() {
+			foundDefault = true
+		}
+	}
+	if !foundDefault {
+		t.Error("HHHH missing from Pareto frontier")
+	}
+	// Unconstrained search picks the global efficiency maximum.
+	free, err := AutoPlan(row, 0, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Chosen.Result.Efficiency < res.Chosen.Result.Efficiency-1e-9 {
+		t.Error("unconstrained choice less efficient than constrained")
+	}
+}
+
+func TestOperationStrings(t *testing.T) {
+	if GEMM.String() != "GEMM" || POTRF.String() != "POTRF" {
+		t.Error("operation names")
+	}
+	if GEMM.Flops(100) != 2e6 {
+		t.Errorf("GEMM flops = %v", GEMM.Flops(100))
+	}
+	if POTRF.Flops(100) != units.Flops(1e6/3) {
+		t.Errorf("POTRF flops = %v", POTRF.Flops(100))
+	}
+	w := Workload{Op: GEMM, N: 74880, NB: 5760, Precision: prec.Double}
+	if got := w.String(); !strings.Contains(got, "dGEMM") || !strings.Contains(got, "74880") {
+		t.Errorf("workload string = %q", got)
+	}
+}
+
+func mustArch(t *testing.T) *gpu.Arch {
+	t.Helper()
+	return gpu.A100SXM4()
+}

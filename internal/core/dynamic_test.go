@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dyncap"
+	"repro/internal/platform"
+	"repro/internal/powercap"
+	"repro/internal/prec"
+)
+
+func TestRunDynamicImprovesOnDefault(t *testing.T) {
+	// A longer run gives the controller room to converge: 12 tiles.
+	wl := Workload{Op: GEMM, N: 5760 * 12, NB: 5760, Precision: prec.Double}
+	cfg := Config{Spec: platform.FourA100Spec(), Workload: wl, BestFrac: 0.54}
+
+	base, err := Run(Config{Spec: cfg.Spec, Workload: wl, BestFrac: 0.54,
+		Plan: powercap.MustParsePlan("HHHH")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, ctl, err := RunDynamic(cfg, dyncap.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Ticks() == 0 {
+		t.Fatal("controller never ticked")
+	}
+	if dyn.Plan != "dynamic" {
+		t.Errorf("plan label = %q", dyn.Plan)
+	}
+	// The controller must have moved the caps off TDP...
+	moved := false
+	for _, cap := range ctl.Caps() {
+		if cap != cfg.Spec.GPUArch.TDP {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("controller never adjusted any cap")
+	}
+	// ...and improved energy efficiency over the static default.
+	d := Compare(base, dyn)
+	if d.EffGainPct <= 0 {
+		t.Errorf("dynamic capping efficiency gain = %+.1f%%, want positive", d.EffGainPct)
+	}
+	t.Logf("dynamic vs HHHH: perf %+.1f%%, energy %+.1f%%, eff %+.1f%%, final caps %v",
+		d.PerfPct, d.EnergyPct, d.EffGainPct, ctl.Caps())
+}
+
+func TestRunDynamicRejectsStaticPlan(t *testing.T) {
+	cfg := smallGemm()
+	cfg.Plan = powercap.MustParsePlan("HHHH")
+	if _, _, err := RunDynamic(cfg, dyncap.DefaultConfig()); err == nil {
+		t.Error("static plan accepted by RunDynamic")
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/powercap"
+)
+
+// Stat is a mean/stddev pair over repeated runs.
+type Stat struct {
+	Mean, Std float64
+}
+
+func newStat(xs []float64) Stat {
+	if len(xs) == 0 {
+		return Stat{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var m2 float64
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+	}
+	std := 0.0
+	if len(xs) > 1 {
+		std = math.Sqrt(m2 / float64(len(xs)-1))
+	}
+	return Stat{Mean: mean, Std: std}
+}
+
+// RepeatedResult aggregates several runs of one configuration.
+type RepeatedResult struct {
+	// Runs holds the individual results, seed order.
+	Runs []*Result
+	// MakespanS, GFlops, EnergyJ and Efficiency aggregate the headline
+	// metrics.
+	MakespanS  Stat
+	GFlops     Stat
+	EnergyJ    Stat
+	Efficiency Stat
+}
+
+// RunRepeated executes cfg reps times with distinct seeds and reports
+// mean and standard deviation — the usual experimental protocol for
+// randomised schedulers (the dm family is deterministic, so its spread
+// is zero; ws/random show real variance).
+func RunRepeated(cfg Config, reps int) (*RepeatedResult, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("core: reps %d must be >= 1", reps)
+	}
+	out := &RepeatedResult{}
+	var mk, gf, en, ef []float64
+	for r := 0; r < reps; r++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(r)*7919
+		res, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("core: repetition %d: %w", r, err)
+		}
+		out.Runs = append(out.Runs, res)
+		mk = append(mk, float64(res.Makespan))
+		gf = append(gf, float64(res.Rate)/1e9)
+		en = append(en, float64(res.Energy))
+		ef = append(ef, res.Efficiency)
+	}
+	out.MakespanS = newStat(mk)
+	out.GFlops = newStat(gf)
+	out.EnergyJ = newStat(en)
+	out.Efficiency = newStat(ef)
+	return out, nil
+}
+
+// PermutationStudy measures every distinct ordering of a plan multiset
+// (§IV-C's check that orderings are interchangeable) and reports the
+// efficiency spread across them.
+func PermutationStudy(cfg Config, plan powercap.Plan) (perPlan map[string]*Result, spread float64, err error) {
+	perms := powercap.Permutations(plan)
+	perPlan = make(map[string]*Result, len(perms))
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, p := range perms {
+		c := cfg
+		c.Plan = p
+		res, err := Run(c)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: permutation %s: %w", p, err)
+		}
+		perPlan[p.String()] = res
+		min = math.Min(min, res.Efficiency)
+		max = math.Max(max, res.Efficiency)
+	}
+	if min > 0 {
+		spread = max/min - 1
+	}
+	return perPlan, spread, nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/powercap"
+)
+
+func TestRunRepeatedDeterministicScheduler(t *testing.T) {
+	cfg := smallGemm()
+	rep, err := RunRepeated(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 3 {
+		t.Fatalf("got %d runs", len(rep.Runs))
+	}
+	// dmdas is deterministic: zero spread.
+	if rep.Efficiency.Std != 0 || rep.MakespanS.Std != 0 {
+		t.Errorf("deterministic scheduler produced spread: %+v", rep.Efficiency)
+	}
+	if rep.Efficiency.Mean <= 0 || rep.GFlops.Mean <= 0 || rep.EnergyJ.Mean <= 0 {
+		t.Errorf("degenerate aggregates: %+v", rep)
+	}
+}
+
+func TestRunRepeatedRandomSchedulerVaries(t *testing.T) {
+	cfg := smallGemm()
+	cfg.Scheduler = "random"
+	rep, err := RunRepeated(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MakespanS.Std == 0 {
+		t.Error("random scheduler produced identical runs across seeds")
+	}
+}
+
+func TestRunRepeatedValidation(t *testing.T) {
+	if _, err := RunRepeated(smallGemm(), 0); err == nil {
+		t.Error("zero reps accepted")
+	}
+}
+
+func TestPermutationStudy(t *testing.T) {
+	cfg := smallGemm()
+	perPlan, spread, err := PermutationStudy(cfg, powercap.MustParsePlan("HHBB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(4,2) = 6 orderings of HHBB.
+	if len(perPlan) != 6 {
+		t.Fatalf("got %d permutations, want 6", len(perPlan))
+	}
+	// §IV-C: "the variation in results was negligible".
+	if spread > 0.05 {
+		t.Errorf("permutation efficiency spread = %.3f, want < 5%%", spread)
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/powercap"
+	"repro/internal/prec"
+	"repro/internal/units"
+)
+
+// Shape tests: the qualitative claims of the paper's evaluation must
+// hold on reduced-size runs (same tile sizes, fewer tiles).
+
+func reducedRow(t *testing.T, plat string, op Operation, p prec.Precision, tiles int) TableIIRow {
+	t.Helper()
+	row, err := LookupTableII(plat, op, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row.N = row.NB * tiles
+	return row
+}
+
+// TestShapeFig5CPUShareRisesUnderL: §V-C — "when we impose power caps on
+// the GPUs, the ratio of tasks computed by the CPUs ... increases",
+// raising the CPU energy share.
+func TestShapeFig5CPUShareRisesUnderL(t *testing.T) {
+	row := reducedRow(t, platform.TwoV100Name, GEMM, prec.Double, 10)
+	results, err := SweepPlans(row, SweepOptions{
+		Plans: []powercap.Plan{powercap.MustParsePlan("HH"), powercap.MustParsePlan("LL")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := func(r *Result) float64 {
+		cpu := r.Device["CPU0"] + r.Device["CPU1"]
+		return float64(cpu) / float64(r.Energy)
+	}
+	hh, ll := share(results[0].Result), share(results[1].Result)
+	if ll <= hh {
+		t.Errorf("CPU energy share did not rise under LL: HH=%.2f LL=%.2f", hh, ll)
+	}
+	// And LL costs energy overall (the paper's negative result).
+	if results[1].Delta.EnergyPct >= 0 {
+		t.Errorf("LL saved energy (%.1f%%), paper shows it must not", results[1].Delta.EnergyPct)
+	}
+}
+
+// TestShapeFig6CPUCapFreeLunch: §V-C — capping the second CPU at 48 %
+// TDP improves efficiency with no meaningful performance loss.
+func TestShapeFig6CPUCapFreeLunch(t *testing.T) {
+	row := reducedRow(t, platform.TwoV100Name, GEMM, prec.Double, 10)
+	base, err := Run(Config{
+		Spec: mustSpec(t, row.Platform), Workload: row.Workload(),
+		BestFrac: row.BestFrac,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := Run(Config{
+		Spec: mustSpec(t, row.Platform), Workload: row.Workload(),
+		BestFrac: row.BestFrac, CPUCaps: map[int]units.Watts{1: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compare(base, capped)
+	if d.EffGainPct <= 0 {
+		t.Errorf("CPU cap efficiency gain = %+.1f%%, want positive (paper ~8-14%%)", d.EffGainPct)
+	}
+	if d.PerfPct < -8 {
+		t.Errorf("CPU cap perf loss = %+.1f%%, paper shows roughly none", d.PerfPct)
+	}
+}
+
+// TestShapeFig4SinglePrecision: §V-B — in single precision the P_best
+// plans are clearly profitable, with *less performance degradation*
+// than double precision, and the absolute efficiency is higher.
+// (The paper's larger relative gain for single precision comes from a
+// baseline-utilisation effect our calibration does not reproduce; see
+// EXPERIMENTS.md.)
+func TestShapeFig4SinglePrecision(t *testing.T) {
+	run := func(p prec.Precision) PlanResult {
+		row := reducedRow(t, platform.FourA100Name, GEMM, p, 8)
+		res, err := SweepPlans(row, SweepOptions{
+			Plans: []powercap.Plan{powercap.MustParsePlan("HHHH"), powercap.MustParsePlan("BBBB")},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[1]
+	}
+	d, s := run(prec.Double), run(prec.Single)
+	if s.Delta.EffGainPct < 10 {
+		t.Errorf("single BBBB gain = %.1f%%, want clearly positive", s.Delta.EffGainPct)
+	}
+	if -s.Delta.PerfPct >= -d.Delta.PerfPct {
+		t.Errorf("single slowdown %.1f%% not below double %.1f%% (§V-B)",
+			-s.Delta.PerfPct, -d.Delta.PerfPct)
+	}
+	if s.Result.Efficiency <= d.Result.Efficiency {
+		t.Errorf("single efficiency %.1f not above double %.1f", s.Result.Efficiency, d.Result.Efficiency)
+	}
+}
+
+// TestShapeBBBBMostEfficient: Fig. 3a/7 — on the 4-GPU platform the
+// all-B plan gives the best efficiency of the canonical set.
+func TestShapeBBBBMostEfficient(t *testing.T) {
+	row := reducedRow(t, platform.FourA100Name, GEMM, prec.Double, 8)
+	results, err := SweepPlans(row, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestEff := "", 0.0
+	for _, r := range results {
+		if r.Result.Efficiency > bestEff {
+			bestEff, best = r.Result.Efficiency, r.Plan.String()
+		}
+	}
+	if best != "BBBB" {
+		t.Errorf("most efficient plan = %s, want BBBB", best)
+	}
+	// And the ladder is monotone from HHHH to BBBB.
+	var prev float64 = -1
+	for _, plan := range []string{"HHHH", "HHHB", "HHBB", "HBBB", "BBBB"} {
+		for _, r := range results {
+			if r.Plan.String() == plan {
+				if r.Result.Efficiency < prev {
+					t.Errorf("efficiency not monotone along the B ladder at %s", plan)
+				}
+				prev = r.Result.Efficiency
+			}
+		}
+	}
+}
+
+// TestShapeLLadderCounterproductive: Fig. 3a — every L-ladder plan costs
+// both performance and energy relative to the default.
+func TestShapeLLadderCounterproductive(t *testing.T) {
+	row := reducedRow(t, platform.FourA100Name, GEMM, prec.Double, 8)
+	results, err := SweepPlans(row, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Plan.Count(powercap.Low) == 0 {
+			continue
+		}
+		if r.Delta.PerfPct >= 0 {
+			t.Errorf("%s: expected slowdown, got %+.1f%%", r.Plan, r.Delta.PerfPct)
+		}
+		if r.Delta.EnergyPct >= 0 {
+			t.Errorf("%s: expected increased energy, got %+.1f%% savings", r.Plan, r.Delta.EnergyPct)
+		}
+	}
+}
+
+// TestShapeGPUShareDropsUnderCaps: §V-C's task-ratio mechanism, measured
+// directly on scheduler placement.
+func TestShapeGPUShareDropsUnderCaps(t *testing.T) {
+	row := reducedRow(t, platform.TwoV100Name, GEMM, prec.Double, 10)
+	results, err := SweepPlans(row, SweepOptions{
+		Plans: []powercap.Plan{powercap.MustParsePlan("HH"), powercap.MustParsePlan("LL")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1].Result.Stats.GPUShare >= results[0].Result.Stats.GPUShare {
+		t.Errorf("GPU task share did not drop under LL: %.2f -> %.2f",
+			results[0].Result.Stats.GPUShare, results[1].Result.Stats.GPUShare)
+	}
+}
+
+func mustSpec(t *testing.T, name string) platform.Spec {
+	t.Helper()
+	spec, err := platform.SpecByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestShapeGeqrfUnderCapping: the QR factorisation (beyond the paper's
+// two operations) shows the same qualitative trade-off: all-B saves
+// energy at a moderate slowdown.
+func TestShapeGeqrfUnderCapping(t *testing.T) {
+	row := TableIIRow{
+		Platform: platform.FourA100Name, Op: GEQRF,
+		N: 2880 * 10, NB: 2880, Precision: prec.Double, BestFrac: 0.52,
+	}
+	results, err := SweepPlans(row, SweepOptions{
+		Plans: []powercap.Plan{powercap.MustParsePlan("HHHH"), powercap.MustParsePlan("BBBB")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := results[1]
+	if bb.Delta.PerfPct >= 0 {
+		t.Errorf("BBBB GEQRF should slow down, got %+.1f%%", bb.Delta.PerfPct)
+	}
+	if bb.Delta.EnergyPct <= 0 {
+		t.Errorf("BBBB GEQRF energy saving = %+.1f%%, want positive", bb.Delta.EnergyPct)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/powercap"
+)
+
+// TestStaleModelsHurtPerformance verifies the mechanism the paper leans
+// on (§III-B): when performance models are recalibrated after a cap
+// change, the scheduler adapts; when calibrated-at-default models are
+// silently reused under an unbalanced plan, placement degrades.
+func TestStaleModelsHurtPerformance(t *testing.T) {
+	base := smallGemm()
+	base.Workload.N = base.Workload.NB * 8
+	base.Plan = powercap.MustParsePlan("HBBB")
+
+	fresh, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleCfg := base
+	staleCfg.StaleModels = true
+	stale, err := Run(staleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.Rate > fresh.Rate {
+		t.Errorf("stale models outperformed the paper protocol: %v > %v", stale.Rate, fresh.Rate)
+	}
+	t.Logf("recalibrated %v vs stale %v (%.1f%% penalty)",
+		fresh.Rate, stale.Rate, 100*(1-float64(stale.Rate)/float64(fresh.Rate)))
+}
+
+// TestStaleModelsUnkeyedClasses confirms the structural difference: with
+// StaleModels the platform's worker classes no longer change with caps.
+func TestStaleModelsUnkeyedClasses(t *testing.T) {
+	cfg := smallGemm()
+	cfg.Plan = powercap.MustParsePlan("BBBB")
+	cfg.StaleModels = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("run did not execute")
+	}
+}

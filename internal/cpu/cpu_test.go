@@ -1,0 +1,168 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prec"
+	"repro/internal/units"
+)
+
+func TestArchsValid(t *testing.T) {
+	for _, name := range []string{XeonGold6126Name, EPYC7452Name, EPYC7513Name} {
+		a, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		// Full-package power must not exceed TDP by much (RAPL enforces).
+		full := float64(a.UncorePower) + float64(a.Cores)*float64(a.CorePower)
+		if full > float64(a.TDP)*1.05 {
+			t.Errorf("%s: all-core power %.1f W far exceeds TDP %v", name, full, a.TDP)
+		}
+		if full < float64(a.TDP)*0.7 {
+			t.Errorf("%s: all-core power %.1f W implausibly below TDP %v", name, full, a.TDP)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("Itanium"); err == nil {
+		t.Error("unknown CPU accepted")
+	}
+}
+
+func TestPowerLimitWindow(t *testing.T) {
+	p := NewPackage(XeonGold6126(), 1)
+	if got := p.PowerLimit(); got != 125 {
+		t.Errorf("default limit = %v, want 125 W", got)
+	}
+	// The paper caps the second CPU at 48 % of TDP = 60 W.
+	if err := p.SetPowerLimit(60); err != nil {
+		t.Fatalf("SetPowerLimit(60): %v", err)
+	}
+	if p.Uncapped() {
+		t.Error("capped package reported uncapped")
+	}
+	// Below the 48 % stability floor must be rejected.
+	if err := p.SetPowerLimit(50); err == nil {
+		t.Error("cap below stability floor accepted")
+	}
+	if err := p.SetPowerLimit(200); err == nil {
+		t.Error("cap above TDP accepted")
+	}
+	if err := p.SetPowerLimit(0); err != nil {
+		t.Errorf("reset: %v", err)
+	}
+	if !p.Uncapped() {
+		t.Error("reset package should be uncapped")
+	}
+}
+
+func TestCapSlowsClock(t *testing.T) {
+	p := NewPackage(XeonGold6126(), 0)
+	if x := p.ClockFraction(); x != 1 {
+		t.Errorf("uncapped clock fraction = %v, want 1", x)
+	}
+	fullRate := p.CoreRate(prec.Double)
+	if err := p.SetPowerLimit(60); err != nil {
+		t.Fatal(err)
+	}
+	x := p.ClockFraction()
+	if !(x > 0.25 && x < 1) {
+		t.Errorf("capped clock fraction = %v, want in (0.25, 1)", x)
+	}
+	capped := p.CoreRate(prec.Double)
+	if capped >= fullRate {
+		t.Errorf("capped rate %v not below full rate %v", capped, fullRate)
+	}
+	// Perf loss should be moderate (sub-proportional to the 52 % power cut).
+	loss := 1 - float64(capped)/float64(fullRate)
+	if loss < 0.05 || loss > 0.52 {
+		t.Errorf("perf loss at 48%% cap = %.2f, want moderate", loss)
+	}
+}
+
+func TestPackagePowerUnderCap(t *testing.T) {
+	// Property: package power with all cores busy never exceeds the cap
+	// (when a cap is set and above the uncore floor).
+	f := func(rawCap uint8) bool {
+		p := NewPackage(XeonGold6126(), 0)
+		cap := units.Watts(60 + float64(rawCap%66)) // 60..125 W
+		if err := p.SetPowerLimit(cap); err != nil {
+			return true
+		}
+		got := p.PackagePower(p.Arch().Cores)
+		return float64(got) <= float64(cap)*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackagePowerMonotonicInBusyCores(t *testing.T) {
+	p := NewPackage(EPYC7513(), 0)
+	prev := units.Watts(0)
+	for n := 0; n <= p.Arch().Cores; n++ {
+		got := p.PackagePower(n)
+		if got < prev {
+			t.Fatalf("power decreased at %d busy cores", n)
+		}
+		prev = got
+	}
+	if p.PackagePower(-3) != p.IdlePower() {
+		t.Error("negative busy count should clamp to idle")
+	}
+	if p.PackagePower(1000) != p.PackagePower(p.Arch().Cores) {
+		t.Error("busy count above core count should clamp")
+	}
+}
+
+func TestKernelTime(t *testing.T) {
+	p := NewPackage(EPYC7513(), 0)
+	// One 2880-tile dgemm: 2*2880^3 = 4.78e10 flops at 29 Gflop/s ~ 1.65 s.
+	dt := p.KernelTime(prec.Double, 4.78e10, 1)
+	if float64(dt) < 1.0 || float64(dt) > 3.0 {
+		t.Errorf("2880-tile CPU dgemm = %v, want ~1.65 s", dt)
+	}
+	if h := p.KernelTime(prec.Single, 4.78e10, 1); h >= dt {
+		t.Errorf("single precision not faster: %v >= %v", h, dt)
+	}
+	derated := p.KernelTime(prec.Double, 4.78e10, 0.5)
+	if derated <= dt {
+		t.Error("efficiency factor did not slow the kernel")
+	}
+}
+
+func TestGPUToCPURatio(t *testing.T) {
+	// §III-C: GEMM ~20x faster on a GPU than on the CPUs.  Check the
+	// 32-AMD-4-A100 platform: one A100-SXM4 vs one EPYC 7513 socket.
+	pkg := NewPackage(EPYC7513(), 0)
+	cpuAll := float64(pkg.CoreRate(prec.Double)) * float64(pkg.Arch().Cores)
+	gpuRate := 17.8e12 // A100-SXM4 sustained dgemm
+	ratio := gpuRate / cpuAll
+	if ratio < 10 || ratio > 40 {
+		t.Errorf("GPU/CPU GEMM ratio = %.1f, want ~20", ratio)
+	}
+}
+
+func TestClockFractionMonotonicInCap(t *testing.T) {
+	p := NewPackage(XeonGold6126(), 0)
+	prev := 0.0
+	for cap := 60.0; cap <= 125; cap += 5 {
+		if err := p.SetPowerLimit(units.Watts(cap)); err != nil {
+			t.Fatal(err)
+		}
+		x := p.ClockFraction()
+		if x < prev-1e-12 {
+			t.Fatalf("clock fraction decreased as cap rose to %v", cap)
+		}
+		prev = x
+	}
+	if math.Abs(prev-1) > 0.2 {
+		t.Errorf("clock fraction at TDP = %v, want near 1", prev)
+	}
+}

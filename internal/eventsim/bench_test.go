@@ -1,0 +1,49 @@
+package eventsim
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// BenchmarkEventThroughput measures the raw discrete-event loop: each
+// fired event schedules a successor, the workload pattern of a task
+// completing and waking its dependants.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	remaining := b.N
+	var step func()
+	step = func() {
+		if remaining > 0 {
+			remaining--
+			e.After(1e-6, step)
+		}
+	}
+	e.After(0, step)
+	b.ResetTimer()
+	e.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkPowerMeter measures meter updates, the per-task power
+// bookkeeping cost.
+func BenchmarkPowerMeter(b *testing.B) {
+	e := NewEngine()
+	m := e.NewMeter("gpu", 50)
+	for i := 0; i < b.N; i++ {
+		t := units.Seconds(float64(i) * 1e-6)
+		e.At(t, func() { m.AddPower(10) })
+		e.At(t+5e-7, func() { m.AddPower(-10) })
+	}
+	b.ResetTimer()
+	e.Run()
+	_ = m.Energy()
+}
+
+// BenchmarkResource measures link reservations.
+func BenchmarkResource(b *testing.B) {
+	r := NewResource("pcie")
+	for i := 0; i < b.N; i++ {
+		r.Reserve(units.Seconds(float64(i)*1e-6), 5e-7)
+	}
+}

@@ -1,0 +1,221 @@
+// Package eventsim implements the discrete-event core of the simulator:
+// a virtual clock, a deterministic event queue and power integrators that
+// turn piecewise-constant power traces into exact energy figures.
+//
+// The engine is deliberately single-threaded: HPC runs are simulated in
+// virtual time, so determinism and reproducibility matter more than host
+// parallelism.  Events scheduled for the same timestamp fire in FIFO
+// order of scheduling, which makes every simulation replayable.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Event is a callback scheduled to fire at a virtual timestamp.
+type Event struct {
+	at  units.Seconds
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, insertion sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation loop.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now    units.Seconds
+	seq    uint64
+	events eventHeap
+	// Meters registered with the engine are finalised by Run so their
+	// energy integrals extend to the end of simulated time.
+	meters []*PowerMeter
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() units.Seconds { return e.now }
+
+// At schedules fn to run at absolute virtual time t.  Scheduling in the
+// past panics: it would silently corrupt causality.
+func (e *Engine) At(t units.Seconds, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("eventsim: scheduling event at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(float64(t)) {
+		panic("eventsim: scheduling event at NaN time")
+	}
+	e.seq++
+	heap.Push(&e.events, &Event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run dt after the current time.
+func (e *Engine) After(dt units.Seconds, fn func()) {
+	if dt < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", dt))
+	}
+	e.At(e.now+dt, fn)
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step fires the earliest event, advancing the clock to its timestamp.
+// It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains, then closes all registered
+// power meters at the final timestamp.  It returns the end time.
+func (e *Engine) Run() units.Seconds {
+	for e.Step() {
+	}
+	for _, m := range e.meters {
+		m.sync(e.now)
+	}
+	return e.now
+}
+
+// RunUntil fires events with timestamps <= deadline.  Events beyond the
+// deadline stay queued.  The clock lands exactly on the deadline.
+func (e *Engine) RunUntil(deadline units.Seconds) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	for _, m := range e.meters {
+		m.sync(e.now)
+	}
+}
+
+// NewMeter creates a power meter bound to this engine's clock, starting
+// at the given baseline power (typically the device's idle draw).
+func (e *Engine) NewMeter(name string, baseline units.Watts) *PowerMeter {
+	m := &PowerMeter{name: name, engine: e, power: baseline, lastT: e.now}
+	e.meters = append(e.meters, m)
+	return m
+}
+
+// PowerSample is one step of a recorded power trace: the meter held
+// Power from time T until the next sample's T.
+type PowerSample struct {
+	T     units.Seconds
+	Power units.Watts
+}
+
+// PowerMeter integrates a piecewise-constant power trace into energy.
+// Every SetPower call closes the previous constant segment.
+type PowerMeter struct {
+	name   string
+	engine *Engine
+	power  units.Watts
+	lastT  units.Seconds
+	energy units.Joules
+	peak   units.Watts
+
+	tracing bool
+	trace   []PowerSample
+}
+
+// Name reports the meter's label (used in energy-split reports).
+func (m *PowerMeter) Name() string { return m.name }
+
+// SetPower changes the instantaneous power from now on.
+func (m *PowerMeter) SetPower(p units.Watts) {
+	m.sync(m.engine.now)
+	m.power = p
+	if p > m.peak {
+		m.peak = p
+	}
+	if m.tracing {
+		m.trace = append(m.trace, PowerSample{T: m.engine.now, Power: p})
+	}
+}
+
+// EnableTrace starts recording every power step (exact, event-driven —
+// not sampled), beginning with the current level.
+func (m *PowerMeter) EnableTrace() {
+	if !m.tracing {
+		m.tracing = true
+		m.trace = append(m.trace, PowerSample{T: m.engine.now, Power: m.power})
+	}
+}
+
+// Trace reports the recorded power steps (nil unless EnableTrace ran).
+func (m *PowerMeter) Trace() []PowerSample { return m.trace }
+
+// Now reports the meter's clock (the engine's virtual time), letting
+// consumers evaluate time-dependent models such as thermal RC curves.
+func (m *PowerMeter) Now() units.Seconds { return m.engine.Now() }
+
+// AddPower adjusts the instantaneous power by delta (may be negative).
+func (m *PowerMeter) AddPower(delta units.Watts) {
+	m.SetPower(m.power + delta)
+}
+
+// Power reports the current instantaneous power.
+func (m *PowerMeter) Power() units.Watts {
+	return m.power
+}
+
+// Peak reports the maximum instantaneous power seen so far.
+func (m *PowerMeter) Peak() units.Watts { return m.peak }
+
+// Energy reports the energy integrated up to the engine's current time.
+func (m *PowerMeter) Energy() units.Joules {
+	m.sync(m.engine.now)
+	return m.energy
+}
+
+// sync integrates the running segment up to t.
+func (m *PowerMeter) sync(t units.Seconds) {
+	if t < m.lastT {
+		return
+	}
+	m.energy += units.Energy(m.power, t-m.lastT)
+	m.lastT = t
+}
+
+// Reset zeroes the accumulated energy (the current power level is kept).
+// Used between the calibration pass and the measured pass of a run.
+func (m *PowerMeter) Reset() {
+	m.sync(m.engine.now)
+	m.energy = 0
+	m.peak = m.power
+}

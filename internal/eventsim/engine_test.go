@@ -1,0 +1,288 @@
+package eventsim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, at := range times {
+		at := at
+		e.At(units.Seconds(at), func() { got = append(got, at) })
+	}
+	end := e.Run()
+	if float64(end) != 5 {
+		t.Errorf("end time = %v, want 5", end)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("events fired out of order: %v", got)
+	}
+	if len(got) != len(times) {
+		t.Errorf("fired %d events, want %d", len(got), len(times))
+	}
+}
+
+func TestSameTimestampFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-timestamp events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEventOrderingProperty(t *testing.T) {
+	// Property: for any set of non-negative event times, events fire in
+	// non-decreasing time order and the clock ends at the max.
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var fired []float64
+		maxT := 0.0
+		for _, r := range raw {
+			at := float64(r) / 7.0
+			if at > maxT {
+				maxT = at
+			}
+			at2 := at
+			e.At(units.Seconds(at), func() { fired = append(fired, at2) })
+		}
+		end := e.Run()
+		if len(raw) > 0 && math.Abs(float64(end)-maxT) > 1e-12 {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.At(1, func() {
+		trace = append(trace, "a")
+		e.After(2, func() { trace = append(trace, "c") })
+		e.After(1, func() { trace = append(trace, "b") })
+	})
+	e.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if i >= len(trace) || trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for _, at := range []float64{1, 2, 3, 10} {
+		e.At(units.Seconds(at), func() { fired++ })
+	}
+	e.RunUntil(5)
+	if fired != 3 {
+		t.Errorf("fired = %d, want 3", fired)
+	}
+	if e.Now() != 5 {
+		t.Errorf("clock = %v, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestPowerMeterIntegration(t *testing.T) {
+	e := NewEngine()
+	m := e.NewMeter("gpu0", 50) // 50 W idle baseline
+	e.At(1, func() { m.SetPower(250) })
+	e.At(3, func() { m.SetPower(50) })
+	e.At(10, func() {})
+	e.Run()
+	// 1s@50 + 2s@250 + 7s@50 = 50+500+350 = 900 J
+	if got := m.Energy(); math.Abs(float64(got)-900) > 1e-9 {
+		t.Errorf("energy = %v, want 900 J", got)
+	}
+	if m.Peak() != 250 {
+		t.Errorf("peak = %v, want 250", m.Peak())
+	}
+}
+
+func TestPowerMeterAddPower(t *testing.T) {
+	e := NewEngine()
+	m := e.NewMeter("pkg", 10)
+	e.At(0, func() { m.AddPower(20) })  // 30 W from t=0
+	e.At(2, func() { m.AddPower(-20) }) // back to 10 W
+	e.At(4, func() {})
+	e.Run()
+	// 2s@30 + 2s@10 = 80 J
+	if got := m.Energy(); math.Abs(float64(got)-80) > 1e-9 {
+		t.Errorf("energy = %v, want 80 J", got)
+	}
+}
+
+func TestPowerMeterReset(t *testing.T) {
+	e := NewEngine()
+	m := e.NewMeter("gpu", 100)
+	e.At(2, func() {
+		if got := m.Energy(); math.Abs(float64(got)-200) > 1e-9 {
+			t.Errorf("pre-reset energy = %v, want 200", got)
+		}
+		m.Reset()
+	})
+	e.At(5, func() {})
+	e.Run()
+	if got := m.Energy(); math.Abs(float64(got)-300) > 1e-9 {
+		t.Errorf("post-reset energy = %v, want 300 J", got)
+	}
+}
+
+func TestPowerMeterEnergyProperty(t *testing.T) {
+	// Property: total energy equals the hand-computed piecewise integral
+	// for random step traces.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		m := e.NewMeter("m", 0)
+		tcur := 0.0
+		want := 0.0
+		power := 0.0
+		n := rng.Intn(20) + 1
+		for i := 0; i < n; i++ {
+			dt := rng.Float64() * 10
+			next := tcur + dt
+			want += power * dt
+			p := rng.Float64() * 500
+			tNext, pNext := next, p
+			e.At(units.Seconds(tNext), func() { m.SetPower(units.Watts(pNext)) })
+			tcur, power = next, p
+		}
+		// trailing segment of 1s
+		want += power * 1.0
+		e.At(units.Seconds(tcur+1), func() {})
+		e.Run()
+		got := float64(m.Energy())
+		return math.Abs(got-want) <= 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	r := NewResource("pcie")
+	s1, e1 := r.Reserve(0, 2)
+	if s1 != 0 || e1 != 2 {
+		t.Errorf("first reservation = [%v,%v], want [0,2]", s1, e1)
+	}
+	// request at t=1 while busy until 2 -> starts at 2
+	s2, e2 := r.Reserve(1, 3)
+	if s2 != 2 || e2 != 5 {
+		t.Errorf("second reservation = [%v,%v], want [2,5]", s2, e2)
+	}
+	// request after the resource is free -> starts immediately
+	s3, e3 := r.Reserve(10, 1)
+	if s3 != 10 || e3 != 11 {
+		t.Errorf("third reservation = [%v,%v], want [10,11]", s3, e3)
+	}
+	if r.Uses() != 3 {
+		t.Errorf("uses = %d, want 3", r.Uses())
+	}
+	if r.BusyTime() != 6 {
+		t.Errorf("busy = %v, want 6", r.BusyTime())
+	}
+	r.Reset()
+	if r.FreeAt() != 0 || r.Uses() != 0 || r.BusyTime() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestResourceNoOverlapProperty(t *testing.T) {
+	// Property: granted intervals never overlap and respect request times.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewResource("link")
+		tcur := 0.0
+		prevEnd := units.Seconds(0)
+		for i := 0; i < 50; i++ {
+			tcur += rng.Float64()
+			d := units.Seconds(rng.Float64() * 2)
+			s, e := r.Reserve(units.Seconds(tcur), d)
+			if s < prevEnd || s < units.Seconds(tcur) {
+				return false
+			}
+			if math.Abs(float64(e-s-d)) > 1e-12 {
+				return false
+			}
+			prevEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerMeterTrace(t *testing.T) {
+	e := NewEngine()
+	m := e.NewMeter("gpu", 50)
+	e.At(1, func() { m.SetPower(250) })
+	e.At(2, func() { m.EnableTrace() })
+	e.At(3, func() { m.SetPower(60) })
+	e.At(4, func() { m.SetPower(70) })
+	e.Run()
+	tr := m.Trace()
+	if len(tr) != 3 { // enable snapshot + two steps
+		t.Fatalf("trace has %d samples, want 3: %v", len(tr), tr)
+	}
+	if tr[0].T != 2 || tr[0].Power != 250 {
+		t.Errorf("first sample = %+v, want current level at enable time", tr[0])
+	}
+	if tr[2].T != 4 || tr[2].Power != 70 {
+		t.Errorf("last sample = %+v", tr[2])
+	}
+	// Enabling twice must not duplicate the snapshot.
+	m.EnableTrace()
+	if len(m.Trace()) != 3 {
+		t.Error("double EnableTrace added samples")
+	}
+}
+
+func TestUntracedMeterHasNoTrace(t *testing.T) {
+	e := NewEngine()
+	m := e.NewMeter("cpu", 10)
+	e.At(1, func() { m.SetPower(20) })
+	e.Run()
+	if m.Trace() != nil {
+		t.Error("trace recorded without EnableTrace")
+	}
+}

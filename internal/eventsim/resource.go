@@ -1,0 +1,55 @@
+package eventsim
+
+import (
+	"repro/internal/units"
+)
+
+// Resource models an exclusive serial resource (a PCIe link, a DMA
+// engine) on which requests queue FIFO: a request issued at time t for
+// duration d occupies the resource from max(t, free) to max(t, free)+d.
+//
+// Reserve is the only operation; it returns the interval granted, which
+// callers use to schedule completion events.  This "availability time"
+// abstraction models contention without simulating individual packets.
+type Resource struct {
+	name string
+	free units.Seconds
+	busy units.Seconds // cumulated occupied time, for utilisation stats
+	uses int
+}
+
+// NewResource returns a named serial resource, free from time zero.
+func NewResource(name string) *Resource {
+	return &Resource{name: name}
+}
+
+// Name reports the resource label.
+func (r *Resource) Name() string { return r.name }
+
+// Reserve books the resource for duration d, no earlier than "from".
+// It returns the start and end of the granted interval.
+func (r *Resource) Reserve(from, d units.Seconds) (start, end units.Seconds) {
+	start = from
+	if r.free > start {
+		start = r.free
+	}
+	end = start + d
+	r.free = end
+	r.busy += d
+	r.uses++
+	return start, end
+}
+
+// FreeAt reports the earliest time a new reservation could start.
+func (r *Resource) FreeAt() units.Seconds { return r.free }
+
+// BusyTime reports the total reserved time.
+func (r *Resource) BusyTime() units.Seconds { return r.busy }
+
+// Uses reports how many reservations were granted.
+func (r *Resource) Uses() int { return r.uses }
+
+// Reset clears the reservation state (between experiment passes).
+func (r *Resource) Reset() {
+	r.free, r.busy, r.uses = 0, 0, 0
+}

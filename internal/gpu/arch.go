@@ -1,0 +1,183 @@
+package gpu
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/prec"
+	"repro/internal/units"
+)
+
+// Arch describes one GPU architecture: board limits, occupancy behaviour
+// and per-precision power/performance curves.
+type Arch struct {
+	// Name is the marketing name used in the paper ("A100-SXM4-40GB").
+	Name string
+	// TDP is the default (and maximum) power limit.
+	TDP units.Watts
+	// MinPower is the lowest cap the driver accepts.
+	MinPower units.Watts
+	// IdlePower is the draw with no kernel resident.
+	IdlePower units.Watts
+	// MemoryBytes is the device memory capacity.
+	MemoryBytes units.Bytes
+	// MaxClock is the boost SM clock (x = 1).
+	MaxClock units.Hertz
+	// HalfWork is the per-kernel work at which occupancy reaches 1/2;
+	// small launches underfill the device (Fig. 1's small-matrix effect).
+	HalfWork units.Flops
+	// LaunchOverhead is the fixed per-kernel launch latency.
+	LaunchOverhead units.Seconds
+	// Curves maps precision to the fitted power/perf curve.
+	Curves map[prec.Precision]Curve
+	// Thermal is the board's RC thermal model.
+	Thermal Thermal
+}
+
+// Curve returns the fitted curve for p.
+func (a *Arch) Curve(p prec.Precision) Curve { return a.Curves[p] }
+
+// Occupancy reports the fraction of the device a kernel of the given
+// work fills: work/(work + HalfWork), a saturating curve matching the
+// paper's observation that small matrices "do not fill the GPU workload
+// enough".
+func (a *Arch) Occupancy(work units.Flops) float64 {
+	if work <= 0 {
+		return 0
+	}
+	return float64(work) / float64(work+a.HalfWork)
+}
+
+// ValidateCap reports an error when the cap is outside the driver's
+// accepted [MinPower, TDP] window (cap == 0 means uncapped and is valid).
+func (a *Arch) ValidateCap(cap units.Watts) error {
+	if cap == 0 {
+		return nil
+	}
+	if cap < a.MinPower || cap > a.TDP {
+		return fmt.Errorf("gpu: %s: power limit %v outside [%v, %v]", a.Name, cap, a.MinPower, a.TDP)
+	}
+	return nil
+}
+
+// The three architectures of the paper's test beds (§IV-A, Table II).
+// Calibration targets come from Table I (best cap fraction and efficiency
+// saving); slowdowns not quoted by the paper are set to plausible values
+// consistent with Fig. 1-style curves (and constrained by draw <= TDP).
+var (
+	archOnce sync.Once
+	archs    map[string]*Arch
+)
+
+// Architecture names.
+const (
+	V100PCIeName = "V100-PCIE-32GB"
+	A100PCIeName = "A100-PCIE-40GB"
+	A100SXM4Name = "A100-SXM4-40GB"
+)
+
+func buildArchs() {
+	archs = map[string]*Arch{
+		V100PCIeName: {
+			Name:           V100PCIeName,
+			TDP:            250,
+			MinPower:       100,
+			IdlePower:      28,
+			MemoryBytes:    32 * units.Giga,
+			MaxClock:       units.Hertz(1380 * units.Mega),
+			HalfWork:       units.Flops(1.5e9),
+			LaunchOverhead: 9e-6,
+			Curves: map[prec.Precision]Curve{
+				// Table I: best cap 60 % TDP, +18.52 % efficiency.
+				prec.Double: MustCalibrate(CalibrationTarget{
+					TDP: 250, BestCapFrac: 0.60, Gain: 0.1852, Slowdown: 0.22,
+					XMin: 135.0 / 1380.0, PeakRate: units.GFlopsPerSec(6600),
+				}),
+				// Table I: best cap 58 % TDP, +20.74 % efficiency.
+				prec.Single: MustCalibrate(CalibrationTarget{
+					TDP: 250, BestCapFrac: 0.58, Gain: 0.2074, Slowdown: 0.25,
+					XMin: 135.0 / 1380.0, PeakRate: units.GFlopsPerSec(13500),
+				}),
+			},
+		},
+		A100PCIeName: {
+			Name:           A100PCIeName,
+			TDP:            250,
+			MinPower:       150,
+			IdlePower:      38,
+			MemoryBytes:    40 * units.Giga,
+			MaxClock:       units.Hertz(1410 * units.Mega),
+			HalfWork:       units.Flops(4e9),
+			LaunchOverhead: 8e-6,
+			Curves: map[prec.Precision]Curve{
+				// Table I: best cap 78 % TDP, +10.92 % efficiency.
+				prec.Double: MustCalibrate(CalibrationTarget{
+					TDP: 250, BestCapFrac: 0.78, Gain: 0.1092, Slowdown: 0.10,
+					XMin: 210.0 / 1410.0, PeakRate: units.GFlopsPerSec(16500),
+				}),
+				// Table I: best cap 60 % TDP, +23.17 % efficiency.
+				prec.Single: MustCalibrate(CalibrationTarget{
+					TDP: 250, BestCapFrac: 0.60, Gain: 0.2317, Slowdown: 0.25,
+					XMin: 210.0 / 1410.0, PeakRate: units.GFlopsPerSec(17500),
+				}),
+			},
+		},
+		A100SXM4Name: {
+			Name:           A100SXM4Name,
+			TDP:            400,
+			MinPower:       100,
+			IdlePower:      52,
+			MemoryBytes:    40 * units.Giga,
+			MaxClock:       units.Hertz(1410 * units.Mega),
+			HalfWork:       units.Flops(5e9),
+			LaunchOverhead: 8e-6,
+			Curves: map[prec.Precision]Curve{
+				// Table I: best cap 54 % TDP, +28.81 % efficiency;
+				// §II quotes the 22.93 % slowdown at that cap.
+				prec.Double: MustCalibrate(CalibrationTarget{
+					TDP: 400, BestCapFrac: 0.54, Gain: 0.2881, Slowdown: 0.2293,
+					XMin: 210.0 / 1410.0, PeakRate: units.GFlopsPerSec(17800),
+				}),
+				// Table I: best cap 40 % TDP, +27.76 % efficiency.
+				prec.Single: MustCalibrate(CalibrationTarget{
+					TDP: 400, BestCapFrac: 0.40, Gain: 0.2776, Slowdown: 0.20,
+					XMin: 210.0 / 1410.0, PeakRate: units.GFlopsPerSec(18500),
+				}),
+			},
+		},
+	}
+}
+
+// Lookup returns the named architecture, or an error listing the known
+// names.
+func Lookup(name string) (*Arch, error) {
+	archOnce.Do(func() {
+		buildArchs()
+		for _, a := range archs {
+			a.Thermal = thermalFor(a.TDP)
+		}
+	})
+	a, ok := archs[name]
+	if !ok {
+		return nil, fmt.Errorf("gpu: unknown architecture %q (known: %s, %s, %s)",
+			name, V100PCIeName, A100PCIeName, A100SXM4Name)
+	}
+	return a, nil
+}
+
+// V100PCIe returns the Tesla V100-PCIE-32GB model.
+func V100PCIe() *Arch { return mustLookup(V100PCIeName) }
+
+// A100PCIe returns the A100-PCIE-40GB model.
+func A100PCIe() *Arch { return mustLookup(A100PCIeName) }
+
+// A100SXM4 returns the A100-SXM4-40GB model.
+func A100SXM4() *Arch { return mustLookup(A100SXM4Name) }
+
+func mustLookup(name string) *Arch {
+	a, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

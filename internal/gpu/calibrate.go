@@ -1,0 +1,121 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// CalibrationTarget states the measured optimum the paper reports for one
+// (architecture, precision): where the best cap sits, how much efficiency
+// it buys and how much performance it costs.  The solver turns these
+// three observations into the curve parameters (Alpha, Sigma, Draw), so
+// the published numbers become *outputs* of the model that tests can
+// verify by re-sweeping.
+type CalibrationTarget struct {
+	// TDP is the board power limit (the 100% cap).
+	TDP units.Watts
+	// BestCapFrac is the efficiency-optimal cap as a fraction of TDP
+	// (Table I: e.g. 0.54 for DGEMM on A100-SXM4).
+	BestCapFrac float64
+	// Gain is the relative efficiency improvement at the best cap
+	// (Table I "Eff. saving": e.g. 0.2881).
+	Gain float64
+	// Slowdown is the relative performance loss at the best cap
+	// (e.g. 0.2293 reported for DGEMM on A100-SXM4; estimated for the
+	// pairs the paper does not quote).
+	Slowdown float64
+	// Beta is the dynamic-power exponent; 0 selects the default cube.
+	Beta float64
+	// XMin is the minimum clock fraction; 0 selects a default of 0.15.
+	XMin float64
+	// PeakRate is the sustained full-clock kernel throughput.
+	PeakRate units.FlopsPerSec
+}
+
+// Calibrate fits a Curve to the target.  The derivation, for
+// power(x) = D(sigma + (1-sigma) x^beta) and perf(x) = R x^alpha:
+//
+//   - Throttling makes the device draw exactly the cap at the optimum, so
+//     the gain g = (perf ratio)/(power ratio) pins the uncapped draw:
+//     D = g * cap / (1 - slowdown).
+//   - The efficiency optimum d/dx[x^alpha / power(x)] = 0 combined with
+//     power(x*) = cap collapses to sigma = c (beta-alpha)/beta with
+//     c = cap/D.
+//   - The slowdown fixes x* = (1-s)^(1/alpha); requiring consistency with
+//     x*^beta = (c - sigma)/(1 - sigma) leaves one equation in alpha,
+//     solved by bisection (the residual is negative as alpha -> 0+ and
+//     positive at alpha = beta, with a single crossing).
+func Calibrate(t CalibrationTarget) (Curve, error) {
+	if t.Beta == 0 {
+		t.Beta = 3
+	}
+	if t.XMin == 0 {
+		t.XMin = 0.15
+	}
+	switch {
+	case t.TDP <= 0:
+		return Curve{}, fmt.Errorf("gpu: calibrate: TDP %v must be positive", t.TDP)
+	case t.BestCapFrac <= 0 || t.BestCapFrac >= 1:
+		return Curve{}, fmt.Errorf("gpu: calibrate: best cap fraction %v must be in (0,1)", t.BestCapFrac)
+	case t.Gain <= 0:
+		return Curve{}, fmt.Errorf("gpu: calibrate: gain %v must be positive", t.Gain)
+	case t.Slowdown <= 0 || t.Slowdown >= 1:
+		return Curve{}, fmt.Errorf("gpu: calibrate: slowdown %v must be in (0,1)", t.Slowdown)
+	case t.PeakRate <= 0:
+		return Curve{}, fmt.Errorf("gpu: calibrate: peak rate %v must be positive", t.PeakRate)
+	}
+	cap := float64(t.TDP) * t.BestCapFrac
+	g := 1 + t.Gain
+	s := t.Slowdown
+	draw := g * cap / (1 - s)
+	if draw > float64(t.TDP) {
+		return Curve{}, fmt.Errorf("gpu: calibrate: implied draw %.1f W exceeds TDP %v (gain %.3f and slowdown %.3f are inconsistent)",
+			draw, t.TDP, t.Gain, t.Slowdown)
+	}
+	c := cap / draw // = (1-s)/g, < 1 whenever the cap buys efficiency
+	beta := t.Beta
+	sigmaOf := func(alpha float64) float64 { return c * (beta - alpha) / beta }
+	residual := func(alpha float64) float64 {
+		sigma := sigmaOf(alpha)
+		lhs := math.Pow(1-s, beta/alpha) // x*^beta from the slowdown
+		rhs := (c - sigma) / (1 - sigma) // x*^beta from the cap + optimality
+		return lhs - rhs
+	}
+	lo, hi := 1e-3, beta-1e-9
+	if residual(lo) > 0 || residual(hi) < 0 {
+		return Curve{}, fmt.Errorf("gpu: calibrate: no feasible alpha for target %+v", t)
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if residual(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	alpha := (lo + hi) / 2
+	curve := Curve{
+		PeakRate: t.PeakRate,
+		Draw:     units.Watts(draw),
+		Sigma:    sigmaOf(alpha),
+		Alpha:    alpha,
+		Beta:     beta,
+		XMin:     t.XMin,
+	}
+	if err := curve.Validate(); err != nil {
+		return Curve{}, fmt.Errorf("gpu: calibrate: fitted curve invalid: %w", err)
+	}
+	return curve, nil
+}
+
+// MustCalibrate is Calibrate that panics on error, for the built-in
+// architecture tables whose targets are fixed at compile time.
+func MustCalibrate(t CalibrationTarget) Curve {
+	c, err := Calibrate(t)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

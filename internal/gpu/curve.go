@@ -1,0 +1,147 @@
+// Package gpu models NVIDIA data-centre GPUs under static power capping.
+//
+// The model reproduces the empirical behaviour the paper measures with
+// nvidia-smi power limits: capping forces DVFS throttling, performance
+// degrades sublinearly with the cap, and energy efficiency (flop/s/W)
+// peaks strictly below TDP.  Per (architecture, precision) the model is a
+// three-parameter curve fitted — by the solver in calibrate.go — to the
+// paper's measured optima (Table I/II), so the measured trade-off surface
+// is an emergent property, not a lookup table.
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Curve describes how one kernel class (GEMM-like, per precision) behaves
+// on one architecture as the clock fraction x = f/f_max varies.
+//
+//	perf(x)  = PeakRate * occupancy * x^Alpha
+//	power(x) = Draw * (Sigma + (1-Sigma) * x^Beta)      (active, full occupancy)
+//
+// A power cap C picks the largest feasible x with power(x) <= C.  Below
+// the minimum clock the hardware duty-cycles: performance scales with the
+// remaining power budget while the draw pins to the cap.
+type Curve struct {
+	// PeakRate is the sustained kernel throughput at full clock and full
+	// occupancy (cuBLAS-style sustained rate, not the datasheet peak).
+	PeakRate units.FlopsPerSec
+	// Draw is the power the kernel pulls at full clock, full occupancy,
+	// with no cap.  Always <= TDP.
+	Draw units.Watts
+	// Sigma is the non-clock-scaling share of Draw (leakage, HBM refresh,
+	// VRM and fan overheads while a kernel is resident).
+	Sigma float64
+	// Alpha is the performance-vs-clock exponent.  Values below 1 reflect
+	// memory/latency-bound phases that do not slow down with SM clocks.
+	Alpha float64
+	// Beta is the dynamic-power-vs-clock exponent (f*V^2 with V tracking
+	// f gives the classical cube).
+	Beta float64
+	// XMin is the minimum clock fraction the DVFS table exposes
+	// (e.g. 210 MHz / 1410 MHz on A100).
+	XMin float64
+}
+
+// Validate reports an error for physically meaningless parameters.
+func (c Curve) Validate() error {
+	switch {
+	case c.PeakRate <= 0:
+		return fmt.Errorf("gpu: curve peak rate %v must be positive", c.PeakRate)
+	case c.Draw <= 0:
+		return fmt.Errorf("gpu: curve draw %v must be positive", c.Draw)
+	case c.Sigma <= 0 || c.Sigma >= 1:
+		return fmt.Errorf("gpu: curve sigma %v must be in (0,1)", c.Sigma)
+	case c.Alpha <= 0 || c.Alpha > 3:
+		return fmt.Errorf("gpu: curve alpha %v must be in (0,3]", c.Alpha)
+	case c.Beta < 1 || c.Beta > 4:
+		return fmt.Errorf("gpu: curve beta %v must be in [1,4]", c.Beta)
+	case c.XMin <= 0 || c.XMin >= 1:
+		return fmt.Errorf("gpu: curve xmin %v must be in (0,1)", c.XMin)
+	}
+	return nil
+}
+
+// activePower reports the full-occupancy active power at clock fraction x.
+func (c Curve) activePower(x float64) units.Watts {
+	return units.Watts(float64(c.Draw) * (c.Sigma + (1-c.Sigma)*math.Pow(x, c.Beta)))
+}
+
+// OperatingPoint is the resolved DVFS state for a cap and occupancy.
+type OperatingPoint struct {
+	// X is the clock fraction the device settles at.
+	X float64
+	// Duty is the fraction of cycles not gated away; below 1 only when the
+	// cap is under the minimum-clock power (hardware duty-cycling).
+	Duty float64
+	// Power is the actual draw while the kernel runs.
+	Power units.Watts
+	// Rate is the achieved throughput (occupancy already applied).
+	Rate units.FlopsPerSec
+	// Throttled reports whether the cap forced the clock below maximum.
+	Throttled bool
+}
+
+// Operate resolves the operating point for a power cap and a kernel
+// occupancy in (0,1].  cap <= 0 means "no cap" (limited only by Draw).
+//
+// Occupancy scales both the achievable rate (fewer SMs busy) and the
+// power above the static floor (idle SMs are clock-gated).
+func (c Curve) Operate(cap units.Watts, occupancy float64) OperatingPoint {
+	occ := units.Clamp(occupancy, 1e-6, 1)
+	powerAt := func(x float64) units.Watts {
+		static := float64(c.Draw) * c.Sigma
+		dynamic := float64(c.Draw) * (1 - c.Sigma) * math.Pow(x, c.Beta)
+		return units.Watts(static + dynamic*occ)
+	}
+	rateAt := func(x float64) units.FlopsPerSec {
+		return units.FlopsPerSec(float64(c.PeakRate) * occ * math.Pow(x, c.Alpha))
+	}
+	full := powerAt(1)
+	if cap <= 0 || cap >= full {
+		return OperatingPoint{X: 1, Duty: 1, Power: full, Rate: rateAt(1)}
+	}
+	// Solve powerAt(x) = cap for x.
+	static := float64(c.Draw) * c.Sigma
+	dyn := (float64(cap) - static) / (float64(c.Draw) * (1 - c.Sigma) * occ)
+	if dyn > 0 {
+		x := math.Pow(dyn, 1/c.Beta)
+		if x >= c.XMin {
+			if x > 1 {
+				x = 1
+			}
+			return OperatingPoint{X: x, Duty: 1, Power: powerAt(x), Rate: rateAt(x), Throttled: true}
+		}
+	}
+	// Even the minimum clock exceeds the cap: the power manager
+	// duty-cycles the SMs.  Draw pins to the cap; throughput scales with
+	// the share of the minimum-clock power the cap affords.
+	floor := powerAt(c.XMin)
+	duty := units.Clamp(float64(cap)/float64(floor), 0.02, 1)
+	rate := units.FlopsPerSec(float64(rateAt(c.XMin)) * duty)
+	return OperatingPoint{X: c.XMin, Duty: duty, Power: cap, Rate: rate, Throttled: true}
+}
+
+// Efficiency reports flop/s/W at the operating point for cap and occupancy.
+func (c Curve) Efficiency(cap units.Watts, occupancy float64) float64 {
+	op := c.Operate(cap, occupancy)
+	return units.Efficiency(op.Rate, op.Power)
+}
+
+// BestCap scans caps in [lo, hi] with the given step and reports the cap
+// maximising efficiency at the given occupancy, mirroring the paper's
+// 2 %-of-TDP sweep protocol.
+func (c Curve) BestCap(lo, hi, step units.Watts, occupancy float64) (best units.Watts, eff float64) {
+	if step <= 0 {
+		step = (hi - lo) / 100
+	}
+	for cap := lo; cap <= hi+step/2; cap += step {
+		if e := c.Efficiency(cap, occupancy); e > eff {
+			eff, best = e, cap
+		}
+	}
+	return best, eff
+}

@@ -1,0 +1,88 @@
+package gpu
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/prec"
+	"repro/internal/units"
+)
+
+// Device is one GPU board: an architecture plus mutable power-management
+// state.  It is safe for concurrent use (the NVML facade may be driven
+// from several goroutines).
+type Device struct {
+	arch  *Arch
+	index int
+
+	mu  sync.Mutex
+	cap units.Watts // 0 = uncapped
+}
+
+// NewDevice returns board #index of the given architecture, uncapped.
+func NewDevice(arch *Arch, index int) *Device {
+	return &Device{arch: arch, index: index}
+}
+
+// Arch reports the device's architecture.
+func (d *Device) Arch() *Arch { return d.arch }
+
+// Index reports the board index within its node.
+func (d *Device) Index() int { return d.index }
+
+// Name reports "<arch> #<index>".
+func (d *Device) Name() string { return fmt.Sprintf("%s #%d", d.arch.Name, d.index) }
+
+// SetPowerLimit applies a static power cap.  A zero cap restores the
+// default limit (TDP).  Caps outside the driver window are rejected,
+// matching nvidia-smi behaviour.
+func (d *Device) SetPowerLimit(cap units.Watts) error {
+	if err := d.arch.ValidateCap(cap); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.cap = cap
+	d.mu.Unlock()
+	return nil
+}
+
+// PowerLimit reports the active limit (TDP when uncapped).
+func (d *Device) PowerLimit() units.Watts {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cap == 0 {
+		return d.arch.TDP
+	}
+	return d.cap
+}
+
+// Uncapped reports whether the default limit is active.
+func (d *Device) Uncapped() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cap == 0 || d.cap == d.arch.TDP
+}
+
+// IdlePower reports the draw with no kernel resident.
+func (d *Device) IdlePower() units.Watts { return d.arch.IdlePower }
+
+// Operate resolves the DVFS operating point for a kernel of the given
+// precision and work under the current cap.  efficiencyFactor (in (0,1])
+// derates the GEMM curve for kernels with a lower fraction of peak
+// (TRSM, SYRK, panel factorisations).
+func (d *Device) Operate(p prec.Precision, work units.Flops, efficiencyFactor float64) OperatingPoint {
+	curve := d.arch.Curve(p)
+	occ := d.arch.Occupancy(work)
+	op := curve.Operate(d.PowerLimit(), occ)
+	if efficiencyFactor > 0 && efficiencyFactor < 1 {
+		op.Rate = units.FlopsPerSec(float64(op.Rate) * efficiencyFactor)
+	}
+	return op
+}
+
+// KernelTime reports the duration of one kernel launch (including the
+// fixed launch overhead) at the current operating point.
+func (d *Device) KernelTime(p prec.Precision, work units.Flops, efficiencyFactor float64) (units.Seconds, OperatingPoint) {
+	op := d.Operate(p, work, efficiencyFactor)
+	return d.arch.LaunchOverhead + units.DurationFor(work, op.Rate), op
+}

@@ -1,0 +1,393 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/eventsim"
+	"repro/internal/prec"
+	"repro/internal/units"
+)
+
+// tableI mirrors the paper's Table I: the best-cap fraction and the
+// efficiency saving that the fitted model must reproduce when re-swept.
+var tableI = []struct {
+	arch     string
+	p        prec.Precision
+	bestFrac float64
+	gain     float64
+}{
+	{A100SXM4Name, prec.Single, 0.40, 0.2776},
+	{A100SXM4Name, prec.Double, 0.54, 0.2881},
+	{A100PCIeName, prec.Single, 0.60, 0.2317},
+	{A100PCIeName, prec.Double, 0.78, 0.1092},
+	{V100PCIeName, prec.Single, 0.58, 0.2074},
+	{V100PCIeName, prec.Double, 0.60, 0.1852},
+}
+
+// TestTableIRoundTrip re-runs the paper's sweep protocol (2 % of TDP
+// steps from the minimum cap to TDP) against the fitted curves and
+// checks that Table I's optima emerge.
+func TestTableIRoundTrip(t *testing.T) {
+	for _, row := range tableI {
+		arch, err := Lookup(row.arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curve := arch.Curve(row.p)
+		step := units.Watts(float64(arch.TDP) * 0.02)
+		best, bestEff := curve.BestCap(arch.MinPower, arch.TDP, step, 1)
+		wantCap := float64(arch.TDP) * row.bestFrac
+		if math.Abs(float64(best)-wantCap) > float64(step)*1.01 {
+			t.Errorf("%s %s: best cap = %v, want ~%.0f W", row.arch, row.p, best, wantCap)
+		}
+		base := curve.Efficiency(arch.TDP, 1)
+		gain := bestEff/base - 1
+		if math.Abs(gain-row.gain) > 0.03 {
+			t.Errorf("%s %s: efficiency gain = %.4f, want %.4f", row.arch, row.p, gain, row.gain)
+		}
+	}
+}
+
+// TestQuotedSlowdown checks the one slowdown figure the paper quotes
+// (§II: 22.93 % for DGEMM on A100-SXM4 at the 54 % cap).
+func TestQuotedSlowdown(t *testing.T) {
+	arch := A100SXM4()
+	curve := arch.Curve(prec.Double)
+	capped := curve.Operate(units.Watts(0.54*float64(arch.TDP)), 1)
+	full := curve.Operate(0, 1)
+	slow := 1 - float64(capped.Rate)/float64(full.Rate)
+	if math.Abs(slow-0.2293) > 0.02 {
+		t.Errorf("slowdown at 54%% cap = %.4f, want ~0.2293", slow)
+	}
+}
+
+// TestEfficiencyUnimodal verifies the Fig.-1 shape: efficiency rises,
+// peaks below TDP, then falls, for every architecture and precision.
+func TestEfficiencyUnimodal(t *testing.T) {
+	for _, row := range tableI {
+		arch, _ := Lookup(row.arch)
+		curve := arch.Curve(row.p)
+		var effs []float64
+		for frac := 0.30; frac <= 1.0001; frac += 0.02 {
+			effs = append(effs, curve.Efficiency(units.Watts(frac*float64(arch.TDP)), 1))
+		}
+		// Count direction changes; a unimodal curve has at most one.
+		changes := 0
+		rising := true
+		for i := 1; i < len(effs); i++ {
+			tol := 1e-6 * math.Max(effs[i], effs[i-1])
+			if rising && effs[i] < effs[i-1]-tol {
+				rising = false
+				changes++
+			} else if !rising && effs[i] > effs[i-1]+tol {
+				rising = true
+				changes++
+			}
+		}
+		if changes > 1 {
+			t.Errorf("%s %s: efficiency curve not unimodal (%d direction changes)", row.arch, row.p, changes)
+		}
+		if effs[len(effs)-1] >= effs[0] && row.bestFrac < 0.9 {
+			// efficiency at TDP should be below the capped region
+			peak := 0.0
+			for _, e := range effs {
+				peak = math.Max(peak, e)
+			}
+			if peak <= effs[len(effs)-1]*1.01 {
+				t.Errorf("%s %s: no interior efficiency peak", row.arch, row.p)
+			}
+		}
+	}
+}
+
+func TestOperateRespectsCap(t *testing.T) {
+	f := func(rawCap uint16, rawOcc uint8) bool {
+		arch := A100SXM4()
+		curve := arch.Curve(prec.Double)
+		cap := units.Watts(100 + float64(rawCap%300)) // 100..400 W
+		occ := 0.05 + 0.95*float64(rawOcc)/255
+		op := curve.Operate(cap, occ)
+		// Power never exceeds the cap (tiny tolerance for float noise).
+		if float64(op.Power) > float64(cap)*(1+1e-9) {
+			return false
+		}
+		// Rate and power are positive and finite.
+		return op.Rate > 0 && op.Power > 0 &&
+			!math.IsInf(float64(op.Rate), 0) && !math.IsNaN(float64(op.Rate))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOperateMonotonicInCap(t *testing.T) {
+	arch := A100SXM4()
+	curve := arch.Curve(prec.Double)
+	prevRate := units.FlopsPerSec(0)
+	for cap := 60.0; cap <= 400; cap += 5 {
+		op := curve.Operate(units.Watts(cap), 1)
+		if op.Rate < prevRate-1 {
+			t.Fatalf("rate decreased when cap rose to %v W: %v -> %v", cap, prevRate, op.Rate)
+		}
+		prevRate = op.Rate
+	}
+}
+
+func TestDutyCyclingBelowMinClock(t *testing.T) {
+	arch := A100SXM4()
+	curve := arch.Curve(prec.Double)
+	// At the platform's 100 W L-state, the A100-SXM4 model must duty
+	// cycle (the min-clock DGEMM draw exceeds 100 W), losing most of its
+	// performance — the paper's LLLL configurations show roughly -80 %
+	// application performance.
+	op := curve.Operate(100, 1)
+	if op.Duty >= 1 {
+		t.Fatalf("expected duty cycling at 100 W, got duty=%v", op.Duty)
+	}
+	if op.Power != 100 {
+		t.Errorf("duty-cycled power = %v, want pinned to the 100 W cap", op.Power)
+	}
+	full := curve.Operate(0, 1)
+	lost := 1 - float64(op.Rate)/float64(full.Rate)
+	if lost < 0.6 || lost > 0.95 {
+		t.Errorf("kernel slowdown at 100 W = %.2f, want a deep (0.6-0.95) loss", lost)
+	}
+}
+
+func TestOccupancySaturates(t *testing.T) {
+	arch := A100SXM4()
+	if got := arch.Occupancy(0); got != 0 {
+		t.Errorf("occupancy(0) = %v", got)
+	}
+	small := arch.Occupancy(1e8)
+	large := arch.Occupancy(4e11)
+	if !(small < large && large < 1) {
+		t.Errorf("occupancy not saturating: small=%v large=%v", small, large)
+	}
+	if large < 0.95 {
+		t.Errorf("occupancy at 5760-tile GEMM work = %v, want near 1", large)
+	}
+}
+
+func TestSmallKernelsLessEfficient(t *testing.T) {
+	// Fig. 1: smaller matrices have lower best-case efficiency.
+	arch := A100SXM4()
+	curve := arch.Curve(prec.Double)
+	occSmall := arch.Occupancy(2 * 1024 * 1024 * 1024) // ~1024-tile
+	occLarge := arch.Occupancy(2.7e11)                 // 5120-tile
+	_, effSmall := curve.BestCap(arch.MinPower, arch.TDP, 8, occSmall)
+	_, effLarge := curve.BestCap(arch.MinPower, arch.TDP, 8, occLarge)
+	if effSmall >= effLarge {
+		t.Errorf("small-kernel efficiency %v >= large-kernel %v", effSmall, effLarge)
+	}
+}
+
+func TestCalibrateRejectsBadTargets(t *testing.T) {
+	base := CalibrationTarget{TDP: 400, BestCapFrac: 0.5, Gain: 0.2, Slowdown: 0.2, PeakRate: units.GFlopsPerSec(10000)}
+	bad := []func(*CalibrationTarget){
+		func(t *CalibrationTarget) { t.TDP = 0 },
+		func(t *CalibrationTarget) { t.BestCapFrac = 1.2 },
+		func(t *CalibrationTarget) { t.Gain = -0.1 },
+		func(t *CalibrationTarget) { t.Slowdown = 1.5 },
+		func(t *CalibrationTarget) { t.PeakRate = 0 },
+		// draw = (1+gain)*cap/(1-s) > TDP: cap 0.9*400=360, gain 0.4, s 0.4
+		func(t *CalibrationTarget) { t.BestCapFrac, t.Gain, t.Slowdown = 0.9, 0.4, 0.4 },
+	}
+	for i, mutate := range bad {
+		tt := base
+		mutate(&tt)
+		if _, err := Calibrate(tt); err == nil {
+			t.Errorf("case %d: Calibrate accepted invalid target %+v", i, tt)
+		}
+	}
+	if _, err := Calibrate(base); err != nil {
+		t.Errorf("Calibrate rejected valid target: %v", err)
+	}
+}
+
+func TestCalibrateRoundTripProperty(t *testing.T) {
+	// Property: for random feasible targets, the fitted curve reproduces
+	// the requested optimum location, gain and slowdown.
+	f := func(rBest, rGain, rSlow uint8) bool {
+		bestFrac := 0.4 + 0.4*float64(rBest)/255 // 0.4..0.8
+		slow := 0.08 + 0.25*float64(rSlow)/255   // 0.08..0.33
+		maxGain := (1-slow)/bestFrac - 1         // keep draw <= TDP
+		gain := 0.05 + (maxGain-0.06)*float64(rGain)/255
+		if gain <= 0.05 || gain <= slow/4 {
+			return true // degenerate corner, skip
+		}
+		target := CalibrationTarget{
+			TDP: 400, BestCapFrac: bestFrac, Gain: gain, Slowdown: slow,
+			PeakRate: units.GFlopsPerSec(10000),
+		}
+		curve, err := Calibrate(target)
+		if err != nil {
+			return true // infeasible combination, acceptable
+		}
+		cap := units.Watts(400 * bestFrac)
+		op := curve.Operate(cap, 1)
+		full := curve.Operate(0, 1)
+		gotSlow := 1 - float64(op.Rate)/float64(full.Rate)
+		gotGain := units.Efficiency(op.Rate, op.Power)/units.Efficiency(full.Rate, full.Power) - 1
+		return math.Abs(gotSlow-slow) < 0.02 && math.Abs(gotGain-gain) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDevicePowerLimit(t *testing.T) {
+	d := NewDevice(A100SXM4(), 0)
+	if got := d.PowerLimit(); got != 400 {
+		t.Errorf("default limit = %v, want 400 W", got)
+	}
+	if !d.Uncapped() {
+		t.Error("new device should be uncapped")
+	}
+	if err := d.SetPowerLimit(216); err != nil {
+		t.Fatalf("SetPowerLimit(216): %v", err)
+	}
+	if got := d.PowerLimit(); got != 216 {
+		t.Errorf("limit = %v, want 216 W", got)
+	}
+	if d.Uncapped() {
+		t.Error("capped device reported uncapped")
+	}
+	if err := d.SetPowerLimit(50); err == nil {
+		t.Error("SetPowerLimit below MinPower accepted")
+	}
+	if err := d.SetPowerLimit(500); err == nil {
+		t.Error("SetPowerLimit above TDP accepted")
+	}
+	if err := d.SetPowerLimit(0); err != nil {
+		t.Errorf("reset to default: %v", err)
+	}
+	if !d.Uncapped() {
+		t.Error("reset device should be uncapped")
+	}
+}
+
+func TestKernelTimeIncludesOverhead(t *testing.T) {
+	d := NewDevice(A100SXM4(), 0)
+	dt, op := d.KernelTime(prec.Double, 1e6, 1) // tiny kernel
+	if float64(dt) < float64(d.Arch().LaunchOverhead) {
+		t.Errorf("kernel time %v below launch overhead", dt)
+	}
+	if op.Rate <= 0 {
+		t.Error("operating point has no rate")
+	}
+	big, _ := d.KernelTime(prec.Double, 3.8e11, 1) // 5760-tile dgemm
+	if big <= dt {
+		t.Error("larger kernel not slower")
+	}
+	// 5760-tile dgemm at ~17.8 Tflop/s should take ~21 ms.
+	if float64(big) < 0.015 || float64(big) > 0.05 {
+		t.Errorf("5760-tile dgemm time = %v, want ~0.02 s", big)
+	}
+}
+
+func TestEfficiencyFactorDeratesRate(t *testing.T) {
+	d := NewDevice(V100PCIe(), 0)
+	full := d.Operate(prec.Double, 1e10, 1)
+	derated := d.Operate(prec.Double, 1e10, 0.5)
+	if math.Abs(float64(derated.Rate)/float64(full.Rate)-0.5) > 1e-9 {
+		t.Errorf("efficiency factor not applied: %v vs %v", derated.Rate, full.Rate)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("H100"); err == nil {
+		t.Error("Lookup of unknown architecture succeeded")
+	}
+	for _, name := range []string{V100PCIeName, A100PCIeName, A100SXM4Name} {
+		a, err := Lookup(name)
+		if err != nil || a.Name != name {
+			t.Errorf("Lookup(%q) = %v, %v", name, a, err)
+		}
+	}
+}
+
+func TestCurveValidate(t *testing.T) {
+	good := Curve{PeakRate: 1e12, Draw: 300, Sigma: 0.5, Alpha: 0.5, Beta: 3, XMin: 0.15}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid curve rejected: %v", err)
+	}
+	bad := []Curve{
+		{PeakRate: 0, Draw: 300, Sigma: 0.5, Alpha: 0.5, Beta: 3, XMin: 0.15},
+		{PeakRate: 1, Draw: 0, Sigma: 0.5, Alpha: 0.5, Beta: 3, XMin: 0.15},
+		{PeakRate: 1, Draw: 300, Sigma: 1.5, Alpha: 0.5, Beta: 3, XMin: 0.15},
+		{PeakRate: 1, Draw: 300, Sigma: 0.5, Alpha: 0, Beta: 3, XMin: 0.15},
+		{PeakRate: 1, Draw: 300, Sigma: 0.5, Alpha: 0.5, Beta: 9, XMin: 0.15},
+		{PeakRate: 1, Draw: 300, Sigma: 0.5, Alpha: 0.5, Beta: 3, XMin: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid curve accepted", i)
+		}
+	}
+}
+
+func TestThermalStepResponse(t *testing.T) {
+	th := Thermal{AmbientC: 30, RthCPerW: 0.1, TauS: 10, SlowdownC: 85}
+	// Constant 300 W from t=0: closed form T(t) = ss + (amb-ss)e^{-t/tau}.
+	trace := []eventsim.PowerSample{{T: 0, Power: 300}}
+	ss := th.SteadyStateC(300)
+	if ss != 60 {
+		t.Fatalf("steady state = %v, want 60", ss)
+	}
+	for _, tt := range []float64{0, 5, 10, 30, 100} {
+		got := th.TemperatureAt(trace, units.Seconds(tt))
+		want := ss + (30-ss)*math.Exp(-tt/10)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("T(%v) = %v, want %v", tt, got, want)
+		}
+	}
+	// Long-run temperature approaches steady state.
+	if got := th.TemperatureAt(trace, 1000); math.Abs(got-ss) > 1e-6 {
+		t.Errorf("T(inf) = %v, want %v", got, ss)
+	}
+}
+
+func TestThermalStepDown(t *testing.T) {
+	th := Thermal{AmbientC: 30, RthCPerW: 0.1, TauS: 5}
+	trace := []eventsim.PowerSample{{T: 0, Power: 400}, {T: 100, Power: 0}}
+	hot := th.TemperatureAt(trace, 100)
+	if math.Abs(hot-70) > 1e-3 {
+		t.Fatalf("temp before step-down = %v, want ~70", hot)
+	}
+	cooled := th.TemperatureAt(trace, 130)
+	if !(cooled < 35 && cooled > 30) {
+		t.Errorf("temp after cooling = %v, want near ambient", cooled)
+	}
+}
+
+func TestThermalCappingRunsCooler(t *testing.T) {
+	arch := A100SXM4()
+	curve := arch.Curve(prec.Double)
+	full := curve.Operate(0, 1)
+	capped := curve.Operate(216, 1)
+	hot := arch.Thermal.SteadyStateC(full.Power)
+	cool := arch.Thermal.SteadyStateC(capped.Power)
+	if cool >= hot {
+		t.Errorf("capped steady-state %v not cooler than uncapped %v", cool, hot)
+	}
+	if hot > arch.Thermal.SlowdownC+5 {
+		t.Errorf("uncapped steady state %v far above the throttle point — implausible constants", hot)
+	}
+}
+
+func TestThermalTraceSampling(t *testing.T) {
+	th := Thermal{AmbientC: 30, RthCPerW: 0.1, TauS: 10}
+	trace := []eventsim.PowerSample{{T: 0, Power: 200}}
+	pts := th.TemperatureTrace(trace, 10, 1)
+	if len(pts) != 11 {
+		t.Fatalf("got %d samples", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TempC <= pts[i-1].TempC {
+			t.Fatalf("warm-up not monotone at %d", i)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package gpu
+
+import (
+	"math"
+
+	"repro/internal/eventsim"
+	"repro/internal/units"
+)
+
+// Thermal is a first-order (RC) package thermal model:
+//
+//	dT/dt = (T_ss(P) - T) / Tau,   T_ss(P) = Ambient + RthCPerW * P
+//
+// Power capping lowers the steady-state temperature linearly with the
+// draw — the effect the power/frequency-capping literature the paper
+// cites (Patki et al.) measures on real boards.
+type Thermal struct {
+	// AmbientC is the inlet temperature.
+	AmbientC float64
+	// RthCPerW is the junction-to-ambient thermal resistance.
+	RthCPerW float64
+	// TauS is the package thermal time constant in seconds.
+	TauS float64
+	// SlowdownC is the hardware thermal-throttle threshold
+	// (informational; the power model already caps draw).
+	SlowdownC float64
+}
+
+// SteadyStateC reports the equilibrium temperature at constant power.
+func (th Thermal) SteadyStateC(p units.Watts) float64 {
+	return th.AmbientC + th.RthCPerW*float64(p)
+}
+
+// TemperatureAt integrates the RC model over a recorded power trace
+// and reports the temperature at time t.  The trace is piecewise
+// constant, so each segment is an exact exponential step.  Before the
+// first sample the device sits at ambient.
+func (th Thermal) TemperatureAt(trace []eventsim.PowerSample, t units.Seconds) float64 {
+	temp := th.AmbientC
+	if th.TauS <= 0 {
+		if len(trace) == 0 {
+			return temp
+		}
+		// Instant model: steady state of the last sample before t.
+		for _, s := range trace {
+			if s.T > t {
+				break
+			}
+			temp = th.SteadyStateC(s.Power)
+		}
+		return temp
+	}
+	prevT := units.Seconds(0)
+	prevP := units.Watts(0)
+	first := true
+	step := func(until units.Seconds) {
+		dt := float64(until - prevT)
+		if dt <= 0 {
+			return
+		}
+		ss := th.SteadyStateC(prevP)
+		temp = ss + (temp-ss)*math.Exp(-dt/th.TauS)
+	}
+	for _, s := range trace {
+		if s.T >= t {
+			break
+		}
+		if first {
+			prevT = s.T
+			prevP = s.Power
+			first = false
+			continue
+		}
+		step(s.T)
+		prevT, prevP = s.T, s.Power
+	}
+	if !first {
+		step(t)
+	}
+	return temp
+}
+
+// TempSample is one point of a temperature timeline.
+type TempSample struct {
+	T     units.Seconds
+	TempC float64
+}
+
+// TemperatureTrace samples the RC model at a fixed period over [0, end].
+func (th Thermal) TemperatureTrace(trace []eventsim.PowerSample, end, period units.Seconds) []TempSample {
+	if period <= 0 {
+		period = end / 100
+	}
+	var out []TempSample
+	for t := units.Seconds(0); t <= end+period/2; t += period {
+		out = append(out, TempSample{T: t, TempC: th.TemperatureAt(trace, t)})
+	}
+	return out
+}
+
+// defaultThermals gives plausible board-level constants per form factor
+// (SXM sinks are beefier than PCIe blowers).
+func thermalFor(tdp units.Watts) Thermal {
+	switch {
+	case tdp >= 400: // SXM4
+		return Thermal{AmbientC: 30, RthCPerW: 0.135, TauS: 9, SlowdownC: 85}
+	default: // PCIe
+		return Thermal{AmbientC: 32, RthCPerW: 0.20, TauS: 12, SlowdownC: 85}
+	}
+}

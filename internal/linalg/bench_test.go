@@ -1,0 +1,62 @@
+package linalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchGemm(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(1))
+	x := NewRandom[float64](n, n, rng)
+	y := NewRandom[float64](n, n, rng)
+	z := NewMat[float64](n, n)
+	b.SetBytes(int64(3 * n * n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(NoTrans, NoTrans, 1, x, y, 0, z)
+	}
+	b.ReportMetric(GemmFlops(n, n, n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+}
+
+// BenchmarkDgemm measures the real Go tile kernel at several orders.
+func BenchmarkDgemm(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchGemm(b, n) })
+	}
+}
+
+// BenchmarkDpotrf measures the unblocked Cholesky panel kernel.
+func BenchmarkDpotrf(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			spd := NewSPD[float64](n, rng)
+			work := make([]*Mat[float64], b.N)
+			for i := range work {
+				work[i] = spd.Clone()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := PotrfLower(work[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDtrsm measures the triangular-solve tile kernel.
+func BenchmarkDtrsm(b *testing.B) {
+	const n = 128
+	rng := rand.New(rand.NewSource(3))
+	l := NewSPD[float64](n, rng)
+	if err := PotrfLower(l); err != nil {
+		b.Fatal(err)
+	}
+	rhs := NewRandom[float64](n, n, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrsmRightLowerTransNonUnit(1, l, rhs)
+	}
+}

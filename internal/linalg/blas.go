@@ -1,0 +1,186 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transpose selects op(X) = X or Xᵀ in GEMM.
+type Transpose bool
+
+// Transpose values.
+const (
+	NoTrans Transpose = false
+	Trans   Transpose = true
+)
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C.
+//
+// The inner loops are ordered i-k-j over row-major storage so the B and
+// C rows stream sequentially — the classical cache-friendly ordering for
+// a pure-Go kernel.
+func Gemm[T Float](transA, transB Transpose, alpha T, a, b *Mat[T], beta T, c *Mat[T]) {
+	am, ak := a.Rows, a.Cols
+	if transA == Trans {
+		am, ak = ak, am
+	}
+	bk, bn := b.Rows, b.Cols
+	if transB == Trans {
+		bk, bn = bn, bk
+	}
+	if am != c.Rows || bn != c.Cols || ak != bk {
+		panic(fmt.Sprintf("linalg: gemm shape mismatch: op(A)=%dx%d op(B)=%dx%d C=%dx%d",
+			am, ak, bk, bn, c.Rows, c.Cols))
+	}
+	if beta != 1 {
+		for i := 0; i < c.Rows; i++ {
+			row := c.Row(i)
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	switch {
+	case transA == NoTrans && transB == NoTrans:
+		for i := 0; i < am; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for k := 0; k < ak; k++ {
+				v := alpha * arow[k]
+				if v == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j := range crow {
+					crow[j] += v * brow[j]
+				}
+			}
+		}
+	case transA == NoTrans && transB == Trans:
+		for i := 0; i < am; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for j := 0; j < bn; j++ {
+				brow := b.Row(j)
+				var s T
+				for k := 0; k < ak; k++ {
+					s += arow[k] * brow[k]
+				}
+				crow[j] += alpha * s
+			}
+		}
+	case transA == Trans && transB == NoTrans:
+		for k := 0; k < ak; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := 0; i < am; i++ {
+				v := alpha * arow[i]
+				if v == 0 {
+					continue
+				}
+				crow := c.Row(i)
+				for j := range crow {
+					crow[j] += v * brow[j]
+				}
+			}
+		}
+	default: // Trans, Trans
+		for i := 0; i < am; i++ {
+			crow := c.Row(i)
+			for j := 0; j < bn; j++ {
+				var s T
+				for k := 0; k < ak; k++ {
+					s += a.At(k, i) * b.At(j, k)
+				}
+				crow[j] += alpha * s
+			}
+		}
+	}
+}
+
+// SyrkLowerNT computes the lower triangle of C = alpha*A*Aᵀ + beta*C,
+// the SYRK variant the tile Cholesky uses (C symmetric, only the lower
+// part stored/updated).
+func SyrkLowerNT[T Float](alpha T, a *Mat[T], beta T, c *Mat[T]) {
+	if c.Rows != c.Cols || a.Rows != c.Rows {
+		panic(fmt.Sprintf("linalg: syrk shape mismatch: A=%dx%d C=%dx%d", a.Rows, a.Cols, c.Rows, c.Cols))
+	}
+	for i := 0; i < c.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j <= i; j++ {
+			brow := a.Row(j)
+			var s T
+			for k := 0; k < a.Cols; k++ {
+				s += arow[k] * brow[k]
+			}
+			crow[j] = beta*crow[j] + alpha*s
+		}
+	}
+}
+
+// TrsmRightLowerTransNonUnit solves X * op(L)ᵀ = alpha*B in place over B
+// for a lower-triangular L — the tile-Cholesky panel update
+// B := B * L⁻ᵀ.
+func TrsmRightLowerTransNonUnit[T Float](alpha T, l, b *Mat[T]) {
+	if l.Rows != l.Cols || b.Cols != l.Rows {
+		panic(fmt.Sprintf("linalg: trsm shape mismatch: L=%dx%d B=%dx%d", l.Rows, l.Cols, b.Rows, b.Cols))
+	}
+	n := l.Rows
+	for i := 0; i < b.Rows; i++ {
+		row := b.Row(i)
+		if alpha != 1 {
+			for j := range row {
+				row[j] *= alpha
+			}
+		}
+		// Solve x * Lᵀ = row, i.e. L * xᵀ = rowᵀ: forward substitution.
+		for j := 0; j < n; j++ {
+			s := row[j]
+			lrow := l.Row(j)
+			for k := 0; k < j; k++ {
+				s -= lrow[k] * row[k]
+			}
+			row[j] = s / lrow[j]
+		}
+	}
+}
+
+// PotrfLower factors A = L*Lᵀ in place (lower triangle), returning an
+// error if A is not positive definite.  The strictly upper triangle is
+// left untouched, matching LAPACK dpotrf('L').
+func PotrfLower[T Float](a *Mat[T]) error {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("linalg: potrf on non-square %dx%d", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	for j := 0; j < n; j++ {
+		jrow := a.Row(j)
+		var d float64
+		for k := 0; k < j; k++ {
+			d += float64(jrow[k]) * float64(jrow[k])
+		}
+		diag := float64(jrow[j]) - d
+		if diag <= 0 {
+			return fmt.Errorf("linalg: potrf: leading minor %d not positive definite", j+1)
+		}
+		ljj := sqrtT[T](diag)
+		jrow[j] = ljj
+		for i := j + 1; i < n; i++ {
+			irow := a.Row(i)
+			var s T
+			for k := 0; k < j; k++ {
+				s += irow[k] * jrow[k]
+			}
+			irow[j] = (irow[j] - s) / ljj
+		}
+	}
+	return nil
+}
+
+func sqrtT[T Float](v float64) T {
+	return T(math.Sqrt(v))
+}

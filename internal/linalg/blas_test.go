@@ -1,0 +1,261 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveGemm is the reference triple loop.
+func naiveGemm(transA, transB Transpose, alpha float64, a, b *Mat[float64], beta float64, c *Mat[float64]) *Mat[float64] {
+	out := c.Clone()
+	am, ak := a.Rows, a.Cols
+	if transA == Trans {
+		am, ak = ak, am
+	}
+	_, bn := b.Rows, b.Cols
+	if transB == Trans {
+		bn = b.Rows
+	}
+	get := func(m *Mat[float64], tr Transpose, i, j int) float64 {
+		if tr == Trans {
+			return m.At(j, i)
+		}
+		return m.At(i, j)
+	}
+	for i := 0; i < am; i++ {
+		for j := 0; j < bn; j++ {
+			var s float64
+			for k := 0; k < ak; k++ {
+				s += get(a, transA, i, k) * get(b, transB, k, j)
+			}
+			out.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+	}
+	return out
+}
+
+func TestGemmAllTransposeCombos(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, n, k := 7, 5, 6
+	for _, ta := range []Transpose{NoTrans, Trans} {
+		for _, tb := range []Transpose{NoTrans, Trans} {
+			a := NewRandom[float64](m, k, rng)
+			if ta == Trans {
+				a = NewRandom[float64](k, m, rng)
+			}
+			b := NewRandom[float64](k, n, rng)
+			if tb == Trans {
+				b = NewRandom[float64](n, k, rng)
+			}
+			c := NewRandom[float64](m, n, rng)
+			want := naiveGemm(ta, tb, 1.5, a, b, -0.5, c)
+			Gemm(ta, tb, 1.5, a, b, -0.5, c)
+			if !Equalish(c, want, 1e-10) {
+				t.Errorf("Gemm(%v,%v) mismatch: max diff %g", ta, tb, MaxAbsDiff(c, want))
+			}
+		}
+	}
+}
+
+func TestGemmProperty(t *testing.T) {
+	// Property: for random small shapes, Gemm matches the naive loop.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(8) + 1
+		n := rng.Intn(8) + 1
+		k := rng.Intn(8) + 1
+		a := NewRandom[float64](m, k, rng)
+		b := NewRandom[float64](k, n, rng)
+		c := NewRandom[float64](m, n, rng)
+		alpha := rng.Float64()*4 - 2
+		beta := rng.Float64()*4 - 2
+		want := naiveGemm(NoTrans, NoTrans, alpha, a, b, beta, c)
+		Gemm(NoTrans, NoTrans, alpha, a, b, beta, c)
+		return Equalish(c, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGemmAlphaZeroBeta(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewRandom[float64](3, 3, rng)
+	b := NewRandom[float64](3, 3, rng)
+	c := NewRandom[float64](3, 3, rng)
+	orig := c.Clone()
+	Gemm(NoTrans, NoTrans, 0, a, b, 2, c)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(c.At(i, j)-2*orig.At(i, j)) > 1e-12 {
+				t.Fatalf("alpha=0 path wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGemmShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	Gemm(NoTrans, NoTrans, 1.0, NewMat[float64](2, 3), NewMat[float64](4, 2), 0, NewMat[float64](2, 2))
+}
+
+func TestSyrkMatchesGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, k := 6, 4
+	a := NewRandom[float64](n, k, rng)
+	c := NewSPD[float64](n, rng)
+	want := c.Clone()
+	Gemm(NoTrans, Trans, -1, a, a, 1, want) // full update
+	got := c.Clone()
+	SyrkLowerNT(-1, a, 1, got)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Abs(got.At(i, j)-want.At(i, j)) > 1e-10 {
+				t.Fatalf("syrk lower (%d,%d): got %g want %g", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+		for j := i + 1; j < n; j++ {
+			if got.At(i, j) != c.At(i, j) {
+				t.Fatalf("syrk touched upper triangle at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTrsmSolvesSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, m := 5, 7
+	spd := NewSPD[float64](n, rng)
+	l := spd.Clone()
+	if err := PotrfLower(l); err != nil {
+		t.Fatal(err)
+	}
+	x := NewRandom[float64](m, n, rng)
+	b := NewMat[float64](m, n)
+	// b = x * Lᵀ: b_ij = sum_k x_ik * (Lᵀ)_kj = sum_{k<=j} x_ik * L_jk.
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += x.At(i, k) * l.At(j, k)
+			}
+			b.Set(i, j, s)
+		}
+	}
+	TrsmRightLowerTransNonUnit(1, l, b)
+	if !Equalish(b, x, 1e-8) {
+		t.Errorf("trsm residual: max diff %g", MaxAbsDiff(b, x))
+	}
+}
+
+func TestPotrfLowerFactorises(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		a := NewSPD[float64](n, rng)
+		l := a.Clone()
+		if err := PotrfLower(l); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if r := CholeskyResidual(a, l); r > 1e-12 {
+			t.Errorf("n=%d: residual %g too large", n, r)
+		}
+	}
+}
+
+func TestPotrfRejectsIndefinite(t *testing.T) {
+	a := NewMat[float64](2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -4) // not positive definite
+	if err := PotrfLower(a); err == nil {
+		t.Error("PotrfLower accepted an indefinite matrix")
+	}
+}
+
+func TestPotrfProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 1
+		a := NewSPD[float64](n, rng)
+		l := a.Clone()
+		if err := PotrfLower(l); err != nil {
+			return false
+		}
+		return CholeskyResidual(a, l) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat32Kernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 12
+	a := NewSPD[float32](n, rng)
+	l := a.Clone()
+	if err := PotrfLower(l); err != nil {
+		t.Fatal(err)
+	}
+	if r := CholeskyResidual(a, l); r > 1e-5 {
+		t.Errorf("float32 residual %g too large", r)
+	}
+	x := NewRandom[float32](4, 5, rng)
+	y := NewRandom[float32](5, 3, rng)
+	z := NewMat[float32](4, 3)
+	Gemm(NoTrans, NoTrans, 1, x, y, 0, z)
+	// spot check one element
+	var s float32
+	for k := 0; k < 5; k++ {
+		s += x.At(2, k) * y.At(k, 1)
+	}
+	if math.Abs(float64(z.At(2, 1)-s)) > 1e-5 {
+		t.Errorf("float32 gemm element mismatch")
+	}
+}
+
+func TestSubViewsShareStorage(t *testing.T) {
+	m := NewMat[float64](6, 6)
+	v := m.Sub(2, 2, 2, 2)
+	v.Set(0, 0, 42)
+	if m.At(2, 2) != 42 {
+		t.Error("Sub does not alias parent storage")
+	}
+	if v.At(0, 0) != 42 {
+		t.Error("Sub read wrong element")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Sub did not panic")
+		}
+	}()
+	m.Sub(5, 5, 3, 3)
+}
+
+func TestFlopFormulas(t *testing.T) {
+	if GemmFlops(2, 3, 4) != 48 {
+		t.Error("GemmFlops")
+	}
+	if PotrfFlops(3) != 9 {
+		t.Error("PotrfFlops")
+	}
+	if TrsmFlops(2, 3) != 18 {
+		t.Error("TrsmFlops")
+	}
+	if SyrkFlops(2, 5) != 20 {
+		t.Error("SyrkFlops")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m := NewMat[float64](2, 2)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, 4)
+	if got := FrobNorm(m); math.Abs(got-5) > 1e-12 {
+		t.Errorf("FrobNorm = %v, want 5", got)
+	}
+}

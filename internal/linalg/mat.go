@@ -1,0 +1,124 @@
+// Package linalg provides real dense linear-algebra kernels — GEMM,
+// SYRK, TRSM and unblocked Cholesky — over float32 and float64, plus
+// matrix generators and norms.  These are the tile kernels the Chameleon
+// layer composes into task DAGs; they execute genuinely (not simulated),
+// which lets the test suite validate the runtime's dependency inference
+// against numerical ground truth.
+package linalg
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Float constrains the supported element types.
+type Float interface {
+	~float32 | ~float64
+}
+
+// Mat is a dense row-major matrix view.
+type Mat[T Float] struct {
+	// Rows and Cols are the view's dimensions.
+	Rows, Cols int
+	// Stride is the row stride of the backing slice (>= Cols).
+	Stride int
+	// Data is the backing storage; element (i,j) is Data[i*Stride+j].
+	Data []T
+}
+
+// NewMat allocates a zeroed Rows x Cols matrix.
+func NewMat[T Float](rows, cols int) *Mat[T] {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimensions %dx%d", rows, cols))
+	}
+	return &Mat[T]{Rows: rows, Cols: cols, Stride: cols, Data: make([]T, rows*cols)}
+}
+
+// At reads element (i, j).
+func (m *Mat[T]) At(i, j int) T { return m.Data[i*m.Stride+j] }
+
+// Set writes element (i, j).
+func (m *Mat[T]) Set(i, j int, v T) { m.Data[i*m.Stride+j] = v }
+
+// Row returns row i as a slice (aliasing the backing storage).
+func (m *Mat[T]) Row(i int) []T { return m.Data[i*m.Stride : i*m.Stride+m.Cols] }
+
+// Clone deep-copies the view into a freshly allocated matrix.
+func (m *Mat[T]) Clone() *Mat[T] {
+	out := NewMat[T](m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i))
+	}
+	return out
+}
+
+// Sub returns a view of the rows0..rows0+rows, cols0..cols0+cols block,
+// sharing storage with m.
+func (m *Mat[T]) Sub(row0, col0, rows, cols int) *Mat[T] {
+	if row0 < 0 || col0 < 0 || row0+rows > m.Rows || col0+cols > m.Cols {
+		panic(fmt.Sprintf("linalg: Sub(%d,%d,%d,%d) outside %dx%d", row0, col0, rows, cols, m.Rows, m.Cols))
+	}
+	return &Mat[T]{
+		Rows:   rows,
+		Cols:   cols,
+		Stride: m.Stride,
+		Data:   m.Data[row0*m.Stride+col0:],
+	}
+}
+
+// Equalish reports whether a and b agree elementwise within tol.
+func Equalish[T Float](a, b *Mat[T], tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			d := float64(ra[j]) - float64(rb[j])
+			if d < 0 {
+				d = -d
+			}
+			if d > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FillRandom fills m with uniform values in [-1, 1).
+func FillRandom[T Float](m *Mat[T], rng *rand.Rand) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = T(2*rng.Float64() - 1)
+		}
+	}
+}
+
+// NewRandom allocates a random Rows x Cols matrix.
+func NewRandom[T Float](rows, cols int, rng *rand.Rand) *Mat[T] {
+	m := NewMat[T](rows, cols)
+	FillRandom(m, rng)
+	return m
+}
+
+// NewSPD builds a symmetric positive-definite n x n matrix:
+// A = B*Bᵀ + n*I, the standard recipe for Cholesky test problems.
+func NewSPD[T Float](n int, rng *rand.Rand) *Mat[T] {
+	b := NewRandom[T](n, n, rng)
+	a := NewMat[T](n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += float64(b.At(i, k)) * float64(b.At(j, k))
+			}
+			v := T(s)
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+		a.Set(i, i, a.At(i, i)+T(n))
+	}
+	return a
+}

@@ -1,0 +1,77 @@
+package linalg
+
+import "math"
+
+// FrobNorm reports the Frobenius norm of m.
+func FrobNorm[T Float](m *Mat[T]) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for _, v := range row {
+			f := float64(v)
+			s += f * f
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff reports max |a_ij - b_ij|.
+func MaxAbsDiff[T Float](a, b *Mat[T]) float64 {
+	var worst float64
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			d := math.Abs(float64(ra[j]) - float64(rb[j]))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// CholeskyResidual reports ||A - L*Lᵀ||_F / ||A||_F for a lower-
+// triangular factor L of the original SPD matrix A (the strictly upper
+// triangle of l is ignored).
+func CholeskyResidual[T Float](a, l *Mat[T]) float64 {
+	n := a.Rows
+	recon := NewMat[T](n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			for k := 0; k <= kmax; k++ {
+				s += float64(l.At(i, k)) * float64(l.At(j, k))
+			}
+			recon.Set(i, j, T(s))
+		}
+	}
+	num := 0.0
+	for i := 0; i < n; i++ {
+		ra, rr := a.Row(i), recon.Row(i)
+		for j := range ra {
+			d := float64(ra[j]) - float64(rr[j])
+			num += d * d
+		}
+	}
+	den := FrobNorm(a)
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num) / den
+}
+
+// GemmFlops reports the flop count of an m x n x k GEMM (2mnk).
+func GemmFlops(m, n, k int) float64 { return 2 * float64(m) * float64(n) * float64(k) }
+
+// PotrfFlops reports the flop count of an n x n Cholesky (n^3/3).
+func PotrfFlops(n int) float64 { f := float64(n); return f * f * f / 3 }
+
+// TrsmFlops reports the flop count of an m x n triangular solve (m*n^2).
+func TrsmFlops(m, n int) float64 { return float64(m) * float64(n) * float64(n) }
+
+// SyrkFlops reports the flop count of an n x k SYRK (n^2*k).
+func SyrkFlops(n, k int) float64 { return float64(n) * float64(n) * float64(k) }

@@ -1,0 +1,183 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Householder QR tile kernels (unblocked, LAPACK geqr2 conventions),
+// the building blocks of the tile QR factorisation: GEQRT factors one
+// tile, TSQRT factors a triangle-on-top-of-square pair, and ORM2R/TSMQR
+// apply the resulting reflectors to trailing tiles.
+
+// larfg computes a Householder reflector for (alpha, x): on return x
+// holds v (v0 = 1 implied), and beta is the resulting leading entry.
+func larfg[T Float](alpha T, x []T) (beta, tau T) {
+	var xnorm float64
+	for _, v := range x {
+		xnorm += float64(v) * float64(v)
+	}
+	if xnorm == 0 {
+		return alpha, 0
+	}
+	a := float64(alpha)
+	b := -math.Copysign(math.Sqrt(a*a+xnorm), a)
+	t := (b - a) / b
+	scale := 1 / (a - b)
+	for i := range x {
+		x[i] = T(float64(x[i]) * scale)
+	}
+	return T(b), T(t)
+}
+
+// Geqr2 computes the unblocked QR factorisation of an m x n tile
+// (m >= n): on exit the upper triangle holds R, the strict lower
+// triangle holds the Householder vectors (unit diagonal implied) and
+// tau (length n) their scalar factors.
+func Geqr2[T Float](a *Mat[T], tau []T) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("linalg: geqr2 needs m >= n, got %dx%d", m, n))
+	}
+	if len(tau) < n {
+		panic("linalg: geqr2 tau too short")
+	}
+	col := make([]T, m)
+	for j := 0; j < n; j++ {
+		for i := j + 1; i < m; i++ {
+			col[i] = a.At(i, j)
+		}
+		beta, t := larfg(a.At(j, j), col[j+1:m])
+		tau[j] = t
+		a.Set(j, j, beta)
+		for i := j + 1; i < m; i++ {
+			a.Set(i, j, col[i])
+		}
+		if t == 0 {
+			continue
+		}
+		// Apply H_j to the trailing columns.
+		for c := j + 1; c < n; c++ {
+			w := a.At(j, c)
+			for i := j + 1; i < m; i++ {
+				w += col[i] * a.At(i, c)
+			}
+			w *= t
+			a.Set(j, c, a.At(j, c)-w)
+			for i := j + 1; i < m; i++ {
+				a.Set(i, c, a.At(i, c)-w*col[i])
+			}
+		}
+	}
+}
+
+// Orm2rLeftTrans applies Qᵀ (from Geqr2 factors held in a, tau) to C in
+// place: C := Qᵀ C, with Q = H_0 H_1 ... H_{n-1}.
+func Orm2rLeftTrans[T Float](a *Mat[T], tau []T, c *Mat[T]) {
+	if c.Rows != a.Rows {
+		panic(fmt.Sprintf("linalg: orm2r C rows %d != A rows %d", c.Rows, a.Rows))
+	}
+	m, n := a.Rows, a.Cols
+	for j := 0; j < n; j++ {
+		t := tau[j]
+		if t == 0 {
+			continue
+		}
+		for col := 0; col < c.Cols; col++ {
+			w := c.At(j, col)
+			for i := j + 1; i < m; i++ {
+				w += a.At(i, j) * c.At(i, col)
+			}
+			w *= t
+			c.Set(j, col, c.At(j, col)-w)
+			for i := j + 1; i < m; i++ {
+				c.Set(i, col, c.At(i, col)-w*a.At(i, j))
+			}
+		}
+	}
+}
+
+// Tsqrt factors the stacked pair [R; B] where R (nb x nb) is already
+// upper triangular and B is m x nb: on exit R holds the updated upper
+// factor, B holds the Householder vectors and tau their factors.  The
+// structured reflectors touch only row j of R and all of B.
+func Tsqrt[T Float](r, b *Mat[T], tau []T) {
+	if r.Rows != r.Cols || b.Cols != r.Cols {
+		panic(fmt.Sprintf("linalg: tsqrt shapes R=%dx%d B=%dx%d", r.Rows, r.Cols, b.Rows, b.Cols))
+	}
+	nb, m := r.Cols, b.Rows
+	if len(tau) < nb {
+		panic("linalg: tsqrt tau too short")
+	}
+	col := make([]T, m)
+	for j := 0; j < nb; j++ {
+		for i := 0; i < m; i++ {
+			col[i] = b.At(i, j)
+		}
+		beta, t := larfg(r.At(j, j), col)
+		tau[j] = t
+		r.Set(j, j, beta)
+		for i := 0; i < m; i++ {
+			b.Set(i, j, col[i])
+		}
+		if t == 0 {
+			continue
+		}
+		for c := j + 1; c < nb; c++ {
+			w := r.At(j, c)
+			for i := 0; i < m; i++ {
+				w += col[i] * b.At(i, c)
+			}
+			w *= t
+			r.Set(j, c, r.At(j, c)-w)
+			for i := 0; i < m; i++ {
+				b.Set(i, c, b.At(i, c)-w*col[i])
+			}
+		}
+	}
+}
+
+// Tsmqr applies the Tsqrt reflectors (vectors in v, factors in tau) to
+// the stacked pair [ctop; cbot] in place: [ctop; cbot] := Qᵀ [ctop; cbot].
+func Tsmqr[T Float](v *Mat[T], tau []T, ctop, cbot *Mat[T]) {
+	if cbot.Rows != v.Rows || ctop.Cols != cbot.Cols || ctop.Rows < v.Cols {
+		panic(fmt.Sprintf("linalg: tsmqr shapes V=%dx%d Ctop=%dx%d Cbot=%dx%d",
+			v.Rows, v.Cols, ctop.Rows, ctop.Cols, cbot.Rows, cbot.Cols))
+	}
+	nb := v.Cols
+	m := v.Rows
+	for j := 0; j < nb; j++ {
+		t := tau[j]
+		if t == 0 {
+			continue
+		}
+		for c := 0; c < ctop.Cols; c++ {
+			w := ctop.At(j, c)
+			for i := 0; i < m; i++ {
+				w += v.At(i, j) * cbot.At(i, c)
+			}
+			w *= t
+			ctop.Set(j, c, ctop.At(j, c)-w)
+			for i := 0; i < m; i++ {
+				cbot.Set(i, c, cbot.At(i, c)-w*v.At(i, j))
+			}
+		}
+	}
+}
+
+// QR flop counts (square nb tiles, LAPACK conventions).
+
+// GeqrtFlops reports ~(4/3)nb^3 for the panel factorisation.
+func GeqrtFlops(nb int) float64 { f := float64(nb); return 4 * f * f * f / 3 }
+
+// UnmqrFlops reports ~2nb^3 for applying a tile's Q to one tile.
+func UnmqrFlops(nb int) float64 { f := float64(nb); return 2 * f * f * f }
+
+// TsqrtFlops reports ~2nb^3 for the triangle-on-square factorisation.
+func TsqrtFlops(nb int) float64 { f := float64(nb); return 2 * f * f * f }
+
+// TsmqrFlops reports ~4nb^3 for applying a TS reflector to a tile pair.
+func TsmqrFlops(nb int) float64 { f := float64(nb); return 4 * f * f * f }
+
+// GeqrfFlops reports the total QR work for an n x n matrix (4n^3/3).
+func GeqrfFlops(n int) float64 { f := float64(n); return 4 * f * f * f / 3 }

@@ -1,0 +1,175 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// orthonormality error ||QᵀQ - I||_max for the thin Q implied by
+// (a, tau) from Geqr2, computed by applying Q to the identity.
+func qOrthoError(a *Mat[float64], tau []float64) float64 {
+	m := a.Rows
+	q := NewMat[float64](m, m)
+	for i := 0; i < m; i++ {
+		q.Set(i, i, 1)
+	}
+	// Qᵀ * I gives Qᵀ; orthonormality of Q equals that of Qᵀ.
+	Orm2rLeftTrans(a, tau, q)
+	worst := 0.0
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			var s float64
+			for k := 0; k < m; k++ {
+				s += q.At(i, k) * q.At(j, k)
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if d := math.Abs(s - want); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func TestGeqr2FactorisesTile(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, dims := range [][2]int{{8, 8}, {12, 8}, {5, 3}, {1, 1}} {
+		m, n := dims[0], dims[1]
+		orig := NewRandom[float64](m, n, rng)
+		a := orig.Clone()
+		tau := make([]float64, n)
+		Geqr2(a, tau)
+		// R must be the upper triangle; reconstruct QᵀA_orig and compare
+		// with R (Qᵀ A = R by definition).
+		check := orig.Clone()
+		Orm2rLeftTrans(a, tau, check)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i <= j {
+					want = a.At(i, j)
+				}
+				if d := math.Abs(check.At(i, j) - want); d > 1e-10 {
+					t.Fatalf("%dx%d: QᵀA != R at (%d,%d): %g vs %g", m, n, i, j, check.At(i, j), want)
+				}
+			}
+		}
+		if e := qOrthoError(a, tau); e > 1e-10 {
+			t.Errorf("%dx%d: Q orthonormality error %g", m, n, e)
+		}
+	}
+}
+
+func TestGeqr2RejectsWideTile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wide tile accepted")
+		}
+	}()
+	Geqr2(NewMat[float64](3, 5), make([]float64, 5))
+}
+
+func TestTsqrtTsmqrConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const nb, m = 6, 9
+	// Build R (upper) from a first-stage QR, then a dense block B.
+	top := NewRandom[float64](nb, nb, rng)
+	tau0 := make([]float64, nb)
+	Geqr2(top, tau0)
+	r := NewMat[float64](nb, nb)
+	for i := 0; i < nb; i++ {
+		for j := i; j < nb; j++ {
+			r.Set(i, j, top.At(i, j))
+		}
+	}
+	rOrig := r.Clone()
+	b := NewRandom[float64](m, nb, rng)
+	bOrig := b.Clone()
+	tau := make([]float64, nb)
+	Tsqrt(r, b, tau)
+	// The implied 2-block Q must satisfy Qᵀ [Rorig; Borig] = [Rnew; 0]:
+	ctop := rOrig.Clone()
+	cbot := bOrig.Clone()
+	Tsmqr(b, tau, ctop, cbot)
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			want := 0.0
+			if i <= j {
+				want = r.At(i, j)
+			}
+			if d := math.Abs(ctop.At(i, j) - want); d > 1e-10 {
+				t.Fatalf("top block mismatch at (%d,%d): %g vs %g", i, j, ctop.At(i, j), want)
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < nb; j++ {
+			if d := math.Abs(cbot.At(i, j)); d > 1e-10 {
+				t.Fatalf("bottom block not annihilated at (%d,%d): %g", i, j, cbot.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTsmqrPreservesUnrelatedColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	const nb, m, cols = 4, 6, 5
+	r := NewMat[float64](nb, nb)
+	for i := 0; i < nb; i++ {
+		for j := i; j < nb; j++ {
+			r.Set(i, j, rng.Float64()+1)
+		}
+	}
+	b := NewRandom[float64](m, nb, rng)
+	tau := make([]float64, nb)
+	Tsqrt(r, b, tau)
+	// Applying Q then Qᵀ must round-trip (orthogonality).
+	ctop := NewRandom[float64](nb, cols, rng)
+	cbot := NewRandom[float64](m, cols, rng)
+	origTop := ctop.Clone()
+	origBot := cbot.Clone()
+	Tsmqr(b, tau, ctop, cbot) // Qᵀ
+	// Apply Q = H_{nb-1} ... H_0 reversed: reuse Tsmqr reflectors in
+	// reverse order by manual application.
+	for j := nb - 1; j >= 0; j-- {
+		t := tau[j]
+		if t == 0 {
+			continue
+		}
+		for c := 0; c < cols; c++ {
+			w := ctop.At(j, c)
+			for i := 0; i < m; i++ {
+				w += b.At(i, j) * cbot.At(i, c)
+			}
+			w *= t
+			ctop.Set(j, c, ctop.At(j, c)-w)
+			for i := 0; i < m; i++ {
+				cbot.Set(i, c, cbot.At(i, c)-w*b.At(i, j))
+			}
+		}
+	}
+	if !Equalish(ctop, origTop, 1e-10) || !Equalish(cbot, origBot, 1e-10) {
+		t.Error("Q Qᵀ did not round-trip")
+	}
+}
+
+func TestLarfgZeroVector(t *testing.T) {
+	x := []float64{0, 0, 0}
+	beta, tau := larfg(2.5, x)
+	if tau != 0 || beta != 2.5 {
+		t.Errorf("zero-x larfg = (%v, %v), want identity reflector", beta, tau)
+	}
+}
+
+func TestQRFlops(t *testing.T) {
+	if GeqrfFlops(3) != 36 {
+		t.Errorf("GeqrfFlops(3) = %v", GeqrfFlops(3))
+	}
+	if GeqrtFlops(3) != 36 || UnmqrFlops(2) != 16 || TsqrtFlops(2) != 16 || TsmqrFlops(2) != 32 {
+		t.Error("tile QR flop formulas")
+	}
+}

@@ -1,0 +1,141 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrsmLeftLowerVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n, m := 6, 4
+	spd := NewSPD[float64](n, rng)
+	l := spd.Clone()
+	if err := PotrfLower(l); err != nil {
+		t.Fatal(err)
+	}
+	x := NewRandom[float64](n, m, rng)
+
+	// b = L * x, solve back with TrsmLeftLowerNonUnit.
+	b := NewMat[float64](n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			var s float64
+			for k := 0; k <= i; k++ {
+				s += l.At(i, k) * x.At(k, j)
+			}
+			b.Set(i, j, s)
+		}
+	}
+	TrsmLeftLowerNonUnit(1, l, b)
+	if !Equalish(b, x, 1e-9) {
+		t.Errorf("TrsmLeftLowerNonUnit: max diff %g", MaxAbsDiff(b, x))
+	}
+
+	// b = Lᵀ * x, solve back with TrsmLeftLowerTransNonUnit.
+	b2 := NewMat[float64](n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			var s float64
+			for k := i; k < n; k++ {
+				s += l.At(k, i) * x.At(k, j)
+			}
+			b2.Set(i, j, s)
+		}
+	}
+	TrsmLeftLowerTransNonUnit(1, l, b2)
+	if !Equalish(b2, x, 1e-8) {
+		t.Errorf("TrsmLeftLowerTransNonUnit: max diff %g", MaxAbsDiff(b2, x))
+	}
+}
+
+func TestTrsmLeftUnitAndUpper(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, m := 7, 3
+	a := NewDiagonallyDominant[float64](n, rng)
+	lu := a.Clone()
+	if err := GetrfNoPiv(lu); err != nil {
+		t.Fatal(err)
+	}
+	x := NewRandom[float64](n, m, rng)
+	// b = A x; then L(Ux) = b: forward unit solve then upper solve.
+	b := NewMat[float64](n, m)
+	Gemm(NoTrans, NoTrans, 1, a, x, 0, b)
+	TrsmLeftLowerUnit(1, lu, b)
+	TrsmLeftUpperNonUnit(1, lu, b)
+	if !Equalish(b, x, 1e-8) {
+		t.Errorf("LU solve: max diff %g", MaxAbsDiff(b, x))
+	}
+}
+
+func TestTrsmRightUpper(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n, m := 5, 6
+	a := NewDiagonallyDominant[float64](n, rng)
+	lu := a.Clone()
+	if err := GetrfNoPiv(lu); err != nil {
+		t.Fatal(err)
+	}
+	x := NewRandom[float64](m, n, rng)
+	// b = x * U (U = upper part of lu incl. diagonal).
+	b := NewMat[float64](m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += x.At(i, k) * lu.At(k, j)
+			}
+			b.Set(i, j, s)
+		}
+	}
+	TrsmRightUpperNonUnit(1, lu, b)
+	if !Equalish(b, x, 1e-9) {
+		t.Errorf("TrsmRightUpperNonUnit: max diff %g", MaxAbsDiff(b, x))
+	}
+}
+
+func TestGetrfNoPivRecompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 2, 8, 17} {
+		a := NewDiagonallyDominant[float64](n, rng)
+		lu := a.Clone()
+		if err := GetrfNoPiv(lu); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		back := LURecompose(lu)
+		if !Equalish(back, a, 1e-9*float64(n)) {
+			t.Errorf("n=%d: recompose max diff %g", n, MaxAbsDiff(back, a))
+		}
+	}
+}
+
+func TestGetrfZeroPivot(t *testing.T) {
+	a := NewMat[float64](2, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1) // a00 = 0: unpivoted LU must fail
+	if err := GetrfNoPiv(a); err == nil {
+		t.Error("zero pivot accepted")
+	}
+}
+
+func TestGetrfProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 1
+		a := NewDiagonallyDominant[float64](n, rng)
+		lu := a.Clone()
+		if err := GetrfNoPiv(lu); err != nil {
+			return false
+		}
+		return Equalish(LURecompose(lu), a, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetrfFlops(t *testing.T) {
+	if got := GetrfFlops(3); got != 18 {
+		t.Errorf("GetrfFlops(3) = %v, want 18", got)
+	}
+}

@@ -1,0 +1,243 @@
+// Package nvml exposes the simulated GPUs through an API shaped like the
+// NVIDIA Management Library (and its go-nvml binding): integer return
+// codes, handle-based device access, milliwatt power limits and
+// millijoule energy counters.
+//
+// Experiment code talks to the devices exclusively through this facade,
+// exactly as the paper's scripts drove nvidia-smi/NVML — swapping in real
+// hardware would mean re-implementing only this package.
+package nvml
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/eventsim"
+	"repro/internal/gpu"
+	"repro/internal/units"
+)
+
+// Return is an NVML-style status code.
+type Return int
+
+// NVML status codes (the subset the experiments exercise).
+const (
+	SUCCESS Return = iota
+	ERROR_UNINITIALIZED
+	ERROR_INVALID_ARGUMENT
+	ERROR_NOT_SUPPORTED
+	ERROR_NO_PERMISSION
+	ERROR_NOT_FOUND
+	ERROR_UNKNOWN
+)
+
+// String reports the NVML-style constant name.
+func (r Return) String() string {
+	switch r {
+	case SUCCESS:
+		return "SUCCESS"
+	case ERROR_UNINITIALIZED:
+		return "ERROR_UNINITIALIZED"
+	case ERROR_INVALID_ARGUMENT:
+		return "ERROR_INVALID_ARGUMENT"
+	case ERROR_NOT_SUPPORTED:
+		return "ERROR_NOT_SUPPORTED"
+	case ERROR_NO_PERMISSION:
+		return "ERROR_NO_PERMISSION"
+	case ERROR_NOT_FOUND:
+		return "ERROR_NOT_FOUND"
+	}
+	return "ERROR_UNKNOWN"
+}
+
+// Error converts a non-SUCCESS Return into a Go error (nil on SUCCESS).
+func (r Return) Error() error {
+	if r == SUCCESS {
+		return nil
+	}
+	return fmt.Errorf("nvml: %s", r)
+}
+
+// EnergySource lets the platform layer supply live power/energy readings
+// for a device (a power meter attached to the simulation clock).
+type EnergySource interface {
+	// Energy reports cumulative Joules since the source was created.
+	Energy() units.Joules
+	// Power reports the instantaneous draw.
+	Power() units.Watts
+}
+
+// TraceSource is the optional extension of EnergySource that exposes
+// the recorded power trace and the current virtual time — enough to
+// evaluate the board's RC thermal model for GetTemperature.
+type TraceSource interface {
+	EnergySource
+	Trace() []eventsim.PowerSample
+	Now() units.Seconds
+}
+
+// API is one NVML library instance bound to a node's GPUs.
+type API struct {
+	mu      sync.Mutex
+	inited  bool
+	devices []*Device
+}
+
+// Device is an NVML device handle.
+type Device struct {
+	api    *API
+	dev    *gpu.Device
+	energy EnergySource
+}
+
+// New builds an API over the node's boards.  sources may be nil or
+// shorter than devices; devices without a source report
+// ERROR_NOT_SUPPORTED for energy queries (as some boards do).
+func New(devices []*gpu.Device, sources []EnergySource) *API {
+	api := &API{}
+	for i, d := range devices {
+		var src EnergySource
+		if i < len(sources) {
+			src = sources[i]
+		}
+		api.devices = append(api.devices, &Device{api: api, dev: d, energy: src})
+	}
+	return api
+}
+
+// Init must be called before any query, mirroring nvmlInit.
+func (a *API) Init() Return {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inited = true
+	return SUCCESS
+}
+
+// Shutdown releases the library, mirroring nvmlShutdown.
+func (a *API) Shutdown() Return {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.inited {
+		return ERROR_UNINITIALIZED
+	}
+	a.inited = false
+	return SUCCESS
+}
+
+func (a *API) ready() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inited
+}
+
+// DeviceGetCount reports the number of boards.
+func (a *API) DeviceGetCount() (int, Return) {
+	if !a.ready() {
+		return 0, ERROR_UNINITIALIZED
+	}
+	return len(a.devices), SUCCESS
+}
+
+// DeviceGetHandleByIndex returns the handle for board #index.
+func (a *API) DeviceGetHandleByIndex(index int) (*Device, Return) {
+	if !a.ready() {
+		return nil, ERROR_UNINITIALIZED
+	}
+	if index < 0 || index >= len(a.devices) {
+		return nil, ERROR_INVALID_ARGUMENT
+	}
+	return a.devices[index], SUCCESS
+}
+
+// GetName reports the board's marketing name.
+func (d *Device) GetName() (string, Return) {
+	if !d.api.ready() {
+		return "", ERROR_UNINITIALIZED
+	}
+	return d.dev.Arch().Name, SUCCESS
+}
+
+// GetPowerManagementLimit reports the active limit in milliwatts.
+func (d *Device) GetPowerManagementLimit() (uint32, Return) {
+	if !d.api.ready() {
+		return 0, ERROR_UNINITIALIZED
+	}
+	return uint32(float64(d.dev.PowerLimit()) * 1000), SUCCESS
+}
+
+// GetPowerManagementLimitConstraints reports [min, max] in milliwatts.
+func (d *Device) GetPowerManagementLimitConstraints() (min, max uint32, ret Return) {
+	if !d.api.ready() {
+		return 0, 0, ERROR_UNINITIALIZED
+	}
+	a := d.dev.Arch()
+	return uint32(float64(a.MinPower) * 1000), uint32(float64(a.TDP) * 1000), SUCCESS
+}
+
+// SetPowerManagementLimit applies a cap given in milliwatts; zero
+// restores the default limit.  Out-of-window caps are rejected with
+// ERROR_INVALID_ARGUMENT, matching the driver.
+func (d *Device) SetPowerManagementLimit(milliwatts uint32) Return {
+	if !d.api.ready() {
+		return ERROR_UNINITIALIZED
+	}
+	if err := d.dev.SetPowerLimit(units.Watts(float64(milliwatts) / 1000)); err != nil {
+		return ERROR_INVALID_ARGUMENT
+	}
+	return SUCCESS
+}
+
+// GetEnforcedPowerLimit reports the limit actually enforced (mW).
+func (d *Device) GetEnforcedPowerLimit() (uint32, Return) {
+	return d.GetPowerManagementLimit()
+}
+
+// GetPowerUsage reports the instantaneous draw in milliwatts.
+func (d *Device) GetPowerUsage() (uint32, Return) {
+	if !d.api.ready() {
+		return 0, ERROR_UNINITIALIZED
+	}
+	if d.energy == nil {
+		return 0, ERROR_NOT_SUPPORTED
+	}
+	return uint32(float64(d.energy.Power()) * 1000), SUCCESS
+}
+
+// GetTotalEnergyConsumption reports cumulative millijoules since the
+// source was attached (NVML counts since driver load).
+func (d *Device) GetTotalEnergyConsumption() (uint64, Return) {
+	if !d.api.ready() {
+		return 0, ERROR_UNINITIALIZED
+	}
+	if d.energy == nil {
+		return 0, ERROR_NOT_SUPPORTED
+	}
+	return uint64(float64(d.energy.Energy()) * 1000), SUCCESS
+}
+
+// GetTemperature reports the board temperature in °C, evaluated from
+// the device's RC thermal model over its recorded power trace.  It
+// needs a TraceSource with tracing enabled; otherwise
+// ERROR_NOT_SUPPORTED (matching boards without thermal sensors).
+func (d *Device) GetTemperature() (uint32, Return) {
+	if !d.api.ready() {
+		return 0, ERROR_UNINITIALIZED
+	}
+	ts, ok := d.energy.(TraceSource)
+	if !ok {
+		return 0, ERROR_NOT_SUPPORTED
+	}
+	trace := ts.Trace()
+	if trace == nil {
+		return 0, ERROR_NOT_SUPPORTED
+	}
+	temp := d.dev.Arch().Thermal.TemperatureAt(trace, ts.Now())
+	if temp < 0 {
+		temp = 0
+	}
+	return uint32(temp + 0.5), SUCCESS
+}
+
+// Underlying exposes the simulated board (for the platform layer; real
+// NVML has no equivalent, so experiment code must not use it).
+func (d *Device) Underlying() *gpu.Device { return d.dev }

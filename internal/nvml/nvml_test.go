@@ -1,0 +1,199 @@
+package nvml
+
+import (
+	"testing"
+
+	"repro/internal/eventsim"
+	"repro/internal/gpu"
+	"repro/internal/units"
+)
+
+type fakeSource struct {
+	e units.Joules
+	p units.Watts
+}
+
+func (f *fakeSource) Energy() units.Joules { return f.e }
+func (f *fakeSource) Power() units.Watts   { return f.p }
+
+func newTestAPI(t *testing.T, n int, withSources bool) (*API, []*fakeSource) {
+	t.Helper()
+	var devices []*gpu.Device
+	var sources []EnergySource
+	var fakes []*fakeSource
+	for i := 0; i < n; i++ {
+		devices = append(devices, gpu.NewDevice(gpu.A100SXM4(), i))
+		if withSources {
+			f := &fakeSource{e: units.Joules(100 * float64(i+1)), p: 55}
+			fakes = append(fakes, f)
+			sources = append(sources, f)
+		}
+	}
+	return New(devices, sources), fakes
+}
+
+func TestUninitialised(t *testing.T) {
+	api, _ := newTestAPI(t, 2, true)
+	if _, ret := api.DeviceGetCount(); ret != ERROR_UNINITIALIZED {
+		t.Errorf("DeviceGetCount before Init = %v, want ERROR_UNINITIALIZED", ret)
+	}
+	if ret := api.Shutdown(); ret != ERROR_UNINITIALIZED {
+		t.Errorf("Shutdown before Init = %v", ret)
+	}
+}
+
+func TestDeviceEnumeration(t *testing.T) {
+	api, _ := newTestAPI(t, 4, true)
+	if ret := api.Init(); ret != SUCCESS {
+		t.Fatal(ret)
+	}
+	defer api.Shutdown()
+	n, ret := api.DeviceGetCount()
+	if ret != SUCCESS || n != 4 {
+		t.Fatalf("DeviceGetCount = %d, %v", n, ret)
+	}
+	for i := 0; i < n; i++ {
+		d, ret := api.DeviceGetHandleByIndex(i)
+		if ret != SUCCESS {
+			t.Fatalf("handle %d: %v", i, ret)
+		}
+		name, ret := d.GetName()
+		if ret != SUCCESS || name != gpu.A100SXM4Name {
+			t.Errorf("GetName = %q, %v", name, ret)
+		}
+	}
+	if _, ret := api.DeviceGetHandleByIndex(99); ret != ERROR_INVALID_ARGUMENT {
+		t.Errorf("out-of-range handle = %v", ret)
+	}
+	if _, ret := api.DeviceGetHandleByIndex(-1); ret != ERROR_INVALID_ARGUMENT {
+		t.Errorf("negative handle = %v", ret)
+	}
+}
+
+func TestPowerLimitRoundTrip(t *testing.T) {
+	api, _ := newTestAPI(t, 1, true)
+	api.Init()
+	defer api.Shutdown()
+	d, _ := api.DeviceGetHandleByIndex(0)
+
+	lim, ret := d.GetPowerManagementLimit()
+	if ret != SUCCESS || lim != 400000 {
+		t.Fatalf("default limit = %d mW, %v; want 400000", lim, ret)
+	}
+	min, max, ret := d.GetPowerManagementLimitConstraints()
+	if ret != SUCCESS || min != 100000 || max != 400000 {
+		t.Fatalf("constraints = [%d, %d], %v", min, max, ret)
+	}
+	if ret := d.SetPowerManagementLimit(216000); ret != SUCCESS {
+		t.Fatalf("SetPowerManagementLimit: %v", ret)
+	}
+	lim, _ = d.GetPowerManagementLimit()
+	if lim != 216000 {
+		t.Errorf("limit after set = %d mW, want 216000", lim)
+	}
+	if ret := d.SetPowerManagementLimit(50000); ret != ERROR_INVALID_ARGUMENT {
+		t.Errorf("below-min cap = %v, want ERROR_INVALID_ARGUMENT", ret)
+	}
+	enforced, ret := d.GetEnforcedPowerLimit()
+	if ret != SUCCESS || enforced != 216000 {
+		t.Errorf("enforced limit = %d, %v", enforced, ret)
+	}
+}
+
+func TestEnergyCounters(t *testing.T) {
+	api, fakes := newTestAPI(t, 2, true)
+	api.Init()
+	defer api.Shutdown()
+	d, _ := api.DeviceGetHandleByIndex(1)
+	e, ret := d.GetTotalEnergyConsumption()
+	if ret != SUCCESS || e != 200000 { // 200 J in mJ
+		t.Errorf("energy = %d mJ, %v; want 200000", e, ret)
+	}
+	p, ret := d.GetPowerUsage()
+	if ret != SUCCESS || p != 55000 {
+		t.Errorf("power = %d mW, %v; want 55000", p, ret)
+	}
+	fakes[1].e = 300
+	e, _ = d.GetTotalEnergyConsumption()
+	if e != 300000 {
+		t.Errorf("energy after update = %d mJ, want 300000", e)
+	}
+}
+
+func TestNoSource(t *testing.T) {
+	api, _ := newTestAPI(t, 1, false)
+	api.Init()
+	defer api.Shutdown()
+	d, _ := api.DeviceGetHandleByIndex(0)
+	if _, ret := d.GetTotalEnergyConsumption(); ret != ERROR_NOT_SUPPORTED {
+		t.Errorf("energy without source = %v, want ERROR_NOT_SUPPORTED", ret)
+	}
+	if _, ret := d.GetPowerUsage(); ret != ERROR_NOT_SUPPORTED {
+		t.Errorf("power without source = %v, want ERROR_NOT_SUPPORTED", ret)
+	}
+}
+
+func TestReturnStrings(t *testing.T) {
+	cases := map[Return]string{
+		SUCCESS:                "SUCCESS",
+		ERROR_UNINITIALIZED:    "ERROR_UNINITIALIZED",
+		ERROR_INVALID_ARGUMENT: "ERROR_INVALID_ARGUMENT",
+		ERROR_NOT_SUPPORTED:    "ERROR_NOT_SUPPORTED",
+		ERROR_NO_PERMISSION:    "ERROR_NO_PERMISSION",
+		ERROR_NOT_FOUND:        "ERROR_NOT_FOUND",
+		ERROR_UNKNOWN:          "ERROR_UNKNOWN",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), r.String(), want)
+		}
+	}
+	if SUCCESS.Error() != nil {
+		t.Error("SUCCESS.Error() should be nil")
+	}
+	if ERROR_UNKNOWN.Error() == nil {
+		t.Error("ERROR_UNKNOWN.Error() should be non-nil")
+	}
+}
+
+type fakeTraceSource struct {
+	fakeSource
+	trace []eventsim.PowerSample
+	now   units.Seconds
+}
+
+func (f *fakeTraceSource) Trace() []eventsim.PowerSample { return f.trace }
+func (f *fakeTraceSource) Now() units.Seconds            { return f.now }
+
+func TestGetTemperature(t *testing.T) {
+	dev := gpu.NewDevice(gpu.A100SXM4(), 0)
+	src := &fakeTraceSource{}
+	api := New([]*gpu.Device{dev}, []EnergySource{src})
+	api.Init()
+	defer api.Shutdown()
+	h, _ := api.DeviceGetHandleByIndex(0)
+
+	// Trace not enabled: unsupported.
+	if _, ret := h.GetTemperature(); ret != ERROR_NOT_SUPPORTED {
+		t.Errorf("temperature without trace = %v", ret)
+	}
+	// A long full-power segment: temperature near steady state.
+	src.trace = []eventsim.PowerSample{{T: 0, Power: 360}}
+	src.now = 1000
+	temp, ret := h.GetTemperature()
+	if ret != SUCCESS {
+		t.Fatalf("GetTemperature: %v", ret)
+	}
+	want := dev.Arch().Thermal.SteadyStateC(360)
+	if d := float64(temp) - want; d > 1 || d < -1 {
+		t.Errorf("temperature = %d, want ~%.0f", temp, want)
+	}
+	// Plain EnergySource (no trace capability): unsupported.
+	plain := New([]*gpu.Device{gpu.NewDevice(gpu.A100SXM4(), 0)}, []EnergySource{&fakeSource{}})
+	plain.Init()
+	defer plain.Shutdown()
+	hp, _ := plain.DeviceGetHandleByIndex(0)
+	if _, ret := hp.GetTemperature(); ret != ERROR_NOT_SUPPORTED {
+		t.Errorf("temperature on plain source = %v", ret)
+	}
+}

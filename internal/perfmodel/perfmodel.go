@@ -1,0 +1,235 @@
+// Package perfmodel implements StarPU-style task performance models:
+// per-codelet history tables keyed by a data footprint and a worker
+// class, plus an online linear-regression fallback.
+//
+// The worker class string embeds the device's power state (for example
+// "cuda0@216W").  Re-calibrating after every power-cap change — the
+// paper's protocol (§III-B) — therefore produces distinct estimates per
+// (GPU, cap), which is exactly how the scheduler becomes "implicitly
+// informed" of unbalanced capping.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/units"
+)
+
+// Key identifies one measurement class.
+type Key struct {
+	// Codelet is the kernel name ("dgemm", "spotrf", ...).
+	Codelet string
+	// Footprint hashes the task's data geometry (StarPU hashes buffer
+	// dimensions; callers provide any stable 64-bit digest).
+	Footprint uint64
+	// WorkerClass identifies the executing device *and* its power state.
+	WorkerClass string
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%x@%s", k.Codelet, k.Footprint, k.WorkerClass)
+}
+
+// entry accumulates duration samples with Welford's algorithm.
+type entry struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+func (e *entry) add(x float64) {
+	e.n++
+	d := x - e.mean
+	e.mean += d / float64(e.n)
+	e.m2 += d * (x - e.mean)
+}
+
+func (e *entry) stddev() float64 {
+	if e.n < 2 {
+		return 0
+	}
+	return math.Sqrt(e.m2 / float64(e.n-1))
+}
+
+// History is a history-based performance model ("the measured execution
+// times of previous identical tasks predict the next one").
+// It is safe for concurrent use.
+type History struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	// MinSamples is how many observations a key needs before Estimate
+	// trusts it (StarPU's calibration threshold; default 1).
+	MinSamples int
+}
+
+// NewHistory returns an empty model with the default sample threshold.
+func NewHistory() *History {
+	return &History{entries: make(map[Key]*entry), MinSamples: 1}
+}
+
+// Record adds one observed duration.
+func (h *History) Record(k Key, d units.Seconds) {
+	if d < 0 {
+		return
+	}
+	h.mu.Lock()
+	e, ok := h.entries[k]
+	if !ok {
+		e = &entry{}
+		h.entries[k] = e
+	}
+	e.add(float64(d))
+	h.mu.Unlock()
+}
+
+// Estimate reports the expected duration for k.  ok is false while the
+// key has fewer than MinSamples observations.
+func (h *History) Estimate(k Key) (d units.Seconds, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e, exists := h.entries[k]
+	min := h.MinSamples
+	if min < 1 {
+		min = 1
+	}
+	if !exists || e.n < min {
+		return 0, false
+	}
+	return units.Seconds(e.mean), true
+}
+
+// Samples reports how many observations k has.
+func (h *History) Samples(k Key) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if e, ok := h.entries[k]; ok {
+		return e.n
+	}
+	return 0
+}
+
+// Stddev reports the sample standard deviation for k (0 under 2 samples).
+func (h *History) Stddev(k Key) units.Seconds {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if e, ok := h.entries[k]; ok {
+		return units.Seconds(e.stddev())
+	}
+	return 0
+}
+
+// Invalidate drops every entry whose worker class matches the predicate.
+// Changing a device's power cap changes its class string, so stale
+// entries are simply never hit again; Invalidate exists for explicit
+// recalibration experiments (the "stale model" ablation).
+func (h *History) Invalidate(match func(workerClass string) bool) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for k := range h.entries {
+		if match(k.WorkerClass) {
+			delete(h.entries, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Reset drops all entries.
+func (h *History) Reset() {
+	h.mu.Lock()
+	h.entries = make(map[Key]*entry)
+	h.mu.Unlock()
+}
+
+// Len reports the number of distinct keys.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.entries)
+}
+
+// Dump renders the table sorted by key, for debugging and the schedtrace
+// tool.
+func (h *History) Dump() string {
+	h.mu.Lock()
+	keys := make([]Key, 0, len(h.entries))
+	for k := range h.entries {
+		keys = append(keys, k)
+	}
+	h.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	var b strings.Builder
+	for _, k := range keys {
+		d, _ := h.Estimate(k)
+		fmt.Fprintf(&b, "%-40s n=%-4d mean=%v\n", k.String(), h.Samples(k), d)
+	}
+	return b.String()
+}
+
+// Regression is an online least-squares fit of duration = a + b*work per
+// (codelet, worker class), StarPU's regression-based model.  It covers
+// footprints never observed directly (irregular kernels).
+type Regression struct {
+	mu   sync.Mutex
+	fits map[string]*fit // key: codelet + "\x00" + workerClass
+}
+
+type fit struct {
+	n                        int
+	sumX, sumY, sumXX, sumXY float64
+}
+
+// NewRegression returns an empty regression model.
+func NewRegression() *Regression {
+	return &Regression{fits: make(map[string]*fit)}
+}
+
+func regKey(codelet, workerClass string) string { return codelet + "\x00" + workerClass }
+
+// Record adds an observation of a task with the given work.
+func (r *Regression) Record(codelet, workerClass string, work units.Flops, d units.Seconds) {
+	if d < 0 || work < 0 {
+		return
+	}
+	r.mu.Lock()
+	f, ok := r.fits[regKey(codelet, workerClass)]
+	if !ok {
+		f = &fit{}
+		r.fits[regKey(codelet, workerClass)] = f
+	}
+	x, y := float64(work), float64(d)
+	f.n++
+	f.sumX += x
+	f.sumY += y
+	f.sumXX += x * x
+	f.sumXY += x * y
+	r.mu.Unlock()
+}
+
+// Estimate predicts the duration of a task with the given work.  ok is
+// false until two distinct work sizes have been observed.
+func (r *Regression) Estimate(codelet, workerClass string, work units.Flops) (units.Seconds, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fits[regKey(codelet, workerClass)]
+	if !ok || f.n < 2 {
+		return 0, false
+	}
+	den := float64(f.n)*f.sumXX - f.sumX*f.sumX
+	if math.Abs(den) < 1e-30 {
+		// All samples share one size: fall back to the mean.
+		return units.Seconds(f.sumY / float64(f.n)), true
+	}
+	b := (float64(f.n)*f.sumXY - f.sumX*f.sumY) / den
+	a := (f.sumY - b*f.sumX) / float64(f.n)
+	est := a + b*float64(work)
+	if est < 0 {
+		est = 0
+	}
+	return units.Seconds(est), true
+}

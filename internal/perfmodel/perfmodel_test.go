@@ -1,0 +1,246 @@
+package perfmodel
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func key(codelet, class string) Key {
+	return Key{Codelet: codelet, Footprint: 0xabc, WorkerClass: class}
+}
+
+func TestHistoryEstimateIsMean(t *testing.T) {
+	h := NewHistory()
+	k := key("dgemm", "cuda0@400W")
+	if _, ok := h.Estimate(k); ok {
+		t.Fatal("empty model claimed calibration")
+	}
+	for _, d := range []float64{1.0, 2.0, 3.0} {
+		h.Record(k, units.Seconds(d))
+	}
+	got, ok := h.Estimate(k)
+	if !ok || math.Abs(float64(got)-2.0) > 1e-12 {
+		t.Errorf("Estimate = %v, %v; want 2.0", got, ok)
+	}
+	if h.Samples(k) != 3 {
+		t.Errorf("Samples = %d, want 3", h.Samples(k))
+	}
+	if sd := h.Stddev(k); math.Abs(float64(sd)-1.0) > 1e-12 {
+		t.Errorf("Stddev = %v, want 1.0", sd)
+	}
+}
+
+func TestHistoryMinSamples(t *testing.T) {
+	h := NewHistory()
+	h.MinSamples = 3
+	k := key("dpotrf", "cpu")
+	h.Record(k, 1)
+	h.Record(k, 1)
+	if _, ok := h.Estimate(k); ok {
+		t.Error("estimate available below MinSamples")
+	}
+	h.Record(k, 1)
+	if _, ok := h.Estimate(k); !ok {
+		t.Error("estimate unavailable at MinSamples")
+	}
+}
+
+func TestHistoryKeysAreIndependent(t *testing.T) {
+	h := NewHistory()
+	fast := key("dgemm", "cuda0@400W")
+	slow := key("dgemm", "cuda1@216W")
+	h.Record(fast, 1.0)
+	h.Record(slow, 1.3)
+	f, _ := h.Estimate(fast)
+	s, _ := h.Estimate(slow)
+	if !(f < s) {
+		t.Errorf("capped class should estimate slower: %v vs %v", f, s)
+	}
+}
+
+func TestHistoryNegativeDurationIgnored(t *testing.T) {
+	h := NewHistory()
+	k := key("x", "cpu")
+	h.Record(k, -5)
+	if h.Samples(k) != 0 {
+		t.Error("negative duration recorded")
+	}
+}
+
+func TestHistoryInvalidate(t *testing.T) {
+	h := NewHistory()
+	h.Record(key("dgemm", "cuda0@400W"), 1)
+	h.Record(key("dgemm", "cuda1@216W"), 2)
+	h.Record(key("dtrsm", "cuda1@216W"), 3)
+	n := h.Invalidate(func(c string) bool { return strings.Contains(c, "cuda1") })
+	if n != 2 {
+		t.Errorf("invalidated %d entries, want 2", n)
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d, want 1", h.Len())
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Error("Reset left entries")
+	}
+}
+
+func TestHistoryMeanProperty(t *testing.T) {
+	// Property: estimate equals the arithmetic mean of the samples.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistory()
+		k := key("k", "w")
+		sum := 0.0
+		for _, r := range raw {
+			v := float64(r) / 100
+			sum += v
+			h.Record(k, units.Seconds(v))
+		}
+		want := sum / float64(len(raw))
+		got, ok := h.Estimate(k)
+		return ok && math.Abs(float64(got)-want) < 1e-9*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryDump(t *testing.T) {
+	h := NewHistory()
+	h.Record(key("dgemm", "cuda0@400W"), 1)
+	out := h.Dump()
+	if !strings.Contains(out, "dgemm") || !strings.Contains(out, "cuda0@400W") {
+		t.Errorf("Dump output missing fields: %q", out)
+	}
+}
+
+func TestRegressionRecoversLine(t *testing.T) {
+	r := NewRegression()
+	// duration = 2e-6 + 1e-12 * work
+	for _, w := range []float64{1e9, 2e9, 4e9, 8e9} {
+		r.Record("dgemm", "cuda0", units.Flops(w), units.Seconds(2e-6+1e-12*w))
+	}
+	got, ok := r.Estimate("dgemm", "cuda0", 3e9)
+	want := 2e-6 + 1e-12*3e9
+	if !ok || math.Abs(float64(got)-want) > 1e-9 {
+		t.Errorf("Estimate = %v, %v; want %v", got, ok, want)
+	}
+}
+
+func TestRegressionSingleSizeFallsBackToMean(t *testing.T) {
+	r := NewRegression()
+	r.Record("k", "w", 1e9, 1.0)
+	r.Record("k", "w", 1e9, 3.0)
+	got, ok := r.Estimate("k", "w", 5e9)
+	if !ok || math.Abs(float64(got)-2.0) > 1e-12 {
+		t.Errorf("single-size estimate = %v, %v; want mean 2.0", got, ok)
+	}
+}
+
+func TestRegressionUncalibrated(t *testing.T) {
+	r := NewRegression()
+	if _, ok := r.Estimate("k", "w", 1); ok {
+		t.Error("empty regression claimed calibration")
+	}
+	r.Record("k", "w", 1e9, 1.0)
+	if _, ok := r.Estimate("k", "w", 1e9); ok {
+		t.Error("one-sample regression claimed calibration")
+	}
+}
+
+func TestRegressionNonNegative(t *testing.T) {
+	r := NewRegression()
+	// Strongly decreasing data would extrapolate negative; clamp at 0.
+	r.Record("k", "w", 1e9, 10)
+	r.Record("k", "w", 2e9, 1)
+	got, ok := r.Estimate("k", "w", 100e9)
+	if !ok || got < 0 {
+		t.Errorf("Estimate = %v, %v; want clamped >= 0", got, ok)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Codelet: "dgemm", Footprint: 0xff, WorkerClass: "cuda0@216W"}
+	s := k.String()
+	if !strings.Contains(s, "dgemm") || !strings.Contains(s, "ff") || !strings.Contains(s, "cuda0@216W") {
+		t.Errorf("Key.String() = %q", s)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	h := NewHistory()
+	h.MinSamples = 2
+	k1 := Key{Codelet: "dgemm", Footprint: 0x1, WorkerClass: "cuda0@216W"}
+	k2 := Key{Codelet: "dpotrf", Footprint: 0x2, WorkerClass: "cpu0@125W"}
+	for _, d := range []float64{1, 2, 3} {
+		h.Record(k1, units.Seconds(d))
+	}
+	h.Record(k2, 0.5)
+	h.Record(k2, 1.5)
+
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2 := NewHistory()
+	if err := h2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if h2.MinSamples != 2 {
+		t.Errorf("MinSamples = %d", h2.MinSamples)
+	}
+	for _, k := range []Key{k1, k2} {
+		a, aok := h.Estimate(k)
+		b, bok := h2.Estimate(k)
+		if aok != bok || math.Abs(float64(a-b)) > 1e-12 {
+			t.Errorf("%v: estimate %v/%v vs %v/%v", k, a, aok, b, bok)
+		}
+		if h.Samples(k) != h2.Samples(k) {
+			t.Errorf("%v: sample counts differ", k)
+		}
+		if math.Abs(float64(h.Stddev(k)-h2.Stddev(k))) > 1e-12 {
+			t.Errorf("%v: stddev differs", k)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	h := NewHistory()
+	h.Record(Key{Codelet: "k", WorkerClass: "w"}, 1.25)
+	path := t.TempDir() + "/model.json"
+	if err := h.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	h2 := NewHistory()
+	if err := h2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := h2.Estimate(Key{Codelet: "k", WorkerClass: "w"})
+	if !ok || got != 1.25 {
+		t.Errorf("loaded estimate = %v, %v", got, ok)
+	}
+	if err := h2.LoadFile(path + ".missing"); err == nil {
+		t.Error("loading missing file succeeded")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	h := NewHistory()
+	if err := h.Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := h.Load(strings.NewReader(`{"version": 99, "entries": []}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	if err := h.Load(strings.NewReader(`{"version": 1, "entries": [{"codelet":"x","n":-1}]}`)); err == nil {
+		t.Error("invalid entry accepted")
+	}
+}

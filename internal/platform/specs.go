@@ -1,0 +1,77 @@
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/gpu"
+	"repro/internal/units"
+)
+
+// Platform names, matching the paper's labels (§IV-A).
+const (
+	TwoV100Name  = "24-Intel-2-V100"
+	TwoA100Name  = "64-AMD-2-A100"
+	FourA100Name = "32-AMD-4-A100"
+)
+
+// TwoV100Spec is "chifflot-7": 2x Xeon Gold 6126 + 2x V100-PCIE-32GB.
+func TwoV100Spec() Spec {
+	return Spec{
+		Name:        TwoV100Name,
+		CPUArch:     cpu.XeonGold6126(),
+		Sockets:     2,
+		GPUArch:     gpu.V100PCIe(),
+		GPUCount:    2,
+		HostLink:    units.GBytesPerSec(12), // PCIe 3.0 x16 effective
+		PeerLink:    0,
+		LinkLatency: 12e-6,
+	}
+}
+
+// TwoA100Spec is "grouille-1": 2x EPYC 7452 + 2x A100-PCIE-40GB.
+func TwoA100Spec() Spec {
+	return Spec{
+		Name:        TwoA100Name,
+		CPUArch:     cpu.EPYC7452(),
+		Sockets:     2,
+		GPUArch:     gpu.A100PCIe(),
+		GPUCount:    2,
+		HostLink:    units.GBytesPerSec(24), // PCIe 4.0 x16 effective
+		PeerLink:    0,
+		LinkLatency: 10e-6,
+	}
+}
+
+// FourA100Spec is "chuc-1": 1x EPYC 7513 + 4x A100-SXM4-40GB (NVLink).
+func FourA100Spec() Spec {
+	return Spec{
+		Name:        FourA100Name,
+		CPUArch:     cpu.EPYC7513(),
+		Sockets:     1,
+		GPUArch:     gpu.A100SXM4(),
+		GPUCount:    4,
+		HostLink:    units.GBytesPerSec(24),
+		PeerLink:    units.GBytesPerSec(200), // NVLink 3
+		LinkLatency: 10e-6,
+	}
+}
+
+// SpecByName returns the platform spec for a paper label.
+func SpecByName(name string) (Spec, error) {
+	switch name {
+	case TwoV100Name:
+		return TwoV100Spec(), nil
+	case TwoA100Name:
+		return TwoA100Spec(), nil
+	case FourA100Name:
+		return FourA100Spec(), nil
+	}
+	return Spec{}, fmt.Errorf("platform: unknown platform %q (known: %s, %s, %s)",
+		name, TwoV100Name, TwoA100Name, FourA100Name)
+}
+
+// AllSpecs lists the paper's three platforms in presentation order.
+func AllSpecs() []Spec {
+	return []Spec{FourA100Spec(), TwoA100Spec(), TwoV100Spec()}
+}

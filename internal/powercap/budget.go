@@ -1,0 +1,126 @@
+package powercap
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/prec"
+	"repro/internal/units"
+)
+
+// Budget allocation: given a node-level GPU power budget (the scenario
+// of the paper's related work on power-constrained systems), split it
+// across the boards so aggregate kernel throughput is maximised.  The
+// device curves are concave in the cap (rate grows sublinearly), so a
+// greedy marginal-throughput allocation in sweep-sized steps is
+// optimal up to step granularity.
+
+// Allocation is the result of a budget split.
+type Allocation struct {
+	// Caps is the chosen per-GPU limit.
+	Caps []units.Watts
+	// Rate is the predicted aggregate kernel throughput.
+	Rate units.FlopsPerSec
+	// Power is the predicted aggregate draw (<= budget).
+	Power units.Watts
+}
+
+// AllocateBudget distributes budget Watts over n identical GPUs running
+// the given kernel class.  Each GPU receives at least MinPower (the
+// driver floor); the step defaults to 2 % of TDP (the paper's sweep
+// granularity).  An error is returned when the budget cannot cover the
+// minimum caps.
+func AllocateBudget(arch *gpu.Arch, n int, budget units.Watts, p prec.Precision, work units.Flops, step units.Watts) (*Allocation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("powercap: budget over %d GPUs", n)
+	}
+	if step <= 0 {
+		step = units.Watts(float64(arch.TDP) * 0.02)
+	}
+	minTotal := units.Watts(float64(arch.MinPower) * float64(n))
+	if budget < minTotal {
+		return nil, fmt.Errorf("powercap: budget %v below the %d-GPU floor %v", budget, n, minTotal)
+	}
+	curve := arch.Curve(p)
+	occ := arch.Occupancy(work)
+	rateAt := func(cap units.Watts) units.FlopsPerSec {
+		return curve.Operate(cap, occ).Rate
+	}
+
+	caps := make([]units.Watts, n)
+	for i := range caps {
+		caps[i] = arch.MinPower
+	}
+	remaining := budget - minTotal
+	// Greedy: hand the next step to the GPU with the best marginal
+	// throughput per Watt.  Identical GPUs make this near-uniform, but
+	// the code supports the general (and duty-cycled) regimes where the
+	// marginal gain is not constant.
+	for remaining >= step {
+		best, bestGain := -1, units.FlopsPerSec(0)
+		for i := range caps {
+			if caps[i] >= arch.TDP {
+				continue
+			}
+			nxt := caps[i] + step
+			if nxt > arch.TDP {
+				nxt = arch.TDP
+			}
+			gain := rateAt(nxt) - rateAt(caps[i])
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 || bestGain <= 0 {
+			break // every board is at TDP or past its useful range
+		}
+		grant := step
+		if caps[best]+grant > arch.TDP {
+			grant = arch.TDP - caps[best]
+		}
+		caps[best] += grant
+		remaining -= grant
+	}
+
+	out := &Allocation{Caps: caps}
+	for _, c := range caps {
+		op := curve.Operate(c, occ)
+		out.Rate += op.Rate
+		out.Power += op.Power
+	}
+	return out, nil
+}
+
+// BudgetSweep evaluates AllocateBudget across a range of budgets and
+// reports (budget, rate, efficiency) points — the throughput-vs-budget
+// frontier of the node.
+type BudgetPoint struct {
+	Budget units.Watts
+	Rate   units.FlopsPerSec
+	Power  units.Watts
+	EffGFW float64
+}
+
+// BudgetSweep samples the frontier from the n-GPU floor to n*TDP.
+func BudgetSweep(arch *gpu.Arch, n int, p prec.Precision, work units.Flops, samples int) ([]BudgetPoint, error) {
+	if samples < 2 {
+		samples = 2
+	}
+	lo := float64(arch.MinPower) * float64(n)
+	hi := float64(arch.TDP) * float64(n)
+	var out []BudgetPoint
+	for i := 0; i < samples; i++ {
+		b := units.Watts(lo + (hi-lo)*float64(i)/float64(samples-1))
+		alloc, err := AllocateBudget(arch, n, b, p, work, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BudgetPoint{
+			Budget: b,
+			Rate:   alloc.Rate,
+			Power:  alloc.Power,
+			EffGFW: units.GFlopsPerWatt(alloc.Rate, alloc.Power),
+		})
+	}
+	return out, nil
+}

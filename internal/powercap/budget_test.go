@@ -1,0 +1,141 @@
+package powercap
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/prec"
+	"repro/internal/units"
+)
+
+const gemmWork = 3.8e11 // one 5760-tile dgemm
+
+func TestAllocateBudgetValidation(t *testing.T) {
+	arch := gpu.A100SXM4()
+	if _, err := AllocateBudget(arch, 0, 400, prec.Double, gemmWork, 0); err == nil {
+		t.Error("zero GPUs accepted")
+	}
+	// 4 GPUs need at least 400 W total (min 100 W each).
+	if _, err := AllocateBudget(arch, 4, 300, prec.Double, gemmWork, 0); err == nil {
+		t.Error("budget below floor accepted")
+	}
+}
+
+func TestAllocateBudgetSymmetric(t *testing.T) {
+	// Identical GPUs with a mid-range budget: the greedy split must be
+	// near-uniform (within one step).
+	arch := gpu.A100SXM4()
+	alloc, err := AllocateBudget(arch, 4, 1000, prec.Double, gemmWork, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := alloc.Caps[0], alloc.Caps[0]
+	var sum units.Watts
+	for _, c := range alloc.Caps {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+		sum += c
+	}
+	step := units.Watts(float64(arch.TDP) * 0.02)
+	if max-min > step+1e-9 {
+		t.Errorf("asymmetric split on identical GPUs: %v", alloc.Caps)
+	}
+	if sum > 1000 {
+		t.Errorf("allocation %v exceeds budget", sum)
+	}
+	if alloc.Power > 1000+1e-9 {
+		t.Errorf("predicted power %v exceeds budget", alloc.Power)
+	}
+}
+
+func TestAllocateBudgetGenerous(t *testing.T) {
+	// A budget of n*TDP leaves every board at its uncapped rate (the
+	// greedy stops once caps exceed the kernel draw — pushing further
+	// buys nothing and would weaken the provisioning guarantee).
+	arch := gpu.A100SXM4()
+	alloc, err := AllocateBudget(arch, 2, 800, prec.Double, gemmWork, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := arch.Curve(prec.Double)
+	occ := arch.Occupancy(gemmWork)
+	uncapped := curve.Operate(0, occ).Rate
+	for i, c := range alloc.Caps {
+		got := curve.Operate(c, occ).Rate
+		if math.Abs(float64(got)-float64(uncapped)) > 1e-6*float64(uncapped) {
+			t.Errorf("GPU %d at cap %v runs %v, below the uncapped %v", i, c, got, uncapped)
+		}
+	}
+}
+
+func TestAllocateBudgetMonotone(t *testing.T) {
+	arch := gpu.A100SXM4()
+	prev := units.FlopsPerSec(0)
+	for _, b := range []float64{420, 600, 800, 1000, 1200, 1600} {
+		alloc, err := AllocateBudget(arch, 4, units.Watts(b), prec.Double, gemmWork, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alloc.Rate < prev-1 {
+			t.Fatalf("rate decreased when budget rose to %v W", b)
+		}
+		prev = alloc.Rate
+	}
+}
+
+func TestAllocateBudgetBeatsNaiveSplitUnderDuty(t *testing.T) {
+	// Deep budgets land in the duty-cycling regime where splitting
+	// evenly is wasteful versus concentrating power: the greedy result
+	// must be at least as good as the even split.
+	arch := gpu.A100SXM4()
+	const n = 4
+	budget := units.Watts(560) // 140 W/GPU if split evenly
+	alloc, err := AllocateBudget(arch, n, budget, prec.Double, gemmWork, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := arch.Curve(prec.Double)
+	occ := arch.Occupancy(gemmWork)
+	even := units.FlopsPerSec(0)
+	for i := 0; i < n; i++ {
+		even += curve.Operate(budget/n, occ).Rate
+	}
+	if float64(alloc.Rate) < float64(even)*0.999 {
+		t.Errorf("greedy %v below even split %v", alloc.Rate, even)
+	}
+}
+
+func TestBudgetSweepFrontier(t *testing.T) {
+	arch := gpu.A100SXM4()
+	pts, err := BudgetSweep(arch, 4, prec.Double, gemmWork, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 12 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Rate is monotone in budget; efficiency peaks in the interior
+	// (the Fig.-1 shape, aggregated).
+	peakEff, peakIdx := 0.0, 0
+	for i, p := range pts {
+		if i > 0 && p.Rate < pts[i-1].Rate-1 {
+			t.Errorf("rate not monotone at point %d", i)
+		}
+		if p.EffGFW > peakEff {
+			peakEff, peakIdx = p.EffGFW, i
+		}
+	}
+	if peakIdx == 0 || peakIdx == len(pts)-1 {
+		t.Errorf("efficiency peak at the boundary (index %d) — expected interior optimum", peakIdx)
+	}
+	// The interior peak should sit near 4 x P_best = 864 W.
+	peakBudget := float64(pts[peakIdx].Budget)
+	if math.Abs(peakBudget-4*216) > 200 {
+		t.Errorf("efficiency-optimal budget %v, want near %v", peakBudget, 4*216)
+	}
+}

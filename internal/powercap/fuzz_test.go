@@ -1,0 +1,33 @@
+package powercap
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+// FuzzParsePlan checks that ParsePlan never panics, and that accepted
+// inputs round-trip and resolve to in-window caps.
+func FuzzParsePlan(f *testing.F) {
+	for _, seed := range []string{"HHHH", "BBBB", "LLLL", "HHBB", "x", "", "HBLHBLHBL"} {
+		f.Add(seed)
+	}
+	arch := gpu.A100SXM4()
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			return
+		}
+		if p.String() != s {
+			t.Fatalf("round trip %q -> %q", s, p.String())
+		}
+		for _, cap := range p.Caps(arch, 0.54) {
+			if cap != 0 && (cap < arch.MinPower || cap > arch.TDP) {
+				t.Fatalf("plan %q resolved to out-of-window cap %v", s, cap)
+			}
+		}
+		if p.Count(Low)+p.Count(Best)+p.Count(High) != len(p) {
+			t.Fatalf("level counts do not partition plan %q", s)
+		}
+	})
+}

@@ -1,0 +1,43 @@
+// Package prec defines the numerical precisions used across the kernels,
+// the device models and the experiment drivers.
+package prec
+
+import "repro/internal/units"
+
+// Precision selects single (float32) or double (float64) arithmetic.
+type Precision int
+
+const (
+	// Single is IEEE-754 binary32 arithmetic (the paper's "simple precision").
+	Single Precision = iota
+	// Double is IEEE-754 binary64 arithmetic.
+	Double
+)
+
+// All lists the precisions in presentation order (double first, matching
+// the paper's result sections).
+var All = []Precision{Double, Single}
+
+// Bytes reports the element size.
+func (p Precision) Bytes() units.Bytes {
+	if p == Single {
+		return 4
+	}
+	return 8
+}
+
+// String reports the conventional BLAS prefix-style name.
+func (p Precision) String() string {
+	if p == Single {
+		return "single"
+	}
+	return "double"
+}
+
+// BLASPrefix reports "s" or "d", for kernel names such as "dgemm".
+func (p Precision) BLASPrefix() string {
+	if p == Single {
+		return "s"
+	}
+	return "d"
+}

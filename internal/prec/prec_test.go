@@ -1,0 +1,26 @@
+package prec
+
+import "testing"
+
+func TestBytes(t *testing.T) {
+	if Single.Bytes() != 4 || Double.Bytes() != 8 {
+		t.Errorf("element sizes: single=%v double=%v", Single.Bytes(), Double.Bytes())
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Single.String() != "single" || Double.String() != "double" {
+		t.Error("String names")
+	}
+	if Single.BLASPrefix() != "s" || Double.BLASPrefix() != "d" {
+		t.Error("BLAS prefixes")
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	// The paper presents double-precision results first (§V-A before
+	// §V-B); All preserves that order for report generators.
+	if len(All) != 2 || All[0] != Double || All[1] != Single {
+		t.Errorf("All = %v", All)
+	}
+}

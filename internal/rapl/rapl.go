@@ -1,0 +1,140 @@
+// Package rapl exposes CPU package energy through a PAPI-style counter
+// interface over Intel's Running Average Power Limit, the measurement
+// path the paper uses for CPU Joules (§IV-C): named native events
+// ("rapl::PACKAGE_ENERGY:PACKAGE0"), cumulative nanojoule counters read
+// at the start and end of a region, and subtraction by the caller.
+package rapl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/units"
+)
+
+// EnergySource supplies live readings for one package (a power meter
+// attached to the simulation clock).
+type EnergySource interface {
+	Energy() units.Joules
+	Power() units.Watts
+}
+
+// Component is the PAPI "rapl" component for one node.
+type Component struct {
+	mu       sync.Mutex
+	packages []*cpu.Package
+	sources  []EnergySource
+	events   map[string]int // event name -> package index
+}
+
+// New builds the component over the node's sockets.  sources may be nil
+// for packages without instrumentation.
+func New(packages []*cpu.Package, sources []EnergySource) *Component {
+	c := &Component{packages: packages, events: make(map[string]int)}
+	c.sources = make([]EnergySource, len(packages))
+	for i := range packages {
+		if i < len(sources) {
+			c.sources[i] = sources[i]
+		}
+		c.events[EventName(i)] = i
+	}
+	return c
+}
+
+// EventName reports the PAPI native event name for socket i.
+func EventName(i int) string {
+	return fmt.Sprintf("rapl::PACKAGE_ENERGY:PACKAGE%d", i)
+}
+
+// EventNames lists the available native events, sorted.
+func (c *Component) EventNames() []string {
+	names := make([]string, 0, len(c.events))
+	for n := range c.events {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Read reports the cumulative counter for a named event in nanojoules,
+// PAPI's unit for RAPL energy.
+func (c *Component) Read(event string) (int64, error) {
+	c.mu.Lock()
+	idx, ok := c.events[event]
+	src := EnergySource(nil)
+	if ok {
+		src = c.sources[idx]
+	}
+	c.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("rapl: unknown event %q", event)
+	}
+	if src == nil {
+		return 0, fmt.Errorf("rapl: event %q has no counter attached", event)
+	}
+	return int64(float64(src.Energy()) * 1e9), nil
+}
+
+// ReadAll reports all package counters (nanojoules) indexed by socket.
+func (c *Component) ReadAll() ([]int64, error) {
+	out := make([]int64, len(c.packages))
+	for i := range c.packages {
+		v, err := c.Read(EventName(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Region measures the energy consumed between Start and Stop, the
+// pattern of the paper's protocol ("energy consumption is measured at
+// the start and end of the execution; the values are then subtracted").
+type Region struct {
+	comp  *Component
+	start []int64
+}
+
+// Start snapshots all package counters.
+func (c *Component) Start() (*Region, error) {
+	s, err := c.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return &Region{comp: c, start: s}, nil
+}
+
+// Stop reports the per-package Joules consumed since Start.
+func (r *Region) Stop() ([]units.Joules, error) {
+	end, err := r.comp.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]units.Joules, len(end))
+	for i := range end {
+		out[i] = units.Joules(float64(end[i]-r.start[i]) / 1e9)
+	}
+	return out, nil
+}
+
+// SetPowerLimit applies a RAPL cap on socket i (zero restores default).
+func (c *Component) SetPowerLimit(i int, cap units.Watts) error {
+	if i < 0 || i >= len(c.packages) {
+		return fmt.Errorf("rapl: no package %d", i)
+	}
+	return c.packages[i].SetPowerLimit(cap)
+}
+
+// PowerLimit reports the active cap on socket i.
+func (c *Component) PowerLimit(i int) (units.Watts, error) {
+	if i < 0 || i >= len(c.packages) {
+		return 0, fmt.Errorf("rapl: no package %d", i)
+	}
+	return c.packages[i].PowerLimit(), nil
+}
+
+// NumPackages reports the socket count.
+func (c *Component) NumPackages() int { return len(c.packages) }

@@ -1,0 +1,121 @@
+package rapl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/units"
+)
+
+type fakeSource struct {
+	e units.Joules
+	p units.Watts
+}
+
+func (f *fakeSource) Energy() units.Joules { return f.e }
+func (f *fakeSource) Power() units.Watts   { return f.p }
+
+func newTestComponent() (*Component, []*fakeSource) {
+	arch := cpu.XeonGold6126()
+	pkgs := []*cpu.Package{cpu.NewPackage(arch, 0), cpu.NewPackage(arch, 1)}
+	fakes := []*fakeSource{{e: 10}, {e: 20}}
+	return New(pkgs, []EnergySource{fakes[0], fakes[1]}), fakes
+}
+
+func TestEventNames(t *testing.T) {
+	c, _ := newTestComponent()
+	names := c.EventNames()
+	if len(names) != 2 {
+		t.Fatalf("got %d events, want 2", len(names))
+	}
+	for i, n := range names {
+		if !strings.HasPrefix(n, "rapl::PACKAGE_ENERGY:PACKAGE") {
+			t.Errorf("event %d = %q, not PAPI-style", i, n)
+		}
+	}
+}
+
+func TestReadCounters(t *testing.T) {
+	c, fakes := newTestComponent()
+	v, err := c.Read(EventName(0))
+	if err != nil || v != 10e9 {
+		t.Fatalf("Read pkg0 = %d, %v; want 10e9 nJ", v, err)
+	}
+	fakes[0].e = 15
+	v, _ = c.Read(EventName(0))
+	if v != 15e9 {
+		t.Errorf("Read pkg0 after update = %d, want 15e9", v)
+	}
+	if _, err := c.Read("rapl::DRAM_ENERGY:PACKAGE0"); err == nil {
+		t.Error("unknown event accepted")
+	}
+}
+
+func TestRegionSubtraction(t *testing.T) {
+	c, fakes := newTestComponent()
+	r, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fakes[0].e += 100
+	fakes[1].e += 50
+	got, err := r.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !approx(float64(got[0]), 100) || !approx(float64(got[1]), 50) {
+		t.Errorf("region = %v, want [100 J, 50 J]", got)
+	}
+}
+
+func TestSetPowerLimit(t *testing.T) {
+	c, _ := newTestComponent()
+	// The paper's CPU experiment: cap socket 1 at 48 % of 125 W = 60 W.
+	if err := c.SetPowerLimit(1, 60); err != nil {
+		t.Fatalf("SetPowerLimit: %v", err)
+	}
+	lim, err := c.PowerLimit(1)
+	if err != nil || lim != 60 {
+		t.Errorf("PowerLimit = %v, %v; want 60 W", lim, err)
+	}
+	lim, _ = c.PowerLimit(0)
+	if lim != 125 {
+		t.Errorf("uncapped socket limit = %v, want 125 W", lim)
+	}
+	if err := c.SetPowerLimit(5, 60); err == nil {
+		t.Error("SetPowerLimit on missing package accepted")
+	}
+	if _, err := c.PowerLimit(-1); err == nil {
+		t.Error("PowerLimit on missing package accepted")
+	}
+	if err := c.SetPowerLimit(0, 10); err == nil {
+		t.Error("cap below stability floor accepted")
+	}
+}
+
+func TestNoSourceAttached(t *testing.T) {
+	arch := cpu.XeonGold6126()
+	c := New([]*cpu.Package{cpu.NewPackage(arch, 0)}, nil)
+	if _, err := c.Read(EventName(0)); err == nil {
+		t.Error("Read without source succeeded")
+	}
+	if _, err := c.ReadAll(); err == nil {
+		t.Error("ReadAll without source succeeded")
+	}
+}
+
+func TestNumPackages(t *testing.T) {
+	c, _ := newTestComponent()
+	if c.NumPackages() != 2 {
+		t.Errorf("NumPackages = %d, want 2", c.NumPackages())
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-6
+}

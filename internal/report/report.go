@@ -1,0 +1,167 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV files — the textual equivalents of the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// formatFloat uses a compact fixed precision suited to the paper's
+// percentage and Gflop/s/W scales.
+func formatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Len reports the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Title reports the table's title.
+func (t *Table) Title() string { return t.title }
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table into a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Write(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
+
+// WriteCSV renders the table as CSV (headers + rows, comma-separated;
+// cells containing commas or quotes are quoted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	emit := func(cells []string) error {
+		esc := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			esc[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(esc, ","))
+		return err
+	}
+	if err := emit(t.headers); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bar renders v in [-scaleAbs, +scaleAbs] as a signed ASCII bar of the
+// given half-width, e.g. "      ####|" for a negative value — a crude
+// textual stand-in for the paper's bar charts.
+func Bar(v, scaleAbs float64, halfWidth int) string {
+	if scaleAbs <= 0 || halfWidth <= 0 {
+		return "|"
+	}
+	n := int(v / scaleAbs * float64(halfWidth))
+	if n > halfWidth {
+		n = halfWidth
+	}
+	if n < -halfWidth {
+		n = -halfWidth
+	}
+	left := strings.Repeat(" ", halfWidth)
+	right := strings.Repeat(" ", halfWidth)
+	if n >= 0 {
+		right = strings.Repeat("#", n) + strings.Repeat(" ", halfWidth-n)
+	} else {
+		left = strings.Repeat(" ", halfWidth+n) + strings.Repeat("#", -n)
+	}
+	return left + "|" + right
+}

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("Demo", "plan", "eff")
+	tbl.AddRow("HHHH", 41.0)
+	tbl.AddRow("BBBB", 52.25)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "plan") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(out, "52.2") {
+		t.Errorf("float formatting missing: %s", out)
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234.5:  "1234",
+		-1234.6: "-1235",
+		42.19:   "42.2",
+		3.14159: "3.14",
+		-0.5:    "-0.50",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("x,y", `q"z`)
+	tbl.AddRow(1, 2)
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"q\"\"z\"\n1,2\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestBar(t *testing.T) {
+	pos := Bar(50, 100, 10)
+	if !strings.Contains(pos, "|#####") {
+		t.Errorf("positive bar = %q", pos)
+	}
+	neg := Bar(-50, 100, 10)
+	if !strings.Contains(neg, "#####|") {
+		t.Errorf("negative bar = %q", neg)
+	}
+	if got := Bar(1000, 100, 10); !strings.Contains(got, "|##########") {
+		t.Errorf("clamped bar = %q", got)
+	}
+	if got := Bar(5, 0, 10); got != "|" {
+		t.Errorf("degenerate bar = %q", got)
+	}
+	// All bars of one scale share a width, so columns align.
+	if len(pos) != len(neg) {
+		t.Errorf("bar widths differ: %d vs %d", len(pos), len(neg))
+	}
+}

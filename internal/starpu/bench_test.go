@@ -1,0 +1,129 @@
+package starpu
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// benchRun measures end-to-end simulated task throughput for one
+// scheduler: submit a wide batch of independent tasks plus per-handle
+// chains, run to completion.
+func benchRun(b *testing.B, sched string, chains, depth int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		m := newTestMachine()
+		rt, err := New(m, Config{Scheduler: sched, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for c := 0; c < chains; c++ {
+			h := rt.Register(nil, 8, 64, 64)
+			for d := 0; d < depth; d++ {
+				if err := rt.Submit(&Task{
+					Codelet: anyCodelet, Handles: []*Handle{h},
+					Modes: []AccessMode{RW}, Work: units.Flops(1e8),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if _, err := rt.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(chains*depth*b.N)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+// BenchmarkSchedulers measures the simulation cost per policy on a
+// 64-chain x 16-deep DAG (1024 tasks).
+func BenchmarkSchedulers(b *testing.B) {
+	for _, sched := range SchedulerNames() {
+		b.Run(sched, func(b *testing.B) { benchRun(b, sched, 64, 16) })
+	}
+}
+
+// BenchmarkDependencyInference measures Submit with growing reader sets.
+func BenchmarkDependencyInference(b *testing.B) {
+	m := newTestMachine()
+	rt, err := New(m, Config{Scheduler: "eager"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	handles := make([]*Handle, 16)
+	for i := range handles {
+		handles[i] = rt.Register(nil, 8, 32, 32)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := handles[i%len(handles)]
+		mode := R
+		if i%8 == 0 {
+			mode = RW
+		}
+		if err := rt.Submit(&Task{Codelet: anyCodelet, Handles: []*Handle{h}, Modes: []AccessMode{mode}, Work: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunNumeric measures the host-parallel numeric executor.
+func BenchmarkRunNumeric(b *testing.B) {
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := newTestMachine()
+				rt, err := New(m, Config{Scheduler: "eager"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink := 0.0
+				for c := 0; c < 256; c++ {
+					h := rt.Register(nil, 8, 1, 1)
+					if err := rt.Submit(&Task{
+						Codelet: anyCodelet, Handles: []*Handle{h}, Modes: []AccessMode{RW},
+						Work: 1, Func: func() error { sink++; return nil },
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := rt.RunNumeric(par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMemoryPressure measures the runtime under heavy eviction:
+// a working set 4x the bounded node size streamed through two GPUs.
+func BenchmarkMemoryPressure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := &cappedMachine{testMachine: newTestMachine(), capacity: units.Bytes(8 * tileBytes)}
+		rt, err := New(m, Config{Scheduler: "dmda"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles := make([]*Handle, 64)
+		for j := range handles {
+			handles[j] = rt.Register(nil, 8, 64, 64)
+		}
+		for j := 0; j < 256; j++ {
+			h := handles[j%len(handles)]
+			mode := R
+			if j%4 == 0 {
+				mode = RW
+			}
+			if err := rt.Submit(&Task{Codelet: gpuOnly, Handles: []*Handle{h}, Modes: []AccessMode{mode}, Work: 1e8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := rt.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rt.MemoryStats().Evictions), "evictions")
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package starpu
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// cappedMachine bounds the GPU nodes of testMachine to a small size so
+// eviction triggers quickly.
+type cappedMachine struct {
+	*testMachine
+	capacity units.Bytes
+}
+
+func (m *cappedMachine) NodeCapacity(n int) units.Bytes {
+	if n == 0 {
+		return 0
+	}
+	return m.capacity
+}
+
+// tileBytes is one 64x64 float64 handle.
+const tileBytes = 64 * 64 * 8
+
+func newCappedRT(t *testing.T, tiles int) (*Runtime, *cappedMachine) {
+	t.Helper()
+	m := &cappedMachine{testMachine: newTestMachine(), capacity: units.Bytes(tiles * tileBytes)}
+	rt, err := New(m, Config{Scheduler: "eager"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, m
+}
+
+func TestEvictionKeepsNodeUnderCapacity(t *testing.T) {
+	rt, m := newCappedRT(t, 3) // room for 3 tiles per GPU
+	// 12 read-only tiles streamed through one GPU-only codelet each.
+	for i := 0; i < 12; i++ {
+		h := rt.Register(nil, 8, 64, 64)
+		if err := rt.Submit(&Task{Codelet: gpuOnly, Handles: []*Handle{h}, Modes: []AccessMode{R}, Work: 1e8,
+			Tag: fmt.Sprintf("t%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 2; n++ {
+		if used := rt.NodeUsage(n); used > m.capacity {
+			t.Errorf("node %d used %v > capacity %v", n, used, m.capacity)
+		}
+	}
+	if rt.MemoryStats().Evictions == 0 {
+		t.Error("streaming 12 tiles through 3-tile nodes caused no evictions")
+	}
+	// Read-only data still has its host copy: no writebacks needed.
+	if rt.MemoryStats().WritebackBytes != 0 {
+		t.Errorf("read-only streaming wrote back %v", rt.MemoryStats().WritebackBytes)
+	}
+}
+
+func TestEvictionWritesBackLastCopy(t *testing.T) {
+	rt, _ := newCappedRT(t, 2)
+	// Write tiles on the GPU (sole owner), then stream unrelated reads
+	// to force their eviction: last copies must be written back, never
+	// lost.
+	var written []*Handle
+	for i := 0; i < 2; i++ {
+		h := rt.Register(nil, 8, 64, 64)
+		written = append(written, h)
+		if err := rt.Submit(&Task{Codelet: gpuOnly, Handles: []*Handle{h}, Modes: []AccessMode{RW}, Work: 1e8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		h := rt.Register(nil, 8, 64, 64)
+		if err := rt.Submit(&Task{Codelet: gpuOnly, Handles: []*Handle{h}, Modes: []AccessMode{R}, Work: 1e8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.MemoryStats().WritebackBytes == 0 {
+		t.Error("no writebacks despite evicting sole GPU copies")
+	}
+	for i, h := range written {
+		if len(h.ValidNodes()) == 0 {
+			t.Errorf("written handle %d lost all copies", i)
+		}
+	}
+}
+
+func TestOversizedHandlePanics(t *testing.T) {
+	rt, _ := newCappedRT(t, 1)
+	h := rt.Register(nil, 8, 256, 256) // 512 KiB > 1-tile capacity
+	if err := rt.Submit(&Task{Codelet: gpuOnly, Handles: []*Handle{h}, Modes: []AccessMode{R}, Work: 1e8}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized working set did not panic (CUDA OOM equivalent)")
+		}
+	}()
+	rt.Run()
+}
+
+func TestPinsProtectRunningTasks(t *testing.T) {
+	// Capacity of 2 tiles; tasks use 2 handles each.  The pipeline may
+	// stage a second task while the first runs: the first task's tiles
+	// must never be evicted mid-run.  Completion without panic and under
+	// capacity is the invariant.
+	rt, m := newCappedRT(t, 2)
+	for i := 0; i < 6; i++ {
+		a := rt.Register(nil, 8, 64, 64)
+		b := rt.Register(nil, 8, 64, 64)
+		if err := rt.Submit(&Task{Codelet: gpuOnly, Handles: []*Handle{a, b}, Modes: []AccessMode{R, RW}, Work: 1e8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 2; n++ {
+		if used := rt.NodeUsage(n); used > m.capacity {
+			t.Errorf("node %d over capacity: %v", n, used)
+		}
+	}
+}
+
+func TestUnboundedMachineHasNoMemoryTracking(t *testing.T) {
+	rt, _ := newRT(t, "eager") // plain testMachine: no CapacityModel
+	h := rt.Register(nil, 8, 4096, 4096)
+	if err := rt.Submit(&Task{Codelet: gpuOnly, Handles: []*Handle{h}, Modes: []AccessMode{R}, Work: 1e8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.MemoryStats().Evictions != 0 || rt.NodeUsage(1) != 0 {
+		t.Error("unbounded machine tracked memory")
+	}
+}
+
+// TestEvictionStressNeverLosesData: random mixed R/RW streams through
+// tightly bounded nodes must terminate with every handle still valid
+// somewhere and capacity respected throughout.
+func TestEvictionStressNeverLosesData(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		m := &cappedMachine{testMachine: newTestMachine(), capacity: units.Bytes(4 * tileBytes)}
+		rt, err := New(m, Config{Scheduler: "ws", Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := newSeededRand(seed)
+		handles := make([]*Handle, 16)
+		for i := range handles {
+			handles[i] = rt.Register(nil, 8, 64, 64)
+		}
+		for i := 0; i < 120; i++ {
+			h := handles[rng.Intn(len(handles))]
+			mode := []AccessMode{R, RW, W}[rng.Intn(3)]
+			if err := rt.Submit(&Task{Codelet: anyCodelet, Handles: []*Handle{h}, Modes: []AccessMode{mode}, Work: 1e7}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := rt.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, h := range handles {
+			if len(h.ValidNodes()) == 0 {
+				t.Fatalf("seed %d: handle %d lost all copies", seed, i)
+			}
+		}
+		for n := 1; n <= 2; n++ {
+			if rt.NodeUsage(n) > m.capacity {
+				t.Fatalf("seed %d: node %d over capacity", seed, n)
+			}
+		}
+	}
+}

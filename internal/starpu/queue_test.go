@@ -1,0 +1,107 @@
+package starpu
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTaskQueueFIFO(t *testing.T) {
+	var q taskQueue
+	for i := 0; i < 5; i++ {
+		q.push(&Task{ID: i})
+	}
+	if q.len() != 5 {
+		t.Fatalf("len = %d", q.len())
+	}
+	for i := 0; i < 5; i++ {
+		if got := q.pop(); got.ID != i {
+			t.Fatalf("pop %d returned task %d", i, got.ID)
+		}
+	}
+	if q.pop() != nil {
+		t.Error("empty pop should return nil")
+	}
+}
+
+func TestTaskQueueSortedByPriority(t *testing.T) {
+	q := taskQueue{sorted: true}
+	prios := []int{2, 9, 4, 9, 1, 7}
+	for i, p := range prios {
+		q.push(&Task{ID: i, Priority: p})
+	}
+	var got []int
+	for q.len() > 0 {
+		got = append(got, q.pop().Priority)
+	}
+	if !sort.IsSorted(sort.Reverse(sort.IntSlice(got))) {
+		t.Errorf("priorities not descending: %v", got)
+	}
+}
+
+func TestTaskQueueEqualPriorityFIFO(t *testing.T) {
+	q := taskQueue{sorted: true}
+	for i := 0; i < 6; i++ {
+		q.push(&Task{ID: i, Priority: 5})
+	}
+	for i := 0; i < 6; i++ {
+		if got := q.pop(); got.ID != i {
+			t.Fatalf("equal-priority pop %d returned %d (not FIFO)", i, got.ID)
+		}
+	}
+}
+
+func TestTaskQueueSortedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := taskQueue{sorted: true}
+		n := rng.Intn(40) + 1
+		for i := 0; i < n; i++ {
+			q.push(&Task{ID: i, Priority: rng.Intn(8)})
+		}
+		prev := 1 << 30
+		for q.len() > 0 {
+			tk := q.pop()
+			if tk.Priority > prev {
+				return false
+			}
+			prev = tk.Priority
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopBestLocalPrefersResidentData(t *testing.T) {
+	m := newTestMachine()
+	rt, err := New(m, Config{Scheduler: "dmdas"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := rt.Register(nil, 8, 512, 512)
+	remote := rt.Register(nil, 8, 512, 512)
+	// Make `local` resident on node 1 (cuda0's memory).
+	local.valid[1] = true
+
+	q := taskQueue{sorted: true}
+	farTask := &Task{ID: 0, Priority: 5, Handles: []*Handle{remote}, Modes: []AccessMode{R}}
+	nearTask := &Task{ID: 1, Priority: 5, Handles: []*Handle{local}, Modes: []AccessMode{R}}
+	q.push(farTask)
+	q.push(nearTask)
+
+	got := q.popBestLocal(rt, 2) // worker 2 = cuda0 on node 1
+	if got != nearTask {
+		t.Errorf("popBestLocal returned task %d, want the data-local task", got.ID)
+	}
+	// Higher priority still wins over locality.
+	q2 := taskQueue{sorted: true}
+	urgent := &Task{ID: 2, Priority: 9, Handles: []*Handle{remote}, Modes: []AccessMode{R}}
+	q2.push(nearTask)
+	q2.push(urgent)
+	if got := q2.popBestLocal(rt, 2); got != urgent {
+		t.Errorf("priority should dominate locality, got task %d", got.ID)
+	}
+}

@@ -1,0 +1,491 @@
+package starpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+)
+
+// Worker is the runtime-side state of one processing unit.
+type Worker struct {
+	// ID indexes the worker within the runtime.
+	ID int
+	// Info is the machine's description.
+	Info WorkerInfo
+
+	// inflight counts tasks popped but not completed.  CUDA workers run
+	// a depth-2 pipeline — while one task computes, the next one's data
+	// stages over the link — reproducing StarPU's prefetching, which is
+	// what keeps GPUs busy when tile transfers approach kernel times.
+	inflight int
+	// blocked holds a popped task whose working set cannot be staged
+	// until running tasks unpin their data (bounded-memory nodes only).
+	blocked *Task
+	// computeFree is when the device's compute engine is next free.
+	computeFree units.Seconds
+	// expEnd is the scheduler's expected-availability horizon, the
+	// "exp_end" of StarPU's dequeue-model schedulers.
+	expEnd units.Seconds
+
+	// Statistics.
+	tasksRun int
+	busyTime units.Seconds
+	xferTime units.Seconds
+}
+
+// pipelineDepth reports how many tasks the worker may hold at once.
+func (w *Worker) pipelineDepth() int {
+	if w.Info.Kind == CUDAWorker {
+		return 2
+	}
+	return 1
+}
+
+// TasksRun reports how many tasks the worker executed.
+func (w *Worker) TasksRun() int { return w.tasksRun }
+
+// BusyTime reports the cumulated compute time.
+func (w *Worker) BusyTime() units.Seconds { return w.busyTime }
+
+// TransferTime reports the cumulated time the worker waited on data.
+func (w *Worker) TransferTime() units.Seconds { return w.xferTime }
+
+// Config selects the runtime's policy knobs.
+type Config struct {
+	// Scheduler names the policy: "eager", "random", "ws", "dm",
+	// "dmda", "dmdas" (default), or "calibrate".
+	Scheduler string
+	// Seed drives the randomised policies deterministically.
+	Seed int64
+	// Model is shared across runs so calibration survives; nil creates
+	// a fresh history model.
+	Model *perfmodel.History
+	// Regression, when set, records work/duration pairs alongside the
+	// history model.
+	Regression *perfmodel.Regression
+	// TransferPenalty weights the data-transfer term in the dmda/dmdas
+	// completion-time estimates (StarPU's --sched-beta).  Values above 1
+	// make placement stickier, avoiding tile ping-pong between devices
+	// when queue lengths fluctuate by less than a transfer.  Zero means
+	// the default of 2.5.
+	TransferPenalty float64
+	// DisableTransferModel zeroes all transfer costs (ablation).
+	DisableTransferModel bool
+}
+
+// Runtime executes submitted task DAGs on a Machine in virtual time.
+// It is not safe for concurrent use; submissions and Run happen from one
+// goroutine (the simulated world is single-threaded by design).
+type Runtime struct {
+	machine Machine
+	cfg     Config
+	sched   Scheduler
+	model   *perfmodel.History
+
+	workers  []*Worker
+	tasks    []*Task
+	handles  []*Handle
+	nPending int
+
+	// memory tracks bounded memory nodes (LRU eviction); nil when the
+	// machine does not bound any node.
+	memory   map[int]*nodeMemory
+	memStats MemoryStats
+
+	// lastWorker is the worker whose completion released the tasks
+	// currently being pushed (locality hint for work stealing).
+	lastWorker int
+}
+
+// New builds a runtime over machine with the given configuration.
+func New(machine Machine, cfg Config) (*Runtime, error) {
+	if cfg.Model == nil {
+		cfg.Model = perfmodel.NewHistory()
+	}
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = "dmdas"
+	}
+	if cfg.TransferPenalty == 0 {
+		cfg.TransferPenalty = 2.5
+	}
+	rt := &Runtime{machine: machine, cfg: cfg, model: cfg.Model, lastWorker: -1}
+	for i := 0; i < machine.NumWorkers(); i++ {
+		rt.workers = append(rt.workers, &Worker{ID: i, Info: machine.Worker(i)})
+	}
+	sched, err := newScheduler(cfg.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	rt.sched = sched
+	sched.Init(rt)
+	rt.initMemory()
+	return rt, nil
+}
+
+// Machine reports the underlying machine.
+func (rt *Runtime) Machine() Machine { return rt.machine }
+
+// Model reports the performance model in use.
+func (rt *Runtime) Model() *perfmodel.History { return rt.model }
+
+// SchedulerName reports the active policy.
+func (rt *Runtime) SchedulerName() string { return rt.sched.Name() }
+
+// Workers reports the runtime's worker states.
+func (rt *Runtime) Workers() []*Worker { return rt.workers }
+
+// Tasks reports every submitted task (timing fields are filled by Run).
+func (rt *Runtime) Tasks() []*Task { return rt.tasks }
+
+// Pending reports how many submitted tasks have not completed —
+// external controllers (dynamic capping) poll this to know when to stop
+// rescheduling themselves.
+func (rt *Runtime) Pending() int { return rt.nPending }
+
+// Register creates a data handle of the given dimensions and element
+// size.  data optionally carries the host payload for numeric runs.
+// Handles start valid on the host node only.
+func (rt *Runtime) Register(data interface{}, elemBytes units.Bytes, dims ...int) *Handle {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	h := &Handle{
+		id:    len(rt.handles),
+		bytes: units.Bytes(float64(n)) * elemBytes,
+		dims:  append([]int(nil), dims...),
+		data:  data,
+		valid: map[int]bool{0: true},
+	}
+	rt.handles = append(rt.handles, h)
+	return h
+}
+
+// Submit adds a task to the DAG.  Dependencies on earlier tasks are
+// inferred from data access order (sequential consistency): writers
+// depend on all prior accessors; readers depend on the prior writer.
+func (rt *Runtime) Submit(t *Task) error {
+	if t.Codelet == nil {
+		return fmt.Errorf("starpu: task without codelet")
+	}
+	if len(t.Handles) != len(t.Modes) {
+		return fmt.Errorf("starpu: task %q has %d handles but %d modes", t.Tag, len(t.Handles), len(t.Modes))
+	}
+	runnable := false
+	for i := range rt.workers {
+		if rt.machine.CanRun(i, t.Codelet) {
+			runnable = true
+			break
+		}
+	}
+	if !runnable {
+		return fmt.Errorf("starpu: no worker can run codelet %q", t.Codelet.Name)
+	}
+	t.ID = len(rt.tasks)
+	t.WorkerID = -1
+	t.SubmitT = rt.machine.Engine().Now()
+	deps := make(map[*Task]struct{})
+	for i, h := range t.Handles {
+		m := t.Modes[i]
+		if m.reads() && h.lastWriter != nil {
+			deps[h.lastWriter] = struct{}{}
+		}
+		if m.writes() {
+			if h.lastWriter != nil {
+				deps[h.lastWriter] = struct{}{}
+			}
+			for _, r := range h.readers {
+				deps[r] = struct{}{}
+			}
+		}
+	}
+	for _, d := range t.DependsOn {
+		if d == nil {
+			return fmt.Errorf("starpu: task %q declares a nil dependency", t.Tag)
+		}
+		deps[d] = struct{}{}
+	}
+	// Update access history after scanning all handles, so a task that
+	// both reads and writes the same handle does not depend on itself.
+	for i, h := range t.Handles {
+		m := t.Modes[i]
+		if m.writes() {
+			h.lastWriter = t
+			h.readers = h.readers[:0]
+		}
+		if m == R {
+			h.readers = append(h.readers, t)
+		}
+	}
+	delete(deps, t)
+	for d := range deps {
+		if !d.done {
+			t.ndeps++
+			d.succs = append(d.succs, t)
+		}
+	}
+	rt.tasks = append(rt.tasks, t)
+	rt.nPending++
+	if t.ndeps == 0 {
+		rt.markReady(t)
+	}
+	return nil
+}
+
+// markReady hands a dependency-free task to the scheduler.
+func (rt *Runtime) markReady(t *Task) {
+	t.ReadyT = rt.machine.Engine().Now()
+	rt.sched.Push(t)
+}
+
+// WakeWorker prompts a worker with pipeline room to poll the scheduler
+// (scheduled as a zero-delay event so it runs inside the simulation
+// loop).
+func (rt *Runtime) WakeWorker(i int) {
+	w := rt.workers[i]
+	if w.inflight >= w.pipelineDepth() {
+		return
+	}
+	rt.machine.Engine().After(0, func() { rt.tryStart(w) })
+}
+
+// WakeAll prompts every worker with pipeline room.
+func (rt *Runtime) WakeAll() {
+	for _, w := range rt.workers {
+		if w.inflight < w.pipelineDepth() {
+			w := w
+			rt.machine.Engine().After(0, func() { rt.tryStart(w) })
+		}
+	}
+}
+
+// tryStart pulls work for a worker with pipeline room and schedules its
+// execution: data staging on the links now, compute when both the data
+// and the device's compute engine are available.  Tasks whose working
+// set cannot be staged while running tasks pin the node's memory wait
+// in the worker's blocked slot and retry on the next completion.
+func (rt *Runtime) tryStart(w *Worker) {
+	for w.inflight < w.pipelineDepth() {
+		var t *Task
+		if w.blocked != nil {
+			if !rt.canFit(w.blocked, w.Info.Node) {
+				return // still waiting for pins to release
+			}
+			t, w.blocked = w.blocked, nil
+		} else {
+			t = rt.sched.Pop(w)
+			if t == nil {
+				return
+			}
+			if !rt.canFit(t, w.Info.Node) {
+				rt.assertCouldFit(t, w.Info.Node)
+				w.blocked = t
+				return
+			}
+		}
+		rt.startTask(w, t)
+	}
+}
+
+// startTask commits t to w: memory staging, coherence, timing, power.
+func (rt *Runtime) startTask(w *Worker, t *Task) {
+	w.inflight++
+	engine := rt.machine.Engine()
+	now := engine.Now()
+
+	// Make room on bounded nodes first: evictions (and any writebacks of
+	// last copies) must complete before the incoming transfers start.
+	node := w.Info.Node
+	stageAt := now
+	for _, h := range t.Handles {
+		if r := rt.ensureResident(h, node, now); r > stageAt {
+			stageAt = r
+		}
+	}
+	rt.pinHandles(t, node)
+
+	// Stage the data: one transfer per handle lacking a valid copy on
+	// the worker's node.  Write-only accesses allocate without fetching
+	// (StarPU does not transfer for STARPU_W).  Transfers serialize on
+	// their links.
+	ready := stageAt
+	for i, h := range t.Handles {
+		if h.valid[node] {
+			continue
+		}
+		if t.Modes[i] == W {
+			h.valid[node] = true
+			continue
+		}
+		src := rt.pickSource(h, node)
+		var end units.Seconds
+		if rt.cfg.DisableTransferModel {
+			end = stageAt
+		} else {
+			_, end = rt.machine.ReserveLink(src, node, stageAt, h.bytes)
+		}
+		if end > ready {
+			ready = end
+		}
+		t.TransferBytes += h.bytes
+		// The copy becomes valid on the destination; reads keep other
+		// copies valid, writes invalidate them below.
+		h.valid[node] = true
+	}
+	// Coherence: writes leave the writer's node as sole owner.
+	for i, h := range t.Handles {
+		if t.Modes[i].writes() {
+			for n := range h.valid {
+				if n != node {
+					rt.dropInvalid(h, n)
+				}
+				delete(h.valid, n)
+			}
+			h.valid[node] = true
+		}
+	}
+
+	dur := rt.machine.Exec(w.ID, t)
+	if math.IsInf(float64(dur), 0) || math.IsNaN(float64(dur)) {
+		panic(fmt.Sprintf("starpu: machine returned invalid duration %v for %q on worker %d", dur, t.Codelet.Name, w.ID))
+	}
+	start := ready
+	if w.computeFree > start {
+		start = w.computeFree
+	}
+	t.WorkerID = w.ID
+	t.StartT = start
+	t.EndT = start + dur
+	w.computeFree = t.EndT
+	w.xferTime += ready - now
+	w.busyTime += dur
+	engine.At(start, func() {
+		rt.machine.OnTaskStart(w.ID, t)
+		// The staging slot is free once compute begins: prefetch the
+		// next task's data while this one runs.
+		rt.tryStart(w)
+	})
+	engine.At(t.EndT, func() { rt.complete(w, t) })
+}
+
+// pickSource chooses the node to copy h from: the valid node with the
+// cheapest path to dst.
+func (rt *Runtime) pickSource(h *Handle, dst int) int {
+	best, bestT := 0, units.Seconds(math.Inf(1))
+	for n, ok := range h.valid {
+		if !ok {
+			continue
+		}
+		tt := rt.machine.TransferTime(n, dst, h.bytes)
+		if tt < bestT {
+			best, bestT = n, tt
+		}
+	}
+	return best
+}
+
+// complete finishes t on w: power bookkeeping, model recording,
+// dependency release.
+func (rt *Runtime) complete(w *Worker, t *Task) {
+	rt.machine.OnTaskEnd(w.ID, t)
+	rt.unpinHandles(t, w.Info.Node)
+	t.done = true
+	w.tasksRun++
+	rt.nPending--
+
+	key := perfmodel.Key{
+		Codelet:     t.Codelet.Name,
+		Footprint:   t.Footprint(),
+		WorkerClass: rt.machine.WorkerClass(w.ID),
+	}
+	rt.model.Record(key, t.Duration())
+	if rt.cfg.Regression != nil {
+		rt.cfg.Regression.Record(t.Codelet.Name, key.WorkerClass, t.Work, t.Duration())
+	}
+
+	rt.lastWorker = w.ID
+	if t.OnComplete != nil {
+		t.OnComplete(t)
+	}
+	for _, s := range t.succs {
+		s.ndeps--
+		if s.ndeps == 0 {
+			rt.markReady(s)
+		}
+	}
+	w.inflight--
+	rt.tryStart(w)
+}
+
+// Run executes all submitted tasks to completion in virtual time and
+// returns the makespan (time from the first Run of this batch to the
+// last task completion).  Run may be called repeatedly with fresh
+// submissions; the clock keeps advancing monotonically.
+func (rt *Runtime) Run() (units.Seconds, error) {
+	engine := rt.machine.Engine()
+	start := engine.Now()
+	rt.WakeAll()
+	engine.Run()
+	if rt.nPending > 0 {
+		return 0, fmt.Errorf("starpu: %d tasks never ran (scheduler %q stalled or dependency cycle)", rt.nPending, rt.sched.Name())
+	}
+	return engine.Now() - start, nil
+}
+
+// estimate reports the model's prediction for t on worker i, falling
+// back to a work-proportional guess while uncalibrated.
+func (rt *Runtime) estimate(t *Task, i int) (units.Seconds, bool) {
+	key := perfmodel.Key{
+		Codelet:     t.Codelet.Name,
+		Footprint:   t.Footprint(),
+		WorkerClass: rt.machine.WorkerClass(i),
+	}
+	if d, ok := rt.model.Estimate(key); ok {
+		return d, true
+	}
+	if rt.cfg.Regression != nil {
+		if d, ok := rt.cfg.Regression.Estimate(t.Codelet.Name, key.WorkerClass, t.Work); ok {
+			return d, true
+		}
+	}
+	// Uncalibrated fallback: a crude flat rate that at least prefers
+	// GPUs, as StarPU's eager warm-up would discover quickly.
+	rate := 5e9
+	if rt.workers[i].Info.Kind == CUDAWorker {
+		rate = 1e12
+	}
+	return units.Seconds(float64(t.Work) / rate), false
+}
+
+// transferEstimate reports dmda's data-arrival cost for t on worker i:
+// the uncontended transfer time of every handle missing from i's node.
+func (rt *Runtime) transferEstimate(t *Task, i int) units.Seconds {
+	if rt.cfg.DisableTransferModel {
+		return 0
+	}
+	node := rt.workers[i].Info.Node
+	var sum units.Seconds
+	for _, h := range t.Handles {
+		if h.valid[node] {
+			continue
+		}
+		src := rt.pickSource(h, node)
+		sum += rt.machine.TransferTime(src, node, h.bytes)
+	}
+	return units.Seconds(float64(sum) * rt.cfg.TransferPenalty)
+}
+
+// localBytes reports how many of t's input bytes already sit on worker
+// i's node (dmdas's locality tie-break).
+func (rt *Runtime) localBytes(t *Task, i int) units.Bytes {
+	node := rt.workers[i].Info.Node
+	var sum units.Bytes
+	for _, h := range t.Handles {
+		if h.valid[node] {
+			sum += h.bytes
+		}
+	}
+	return sum
+}

@@ -1,0 +1,402 @@
+package starpu
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/units"
+)
+
+// Scheduler is a task-placement policy.  Push is called once per task
+// when it becomes dependency-free; Pop is called by idle workers.
+type Scheduler interface {
+	// Name reports the policy name.
+	Name() string
+	// Init binds the scheduler to its runtime.
+	Init(rt *Runtime)
+	// Push enqueues a ready task.
+	Push(t *Task)
+	// Pop hands a task to an idle worker, or nil.
+	Pop(w *Worker) *Task
+}
+
+// newScheduler builds a policy by name.
+func newScheduler(name string) (Scheduler, error) {
+	switch name {
+	case "eager":
+		return &eagerSched{}, nil
+	case "random":
+		return &randomSched{}, nil
+	case "ws":
+		return &wsSched{}, nil
+	case "dm":
+		return &dmSched{name: "dm"}, nil
+	case "dmda":
+		return &dmSched{name: "dmda", dataAware: true}, nil
+	case "dmdas":
+		return &dmSched{name: "dmdas", dataAware: true, sorted: true}, nil
+	case "dmdae":
+		return newDmdae(), nil
+	case "calibrate":
+		return &calibrateSched{}, nil
+	}
+	return nil, fmt.Errorf("starpu: unknown scheduler %q (eager, random, ws, dm, dmda, dmdas, dmdae, calibrate)", name)
+}
+
+// SchedulerNames lists the available policies.
+func SchedulerNames() []string {
+	return []string{"eager", "random", "ws", "dm", "dmda", "dmdas", "dmdae", "calibrate"}
+}
+
+// ---------------------------------------------------------------- eager
+
+// eagerSched is StarPU's eager policy: one shared FIFO; workers grab the
+// first task they can run.
+type eagerSched struct {
+	rt    *Runtime
+	queue []*Task
+}
+
+func (s *eagerSched) Name() string     { return "eager" }
+func (s *eagerSched) Init(rt *Runtime) { s.rt = rt }
+func (s *eagerSched) Push(t *Task) {
+	s.queue = append(s.queue, t)
+	s.rt.WakeAll()
+}
+
+func (s *eagerSched) Pop(w *Worker) *Task {
+	for i, t := range s.queue {
+		if s.rt.machine.CanRun(w.ID, t.Codelet) {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return t
+		}
+	}
+	return nil
+}
+
+// --------------------------------------------------------------- random
+
+// randomSched assigns each ready task to a uniformly random eligible
+// worker (StarPU's random policy, the paper's lower baseline).
+type randomSched struct {
+	rt     *Runtime
+	rng    *rand.Rand
+	queues [][]*Task
+}
+
+func (s *randomSched) Name() string { return "random" }
+func (s *randomSched) Init(rt *Runtime) {
+	s.rt = rt
+	s.rng = rand.New(rand.NewSource(rt.cfg.Seed + 1))
+	s.queues = make([][]*Task, rt.machine.NumWorkers())
+}
+
+func (s *randomSched) Push(t *Task) {
+	var eligible []int
+	for i := range s.queues {
+		if s.rt.machine.CanRun(i, t.Codelet) {
+			eligible = append(eligible, i)
+		}
+	}
+	target := eligible[s.rng.Intn(len(eligible))]
+	s.queues[target] = append(s.queues[target], t)
+	s.rt.WakeWorker(target)
+}
+
+func (s *randomSched) Pop(w *Worker) *Task {
+	q := s.queues[w.ID]
+	if len(q) == 0 {
+		return nil
+	}
+	t := q[0]
+	s.queues[w.ID] = q[1:]
+	return t
+}
+
+// ------------------------------------------------------- work stealing
+
+// wsSched is a locality-aware work-stealing policy: tasks are pushed to
+// the worker that released them; idle workers pop LIFO locally and steal
+// FIFO from victims.
+type wsSched struct {
+	rt     *Runtime
+	rng    *rand.Rand
+	deques [][]*Task
+}
+
+func (s *wsSched) Name() string { return "ws" }
+func (s *wsSched) Init(rt *Runtime) {
+	s.rt = rt
+	s.rng = rand.New(rand.NewSource(rt.cfg.Seed + 2))
+	s.deques = make([][]*Task, rt.machine.NumWorkers())
+}
+
+func (s *wsSched) Push(t *Task) {
+	home := s.rt.lastWorker
+	if home < 0 || !s.rt.machine.CanRun(home, t.Codelet) {
+		// Initial tasks (or ineligible home): spread over eligible workers.
+		var eligible []int
+		for i := 0; i < s.rt.machine.NumWorkers(); i++ {
+			if s.rt.machine.CanRun(i, t.Codelet) {
+				eligible = append(eligible, i)
+			}
+		}
+		home = eligible[s.rng.Intn(len(eligible))]
+	}
+	s.deques[home] = append(s.deques[home], t)
+	s.rt.WakeAll() // thieves may now find work
+}
+
+func (s *wsSched) Pop(w *Worker) *Task {
+	// Local LIFO.
+	q := s.deques[w.ID]
+	for i := len(q) - 1; i >= 0; i-- {
+		if s.rt.machine.CanRun(w.ID, q[i].Codelet) {
+			t := q[i]
+			s.deques[w.ID] = append(q[:i], q[i+1:]...)
+			return t
+		}
+	}
+	// Steal FIFO from a random starting victim.
+	n := len(s.deques)
+	off := s.rng.Intn(n)
+	for k := 0; k < n; k++ {
+		v := (off + k) % n
+		if v == w.ID {
+			continue
+		}
+		vq := s.deques[v]
+		for i, t := range vq {
+			if s.rt.machine.CanRun(w.ID, t.Codelet) {
+				s.deques[v] = append(vq[:i], vq[i+1:]...)
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------- dequeue model family
+
+// dmSched implements the dequeue-model family (§III-B):
+//
+//	dm    — place on the worker minimising expected completion time
+//	        using the performance models (HEFT-like; "heft-tm-pr").
+//	dmda  — additionally count the data-transfer time to the worker's
+//	        memory node ("heft-tmdp-pr").
+//	dmdas — additionally keep per-worker queues sorted by the priority
+//	        the application expert assigned, breaking ties towards tasks
+//	        whose data already sits on the device.
+type dmSched struct {
+	name      string
+	dataAware bool
+	sorted    bool
+	rt        *Runtime
+	queues    []taskQueue
+}
+
+func (s *dmSched) Name() string { return s.name }
+func (s *dmSched) Init(rt *Runtime) {
+	s.rt = rt
+	s.queues = make([]taskQueue, rt.machine.NumWorkers())
+	for i := range s.queues {
+		s.queues[i].sorted = s.sorted
+	}
+}
+
+func (s *dmSched) Push(t *Task) {
+	now := s.rt.machine.Engine().Now()
+	best := -1
+	bestMetric := units.Seconds(math.Inf(1))
+	var bestECT units.Seconds
+	for i := 0; i < s.rt.machine.NumWorkers(); i++ {
+		if !s.rt.machine.CanRun(i, t.Codelet) {
+			continue
+		}
+		w := s.rt.workers[i]
+		avail := w.expEnd
+		if now > avail {
+			avail = now
+		}
+		est, _ := s.rt.estimate(t, i)
+		// ect is when the worker's compute engine would finish this
+		// task; the (weighted) transfer term only biases the choice —
+		// staging overlaps compute, so it must not inflate exp_end.
+		ect := avail + est
+		metric := ect
+		if s.dataAware {
+			metric += s.rt.transferEstimate(t, i)
+		}
+		if metric < bestMetric {
+			best, bestMetric, bestECT = i, metric, ect
+		}
+	}
+	if best < 0 {
+		panic("starpu: dm push found no eligible worker (Submit should have rejected)")
+	}
+	s.rt.workers[best].expEnd = bestECT
+	s.queues[best].push(t)
+	s.rt.WakeWorker(best)
+}
+
+func (s *dmSched) Pop(w *Worker) *Task {
+	q := &s.queues[w.ID]
+	if q.len() == 0 {
+		return nil
+	}
+	if s.sorted {
+		return q.popBestLocal(s.rt, w.ID)
+	}
+	return q.pop()
+}
+
+// ------------------------------------------------------------ calibrate
+
+// calibrateSched spreads every (codelet, footprint) class round-robin
+// over all eligible workers, so one calibration pass populates the
+// history model for each worker class — StarPU's forced-calibration
+// behaviour after a power-state change.
+type calibrateSched struct {
+	rt     *Runtime
+	counts map[string][]int // class key -> per-worker sample count
+	queues [][]*Task
+}
+
+func (s *calibrateSched) Name() string { return "calibrate" }
+func (s *calibrateSched) Init(rt *Runtime) {
+	s.rt = rt
+	s.counts = make(map[string][]int)
+	s.queues = make([][]*Task, rt.machine.NumWorkers())
+}
+
+func (s *calibrateSched) Push(t *Task) {
+	key := fmt.Sprintf("%s/%x", t.Codelet.Name, t.Footprint())
+	c, ok := s.counts[key]
+	if !ok {
+		c = make([]int, s.rt.machine.NumWorkers())
+		s.counts[key] = c
+	}
+	best, bestN := -1, math.MaxInt
+	for i := range c {
+		if !s.rt.machine.CanRun(i, t.Codelet) {
+			continue
+		}
+		// Weight CPU workers down: one sample per class suffices and CPU
+		// kernels are ~20x slower, so flooding them would dominate the
+		// calibration makespan.
+		n := c[i] + len(s.queues[i])
+		if s.rt.workers[i].Info.Kind == CPUWorker {
+			n *= 8
+		}
+		if n < bestN {
+			best, bestN = i, n
+		}
+	}
+	c[best]++
+	s.queues[best] = append(s.queues[best], t)
+	s.rt.WakeWorker(best)
+}
+
+func (s *calibrateSched) Pop(w *Worker) *Task {
+	q := s.queues[w.ID]
+	if len(q) == 0 {
+		return nil
+	}
+	t := q[0]
+	s.queues[w.ID] = q[1:]
+	return t
+}
+
+// ------------------------------------------------------------ taskQueue
+
+// taskQueue is FIFO by default; when sorted, it is a priority queue
+// ordered by task priority (descending) then readiness order.
+type taskQueue struct {
+	sorted bool
+	fifo   []*Task
+	heap   taskHeap
+	seq    int
+}
+
+func (q *taskQueue) len() int {
+	if q.sorted {
+		return len(q.heap)
+	}
+	return len(q.fifo)
+}
+
+func (q *taskQueue) push(t *Task) {
+	if q.sorted {
+		q.seq++
+		heap.Push(&q.heap, heapItem{t: t, seq: q.seq})
+		return
+	}
+	q.fifo = append(q.fifo, t)
+}
+
+func (q *taskQueue) pop() *Task {
+	if q.sorted {
+		if len(q.heap) == 0 {
+			return nil
+		}
+		return heap.Pop(&q.heap).(heapItem).t
+	}
+	if len(q.fifo) == 0 {
+		return nil
+	}
+	t := q.fifo[0]
+	q.fifo = q.fifo[1:]
+	return t
+}
+
+// popBestLocal pops the highest-priority task, preferring — among the
+// front tasks of equal priority — the one with the most bytes already
+// resident on worker node (dmdas's data-locality tie-break).
+func (q *taskQueue) popBestLocal(rt *Runtime, workerID int) *Task {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	const window = 8
+	top := heap.Pop(&q.heap).(heapItem)
+	bestItem, bestLocal := top, rt.localBytes(top.t, workerID)
+	var rest []heapItem
+	for len(q.heap) > 0 && len(rest) < window-1 && q.heap[0].t.Priority == top.t.Priority {
+		it := heap.Pop(&q.heap).(heapItem)
+		if lb := rt.localBytes(it.t, workerID); lb > bestLocal {
+			rest = append(rest, bestItem)
+			bestItem, bestLocal = it, lb
+		} else {
+			rest = append(rest, it)
+		}
+	}
+	for _, it := range rest {
+		heap.Push(&q.heap, it)
+	}
+	return bestItem.t
+}
+
+type heapItem struct {
+	t   *Task
+	seq int
+}
+
+type taskHeap []heapItem
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].t.Priority != h[j].t.Priority {
+		return h[i].t.Priority > h[j].t.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *taskHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,168 @@
+// Package starpu reimplements the core of the StarPU task-based runtime
+// system the paper builds on: data handles with MSI coherence across
+// memory nodes, implicit dependency inference from data access order
+// (sequential consistency), history-based performance models and the
+// dequeue-model scheduler family (dm, dmda, dmdas) next to baseline
+// policies (eager, random, work stealing).
+//
+// Applications submit tasks against data handles; the runtime executes
+// the DAG either in virtual time on a simulated machine (for the energy
+// experiments) or numerically on host goroutines (for correctness
+// validation of the same DAG).
+package starpu
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/prec"
+	"repro/internal/units"
+)
+
+// AccessMode declares how a task uses one of its handles.
+type AccessMode int
+
+// Access modes, mirroring StarPU's STARPU_R / STARPU_W / STARPU_RW.
+const (
+	R AccessMode = iota
+	W
+	RW
+)
+
+// String reports "R", "W" or "RW".
+func (m AccessMode) String() string {
+	switch m {
+	case R:
+		return "R"
+	case W:
+		return "W"
+	case RW:
+		return "RW"
+	}
+	return fmt.Sprintf("AccessMode(%d)", int(m))
+}
+
+func (m AccessMode) writes() bool { return m == W || m == RW }
+func (m AccessMode) reads() bool  { return m == R || m == RW }
+
+// Codelet describes a kernel: where it can run and how the machine
+// model should cost it.
+type Codelet struct {
+	// Name keys the performance model ("dgemm", "spotrf", ...).
+	Name string
+	// Precision selects the device performance curves.
+	Precision prec.Precision
+	// CanCPU / CanCUDA restrict eligible worker kinds.
+	CanCPU, CanCUDA bool
+	// GPUEfficiency and CPUEfficiency derate the device's GEMM-class
+	// rate for this kernel (1 = GEMM-like; panel factorisations lower).
+	// Zero means 1.
+	GPUEfficiency, CPUEfficiency float64
+}
+
+// Task is one node of the application DAG.
+type Task struct {
+	// ID is assigned at submission, in submission order.
+	ID int
+	// Codelet is the kernel this task runs.
+	Codelet *Codelet
+	// Handles and Modes list the data accesses (parallel slices).
+	Handles []*Handle
+	Modes   []AccessMode
+	// Priority orders tasks in priority-aware schedulers (higher first);
+	// Chameleon sets these per algorithm step.
+	Priority int
+	// Work is the task's flop count, used by the machine model and the
+	// regression performance model.
+	Work units.Flops
+	// Func is the optional numeric body run by RunNumeric.
+	Func func() error
+	// Tag is a free-form label for traces ("gemm(2,3,1)").
+	Tag string
+	// DependsOn adds explicit predecessors on top of the implicit
+	// data-driven ones (StarPU's starpu_task_declare_deps).
+	DependsOn []*Task
+	// OnComplete, when set, fires inside the simulation loop right
+	// after the task finishes (progress reporting, chained submission).
+	OnComplete func(*Task)
+
+	// Dependency state (owned by the runtime).
+	ndeps int
+	succs []*Task
+
+	// Placement results (filled by the simulated run).
+	WorkerID      int
+	SubmitT       units.Seconds
+	ReadyT        units.Seconds
+	StartT        units.Seconds // compute start (transfers done)
+	EndT          units.Seconds
+	TransferBytes units.Bytes
+
+	done bool
+}
+
+// Duration reports the task's compute time in the simulated run.
+func (t *Task) Duration() units.Seconds { return t.EndT - t.StartT }
+
+// Successors reports the tasks depending on t (read-only; used by the
+// trace package's critical-path analysis).
+func (t *Task) Successors() []*Task { return t.succs }
+
+// Footprint hashes the task's buffer geometry, mirroring StarPU's
+// per-size history buckets.
+func (t *Task) Footprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, hd := range t.Handles {
+		for _, d := range hd.dims {
+			put(uint64(d))
+		}
+	}
+	return h.Sum64()
+}
+
+// Handle is a registered piece of data (a matrix tile).  Its access
+// history drives implicit dependency inference, and its per-node
+// validity set implements MSI coherence during the simulated run.
+type Handle struct {
+	id    int
+	bytes units.Bytes
+	dims  []int
+	data  interface{}
+
+	// valid[n] reports node n holds an up-to-date copy.
+	valid map[int]bool
+
+	// Sequential-consistency bookkeeping.
+	lastWriter *Task
+	readers    []*Task
+}
+
+// Bytes reports the handle's size.
+func (h *Handle) Bytes() units.Bytes { return h.bytes }
+
+// Dims reports the registered dimensions.
+func (h *Handle) Dims() []int { return h.dims }
+
+// Data reports the host payload registered with the handle (may be nil).
+func (h *Handle) Data() interface{} { return h.data }
+
+// ValidOn reports whether node n holds an up-to-date copy.
+func (h *Handle) ValidOn(n int) bool { return h.valid[n] }
+
+// ValidNodes lists nodes holding up-to-date copies (unordered).
+func (h *Handle) ValidNodes() []int {
+	out := make([]int, 0, len(h.valid))
+	for n, ok := range h.valid {
+		if ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/starpu"
+)
+
+// Chrome Trace Event Format export: the run opens directly in
+// chrome://tracing or https://ui.perfetto.dev, one timeline row per
+// worker — the closest equivalent of StarPU's ViTE trace visualisation.
+
+// chromeEvent is one "complete" (ph=X) event; timestamps and durations
+// are in microseconds per the format.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeMeta names a process/thread row (ph=M metadata events).
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// WriteChromeTrace emits the executed DAG as a Chrome Trace JSON array:
+// one thread per worker, one complete event per task (compute phase).
+func WriteChromeTrace(w io.Writer, rt *starpu.Runtime) error {
+	var objs []interface{}
+	for _, wk := range rt.Workers() {
+		objs = append(objs, chromeMeta{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: wk.ID,
+			Args: map[string]string{"name": fmt.Sprintf("%s (%s)", wk.Info.Name, wk.Info.Kind)},
+		})
+	}
+	objs = append(objs, chromeMeta{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]string{"name": "simulated node"},
+	})
+	for _, t := range rt.Tasks() {
+		if t.WorkerID < 0 {
+			continue
+		}
+		objs = append(objs, chromeEvent{
+			Name: t.Codelet.Name,
+			Cat:  t.Codelet.Name,
+			Ph:   "X",
+			Ts:   float64(t.StartT) * 1e6,
+			Dur:  float64(t.Duration()) * 1e6,
+			Pid:  0,
+			Tid:  t.WorkerID,
+			Args: map[string]string{
+				"tag":      t.Tag,
+				"priority": fmt.Sprintf("%d", t.Priority),
+				"work":     t.Work.String(),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(objs)
+}

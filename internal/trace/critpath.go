@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"repro/internal/starpu"
+	"repro/internal/units"
+)
+
+// CriticalPath summarises the longest dependency chain of an executed
+// DAG, weighted by the measured per-task compute durations.  The paper
+// leans on this notion for POTRF ("the critical path comprises numerous
+// tasks that are executed on the CPU"), because whatever sits on it
+// bounds the makespan regardless of how many devices are idle.
+type CriticalPath struct {
+	// Length is the summed compute time along the heaviest chain.
+	Length units.Seconds
+	// Tasks is the chain itself, source to sink.
+	Tasks []*starpu.Task
+	// CPUTime and CPUTasks measure how much of the chain ran on CPU
+	// workers (the paper's POTRF observation).
+	CPUTime  units.Seconds
+	CPUTasks int
+	// Bound is Length divided by the observed makespan: how close the
+	// schedule came to its dependency-imposed floor (<= 1 means the
+	// makespan was not critical-path bound).
+	Bound float64
+}
+
+// ComputeCriticalPath finds the heaviest dependency chain of a finished
+// runtime using the measured durations.
+func ComputeCriticalPath(rt *starpu.Runtime) *CriticalPath {
+	tasks := rt.Tasks()
+	if len(tasks) == 0 {
+		return &CriticalPath{}
+	}
+	// Longest path in a DAG: process in reverse submission order.
+	// Submission order is a valid topological order because implicit
+	// dependencies only ever point backwards in submission time.
+	dist := make(map[*starpu.Task]units.Seconds, len(tasks))
+	next := make(map[*starpu.Task]*starpu.Task, len(tasks))
+	for i := len(tasks) - 1; i >= 0; i-- {
+		t := tasks[i]
+		best := units.Seconds(0)
+		var bestSucc *starpu.Task
+		for _, s := range t.Successors() {
+			if dist[s] > best {
+				best, bestSucc = dist[s], s
+			}
+		}
+		dist[t] = t.Duration() + best
+		next[t] = bestSucc
+	}
+	var head *starpu.Task
+	for _, t := range tasks {
+		if head == nil || dist[t] > dist[head] {
+			head = t
+		}
+	}
+	cp := &CriticalPath{Length: dist[head]}
+	for t := head; t != nil; t = next[t] {
+		cp.Tasks = append(cp.Tasks, t)
+		if t.WorkerID >= 0 && rt.Workers()[t.WorkerID].Info.Kind == starpu.CPUWorker {
+			cp.CPUTasks++
+			cp.CPUTime += t.Duration()
+		}
+	}
+	stats := Collect(rt)
+	if stats.Makespan > 0 {
+		cp.Bound = float64(cp.Length) / float64(stats.Makespan)
+	}
+	return cp
+}
+
+// CPUShare reports the fraction of the chain's time spent on CPUs.
+func (cp *CriticalPath) CPUShare() float64 {
+	if cp.Length <= 0 {
+		return 0
+	}
+	return float64(cp.CPUTime) / float64(cp.Length)
+}

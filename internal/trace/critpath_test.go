@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/chameleon"
+	"repro/internal/platform"
+	"repro/internal/starpu"
+)
+
+func TestCriticalPathOfChain(t *testing.T) {
+	// A pure chain: the critical path is the whole DAG and bounds the
+	// makespan exactly.
+	p, err := platform.New(platform.TwoV100Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := starpu.New(p, starpu.Config{Scheduler: "eager"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := chameleon.Codelet("dgemm")
+	h := rt.Register(nil, 8, 512, 512)
+	const n = 7
+	for i := 0; i < n; i++ {
+		if err := rt.Submit(&starpu.Task{Codelet: cl, Handles: []*starpu.Handle{h},
+			Modes: []starpu.AccessMode{starpu.RW}, Work: 1e9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cp := ComputeCriticalPath(rt)
+	if len(cp.Tasks) != n {
+		t.Errorf("chain critical path has %d tasks, want %d", len(cp.Tasks), n)
+	}
+	if cp.Bound < 0.8 || cp.Bound > 1.0001 {
+		t.Errorf("chain bound = %.3f, want ~1 (makespan is the chain)", cp.Bound)
+	}
+}
+
+// TestPotrfCriticalPathOnCPU validates the paper's §III-C observation:
+// the POTRF critical path runs through the CPU-only panel tasks.
+func TestPotrfCriticalPathOnCPU(t *testing.T) {
+	p, err := platform.New(platform.FourA100Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := starpu.New(p, starpu.Config{Scheduler: "dmdas"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := chameleon.NewDesc[float64](rt, 2880*12, 2880, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chameleon.Potrf(rt, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cp := ComputeCriticalPath(rt)
+	if cp.CPUTasks == 0 {
+		t.Fatal("POTRF critical path contains no CPU tasks")
+	}
+	if cp.CPUShare() < 0.3 {
+		t.Errorf("CPU share of POTRF critical path = %.2f, want substantial (panels are CPU-only)", cp.CPUShare())
+	}
+	// Every potrf panel must sit on the chain (they serialise the steps).
+	panels := 0
+	for _, tk := range cp.Tasks {
+		if tk.Codelet.Name == "dpotrf" {
+			panels++
+		}
+	}
+	if panels < 10 {
+		t.Errorf("only %d of 12 panels on the critical path", panels)
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	p, err := platform.New(platform.TwoV100Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := starpu.New(p, starpu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := ComputeCriticalPath(rt)
+	if cp.Length != 0 || len(cp.Tasks) != 0 || cp.CPUShare() != 0 {
+		t.Errorf("empty critical path = %+v", cp)
+	}
+}

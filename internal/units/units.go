@@ -1,0 +1,152 @@
+// Package units defines the physical quantities used throughout the
+// simulator: power in watts, energy in joules, work in floating-point
+// operations, data in bytes and simulated durations in seconds.
+//
+// All quantities are float64 wrappers.  Keeping them as distinct named
+// types catches unit mix-ups at compile time (a Watts value cannot be
+// passed where Joules is expected) while staying allocation-free.
+package units
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Watts is instantaneous power.
+type Watts float64
+
+// Joules is energy.
+type Joules float64
+
+// Flops is an amount of floating-point work (operations, not a rate).
+type Flops float64
+
+// FlopsPerSec is a computation rate.
+type FlopsPerSec float64
+
+// Bytes is a data volume.
+type Bytes float64
+
+// BytesPerSec is a transfer rate.
+type BytesPerSec float64
+
+// Seconds is a simulated duration or timestamp.
+type Seconds float64
+
+// Hertz is a clock frequency.
+type Hertz float64
+
+// Common scale factors.
+const (
+	Kilo = 1e3
+	Mega = 1e6
+	Giga = 1e9
+	Tera = 1e12
+)
+
+// GFlopsPerSec converts a raw gigaflop/s figure to a FlopsPerSec value.
+func GFlopsPerSec(g float64) FlopsPerSec { return FlopsPerSec(g * Giga) }
+
+// GBytesPerSec converts a raw GB/s figure to a BytesPerSec value.
+func GBytesPerSec(g float64) BytesPerSec { return BytesPerSec(g * Giga) }
+
+// Energy accumulated over dt at power p.
+func Energy(p Watts, dt Seconds) Joules { return Joules(float64(p) * float64(dt)) }
+
+// Power is the average power that spends e within dt. It reports 0 for
+// non-positive durations.
+func Power(e Joules, dt Seconds) Watts {
+	if dt <= 0 {
+		return 0
+	}
+	return Watts(float64(e) / float64(dt))
+}
+
+// Rate is the throughput achieving work within dt. It reports 0 for
+// non-positive durations.
+func Rate(work Flops, dt Seconds) FlopsPerSec {
+	if dt <= 0 {
+		return 0
+	}
+	return FlopsPerSec(float64(work) / float64(dt))
+}
+
+// DurationFor reports the time needed to process work at rate r.
+// It reports +Inf when the rate is not positive.
+func DurationFor(work Flops, r FlopsPerSec) Seconds {
+	if r <= 0 {
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(float64(work) / float64(r))
+}
+
+// TransferTime reports the time to move v bytes at rate r, +Inf when the
+// rate is not positive.
+func TransferTime(v Bytes, r BytesPerSec) Seconds {
+	if r <= 0 {
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(float64(v) / float64(r))
+}
+
+// Efficiency is the flop/s/W figure of merit used throughout the paper.
+// It reports 0 when power is not positive.
+func Efficiency(r FlopsPerSec, p Watts) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return float64(r) / float64(p)
+}
+
+// GFlopsPerWatt expresses r/p in Gflop/s/Watt, the unit of the paper's
+// efficiency plots.
+func GFlopsPerWatt(r FlopsPerSec, p Watts) float64 {
+	return Efficiency(r, p) / Giga
+}
+
+// Duration converts a simulated duration to a time.Duration (useful for
+// human-readable printing; precision is capped at nanoseconds).
+func (s Seconds) Duration() time.Duration {
+	return time.Duration(float64(s) * float64(time.Second))
+}
+
+// String implementations for readable logs and reports.
+
+func (w Watts) String() string       { return fmt.Sprintf("%.1f W", float64(w)) }
+func (j Joules) String() string      { return fmt.Sprintf("%.1f J", float64(j)) }
+func (s Seconds) String() string     { return fmt.Sprintf("%.4f s", float64(s)) }
+func (h Hertz) String() string       { return fmt.Sprintf("%.0f MHz", float64(h)/Mega) }
+func (f Flops) String() string       { return fmt.Sprintf("%.3g flop", float64(f)) }
+func (r FlopsPerSec) String() string { return fmt.Sprintf("%.2f Gflop/s", float64(r)/Giga) }
+func (b Bytes) String() string {
+	switch {
+	case float64(b) >= Giga:
+		return fmt.Sprintf("%.2f GB", float64(b)/Giga)
+	case float64(b) >= Mega:
+		return fmt.Sprintf("%.2f MB", float64(b)/Mega)
+	case float64(b) >= Kilo:
+		return fmt.Sprintf("%.2f KB", float64(b)/Kilo)
+	}
+	return fmt.Sprintf("%.0f B", float64(b))
+}
+
+// PercentChange reports the relative change from base to v in percent.
+// Positive means v is larger. It reports 0 for a zero base.
+func PercentChange(base, v float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (v - base) / base * 100
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,153 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEnergyPowerRoundTrip(t *testing.T) {
+	f := func(p float64, dt float64) bool {
+		p = math.Abs(p)
+		dt = math.Abs(dt)
+		if math.IsNaN(p) || math.IsInf(p, 0) || math.IsNaN(dt) || math.IsInf(dt, 0) {
+			return true
+		}
+		if p > 1e150 || dt > 1e150 { // avoid float64 overflow in the product
+			return true
+		}
+		if dt == 0 {
+			return Power(Energy(Watts(p), Seconds(dt)), Seconds(dt)) == 0
+		}
+		e := Energy(Watts(p), Seconds(dt))
+		back := Power(e, Seconds(dt))
+		return approx(float64(back), p, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateDurationRoundTrip(t *testing.T) {
+	f := func(work, rate float64) bool {
+		work = math.Abs(work)
+		rate = math.Abs(rate)
+		if !finite(work) || !finite(rate) {
+			return true
+		}
+		if rate == 0 {
+			return math.IsInf(float64(DurationFor(Flops(work), FlopsPerSec(rate))), 1)
+		}
+		dt := DurationFor(Flops(work), FlopsPerSec(rate))
+		back := Rate(Flops(work), dt)
+		if work == 0 {
+			return float64(back) == 0 || float64(dt) == 0
+		}
+		return approx(float64(back), rate, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if got := Efficiency(FlopsPerSec(100), Watts(0)); got != 0 {
+		t.Errorf("Efficiency with zero power = %v, want 0", got)
+	}
+	if got := Efficiency(GFlopsPerSec(19500), Watts(400)); !approx(got, 19500e9/400, 1e-12) {
+		t.Errorf("Efficiency = %v", got)
+	}
+	if got := GFlopsPerWatt(GFlopsPerSec(19500), Watts(400)); !approx(got, 48.75, 1e-9) {
+		t.Errorf("GFlopsPerWatt = %v, want 48.75", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	dt := TransferTime(Bytes(16*Giga), GBytesPerSec(16))
+	if !approx(float64(dt), 1.0, 1e-12) {
+		t.Errorf("TransferTime = %v, want 1 s", dt)
+	}
+	if !math.IsInf(float64(TransferTime(Bytes(1), 0)), 1) {
+		t.Error("TransferTime with zero bandwidth should be +Inf")
+	}
+}
+
+func TestPercentChange(t *testing.T) {
+	cases := []struct {
+		base, v, want float64
+	}{
+		{100, 110, 10},
+		{100, 90, -10},
+		{0, 50, 0},
+		{200, 200, 0},
+	}
+	for _, c := range cases {
+		if got := PercentChange(c.base, c.v); !approx(got, c.want, 1e-12) {
+			t.Errorf("PercentChange(%v,%v) = %v, want %v", c.base, c.v, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp above = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp below = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp inside = %v", got)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Watts(250).String(), "250.0 W"},
+		{Joules(1234.56).String(), "1234.6 J"},
+		{Hertz(1410 * Mega).String(), "1410 MHz"},
+		{Bytes(2 * Giga).String(), "2.00 GB"},
+		{Bytes(3 * Mega).String(), "3.00 MB"},
+		{Bytes(4 * Kilo).String(), "4.00 KB"},
+		{Bytes(12).String(), "12 B"},
+		{GFlopsPerSec(19.5).String(), "19.50 Gflop/s"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func approx(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return true
+	}
+	return math.Abs(a-b)/den < tol
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func TestDurationConversion(t *testing.T) {
+	if got := Seconds(1.5).Duration(); got != 1500*time.Millisecond {
+		t.Errorf("Duration = %v, want 1.5s", got)
+	}
+	if got := Seconds(0).Duration(); got != 0 {
+		t.Errorf("zero Duration = %v", got)
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	if float64(GFlopsPerSec(2)) != 2e9 {
+		t.Error("GFlopsPerSec")
+	}
+	if float64(GBytesPerSec(3)) != 3e9 {
+		t.Error("GBytesPerSec")
+	}
+}
