@@ -1,0 +1,28 @@
+# Developer entry points. `make check` is the full gate: build, vet and
+# the race-enabled test suite (the telemetry exporter reads the
+# simulation's data structures from HTTP goroutines, so -race is load-
+# bearing, not decoration).
+
+GO ?= go
+
+.PHONY: all build vet test check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+check:
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

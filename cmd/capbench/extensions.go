@@ -27,7 +27,7 @@ func runAutoPlan(o *options) error {
 			return err
 		}
 		row = scaledRow(row, o.scale)
-		res, err := core.AutoPlan(row, o.budget, core.SweepOptions{Scheduler: o.scheduler})
+		res, err := core.AutoPlan(row, o.budget, core.SweepOptions{Scheduler: o.scheduler, Telemetry: o.telem})
 		if err != nil {
 			return err
 		}
@@ -71,7 +71,7 @@ func runAblation(o *options) error {
 	for _, sched := range []string{"eager", "random", "ws", "dm", "dmda", "dmdas", "dmdae"} {
 		res, err := core.Run(core.Config{
 			Spec: spec, Workload: row.Workload(), Plan: plan,
-			BestFrac: row.BestFrac, Scheduler: sched,
+			BestFrac: row.BestFrac, Scheduler: sched, Telemetry: o.telem,
 		})
 		if err != nil {
 			return fmt.Errorf("scheduler %s: %w", sched, err)
@@ -96,7 +96,7 @@ func runAblation(o *options) error {
 	for _, stale := range []bool{false, true} {
 		res, err := core.Run(core.Config{
 			Spec: spec, Workload: row.Workload(), Plan: stalePlan,
-			BestFrac: row.BestFrac, StaleModels: stale,
+			BestFrac: row.BestFrac, StaleModels: stale, Telemetry: o.telem,
 		})
 		if err != nil {
 			return err
@@ -119,7 +119,7 @@ func runAblation(o *options) error {
 	for _, sched := range []string{"dm", "dmda", "dmdas"} {
 		res, err := core.Run(core.Config{
 			Spec: spec, Workload: row.Workload(), Plan: plan,
-			BestFrac: row.BestFrac, Scheduler: sched,
+			BestFrac: row.BestFrac, Scheduler: sched, Telemetry: o.telem,
 		})
 		if err != nil {
 			return err
@@ -136,18 +136,19 @@ func runAblation(o *options) error {
 	// run time to converge, so this section uses a longer workload.
 	long := row.Workload()
 	long.N = long.NB * 16
-	base, err := core.Run(core.Config{Spec: spec, Workload: long, BestFrac: row.BestFrac})
+	base, err := core.Run(core.Config{Spec: spec, Workload: long, BestFrac: row.BestFrac, Telemetry: o.telem})
 	if err != nil {
 		return err
 	}
 	allB, err := core.Run(core.Config{
 		Spec: spec, Workload: long, BestFrac: row.BestFrac,
-		Plan: powercap.MustParsePlan(strings.Repeat("B", spec.GPUCount)),
+		Plan:      powercap.MustParsePlan(strings.Repeat("B", spec.GPUCount)),
+		Telemetry: o.telem,
 	})
 	if err != nil {
 		return err
 	}
-	dyn, ctl, err := core.RunDynamic(core.Config{Spec: spec, Workload: long, BestFrac: row.BestFrac},
+	dyn, ctl, err := core.RunDynamic(core.Config{Spec: spec, Workload: long, BestFrac: row.BestFrac, Telemetry: o.telem},
 		dyncap.DefaultConfig())
 	if err != nil {
 		return err

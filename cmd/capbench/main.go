@@ -26,6 +26,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +39,18 @@ func main() {
 	cmd, args := os.Args[1], os.Args[2:]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	opts := parseOpts(fs, args)
+
+	var srv *telemetry.Server
+	if opts.metricsAddr != "" {
+		opts.telem = telemetry.NewCollector()
+		var err error
+		srv, err = telemetry.Serve(opts.metricsAddr, opts.telem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /timeseries.json and /decisions.json on http://%s\n", srv.Addr())
+	}
 
 	var err error
 	switch cmd {
@@ -67,20 +82,54 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if err == nil && opts.telem != nil {
+		err = telemetrySummary(opts)
+	}
+	if srv != nil {
+		if opts.hold > 0 {
+			fmt.Fprintf(os.Stderr, "telemetry: holding endpoint open for %v (scrape http://%s/metrics)\n", opts.hold, srv.Addr())
+			time.Sleep(opts.hold)
+		}
+		srv.Close()
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "capbench %s: %v\n", cmd, err)
 		os.Exit(1)
 	}
 }
 
+// telemetrySummary folds the sampler and decision log into the report
+// output once the experiments finish.
+func telemetrySummary(o *options) error {
+	if s := o.telem.Sampler(); s != nil {
+		if err := emit(o, s.SummaryTable()); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if o.telem.Decisions.Total() > 0 {
+		if err := emit(o, o.telem.Decisions.SummaryTable()); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
 // options carries the shared flags.
 type options struct {
-	platform  string
-	csv       bool
-	scale     int
-	budget    float64
-	scheduler string
-	outDir    string
+	platform    string
+	csv         bool
+	scale       int
+	budget      float64
+	scheduler   string
+	outDir      string
+	metricsAddr string
+	hold        time.Duration
+
+	// telem is non-nil when -metrics-addr is set; every experiment
+	// threads it through core so the endpoint reflects the live run.
+	telem *telemetry.Collector
 }
 
 func parseOpts(fs *flag.FlagSet, args []string) *options {
@@ -92,6 +141,9 @@ func parseOpts(fs *flag.FlagSet, args []string) *options {
 	fs.Float64Var(&o.budget, "budget", 15, "autoplan: max slowdown in percent")
 	fs.StringVar(&o.scheduler, "scheduler", "", "override the dmdas scheduler")
 	fs.StringVar(&o.outDir, "out", "", "also write each table as a CSV file into this directory")
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "",
+		"serve live telemetry on this address (/metrics, /timeseries.json, /decisions.json)")
+	fs.DurationVar(&o.hold, "hold", 0, "keep the telemetry endpoint open this long after the experiments finish")
 	fs.Parse(args)
 	if o.scale < 1 {
 		o.scale = 1
@@ -103,7 +155,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
 usage: capbench <experiment> [flags]
 experiments: fig1 table1 table2 fig3 fig4 fig5 fig6 fig7 autoplan ablation budget all
-flags: -platform <name|all> -csv -scale N -budget PCT -scheduler NAME -out DIR`))
+flags: -platform <name|all> -csv -scale N -budget PCT -scheduler NAME -out DIR
+       -metrics-addr HOST:PORT -hold DURATION`))
 }
 
 func runAll(o *options) error {

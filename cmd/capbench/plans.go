@@ -62,7 +62,7 @@ func runFig34(o *options, single bool) error {
 				return err
 			}
 			row = scaledRow(row, o.scale)
-			results, err := core.SweepPlans(row, core.SweepOptions{Scheduler: o.scheduler})
+			results, err := core.SweepPlans(row, core.SweepOptions{Scheduler: o.scheduler, Telemetry: o.telem})
 			if err != nil {
 				return err
 			}
@@ -99,7 +99,7 @@ func runFig5(o *options) error {
 			return err
 		}
 		row = scaledRow(row, o.scale)
-		results, err := core.SweepPlans(row, core.SweepOptions{Scheduler: o.scheduler})
+		results, err := core.SweepPlans(row, core.SweepOptions{Scheduler: o.scheduler, Telemetry: o.telem})
 		if err != nil {
 			return err
 		}
@@ -132,11 +132,11 @@ func runFig6(o *options) error {
 				return err
 			}
 			row = scaledRow(row, o.scale)
-			plain, err := core.SweepPlans(row, core.SweepOptions{Scheduler: o.scheduler})
+			plain, err := core.SweepPlans(row, core.SweepOptions{Scheduler: o.scheduler, Telemetry: o.telem})
 			if err != nil {
 				return err
 			}
-			capped, err := core.SweepPlans(row, core.SweepOptions{Scheduler: o.scheduler, CPUCaps: cpuCaps})
+			capped, err := core.SweepPlans(row, core.SweepOptions{Scheduler: o.scheduler, CPUCaps: cpuCaps, Telemetry: o.telem})
 			if err != nil {
 				return err
 			}
@@ -193,7 +193,7 @@ func runFig7(o *options) error {
 					r := row
 					r.NB = nb
 					r = scaledRow(r, o.scale)
-					results, err := core.SweepPlans(r, core.SweepOptions{Scheduler: o.scheduler, CPUCaps: cpuCaps})
+					results, err := core.SweepPlans(r, core.SweepOptions{Scheduler: o.scheduler, CPUCaps: cpuCaps, Telemetry: o.telem})
 					if err != nil {
 						return err
 					}

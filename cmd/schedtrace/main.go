@@ -7,6 +7,7 @@
 //	schedtrace [-platform 32-AMD-4-A100] [-op gemm|potrf] [-precision double]
 //	           [-plan HHBB] [-scheduler dmdas] [-scale 4] [-gantt out.csv]
 //	           [-power power.csv] [-chrome trace.json] [-model]
+//	           [-decisions decisions.json] [-telemetry]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"repro/internal/powercap"
 	"repro/internal/prec"
 	"repro/internal/starpu"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -36,15 +38,17 @@ func main() {
 	powerPath := flag.String("power", "", "write a per-device power-timeline CSV to this path")
 	chromePath := flag.String("chrome", "", "write a chrome://tracing / Perfetto JSON trace to this path")
 	dumpModel := flag.Bool("model", false, "dump the calibrated performance-model table")
+	decPath := flag.String("decisions", "", "write the scheduler decision log as JSON to this path")
+	telem := flag.Bool("telemetry", false, "print the sampled power/energy and decision-log summaries")
 	flag.Parse()
 
-	if err := run(*platName, *opName, *precName, *planStr, *sched, *scale, *ganttPath, *powerPath, *chromePath, *dumpModel); err != nil {
+	if err := run(*platName, *opName, *precName, *planStr, *sched, *scale, *ganttPath, *powerPath, *chromePath, *decPath, *dumpModel, *telem); err != nil {
 		fmt.Fprintln(os.Stderr, "schedtrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(platName, opName, precName, planStr, sched string, scale int, ganttPath, powerPath, chromePath string, dumpModel bool) error {
+func run(platName, opName, precName, planStr, sched string, scale int, ganttPath, powerPath, chromePath, decPath string, dumpModel, telem bool) error {
 	op := core.GEMM
 	if opName == "potrf" {
 		op = core.POTRF
@@ -104,12 +108,26 @@ func run(platName, opName, precName, planStr, sched string, scale int, ganttPath
 	if powerPath != "" {
 		plat.EnablePowerTraces()
 	}
-	rt, err := starpu.New(plat, starpu.Config{Scheduler: sched, Model: model})
+	// Instrument the measured pass when the decision log or telemetry
+	// summaries were asked for.
+	var collector *telemetry.Collector
+	rtCfg := starpu.Config{Scheduler: sched, Model: model}
+	if decPath != "" || telem {
+		collector = telemetry.NewCollector()
+		collector.InstallModelHook(model)
+		rtCfg.Observer = collector
+	}
+	rt, err := starpu.New(plat, rtCfg)
 	if err != nil {
 		return err
 	}
 	if err := submit(rt, row, row.N); err != nil {
 		return err
+	}
+	if collector != nil {
+		if _, err := collector.AttachRun(plat, rt, telemetry.SamplerConfig{}); err != nil {
+			return err
+		}
 	}
 	makespan, err := rt.Run()
 	if err != nil {
@@ -176,6 +194,26 @@ func run(platName, opName, precName, planStr, sched string, scale int, ganttPath
 			return err
 		}
 		fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", chromePath)
+	}
+	if telem && collector != nil {
+		fmt.Println()
+		if s := collector.Sampler(); s != nil {
+			s.SummaryTable().Write(os.Stdout)
+			fmt.Println()
+		}
+		collector.Decisions.SummaryTable().Write(os.Stdout)
+	}
+	if decPath != "" && collector != nil {
+		f, err := os.Create(decPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := collector.Decisions.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("\ndecision log written to %s (%d decisions, %d dropped)\n",
+			decPath, collector.Decisions.Total(), collector.Decisions.Dropped())
 	}
 	return nil
 }

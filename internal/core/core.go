@@ -15,6 +15,7 @@ import (
 	"repro/internal/powercap"
 	"repro/internal/prec"
 	"repro/internal/starpu"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -93,6 +94,10 @@ type Config struct {
 	Model *perfmodel.History
 	// Seed drives randomised schedulers.
 	Seed int64
+	// Telemetry, when set, instruments the measured pass: task and
+	// scheduler-decision counters, perfmodel calibration metrics, and a
+	// power/energy time-series sampler attached to the run.
+	Telemetry *telemetry.Collector
 }
 
 // Result is one measured run.
@@ -147,6 +152,9 @@ func Run(cfg Config) (*Result, error) {
 	if model == nil {
 		model = perfmodel.NewHistory()
 	}
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.InstallModelHook(model)
+	}
 	sched := cfg.Scheduler
 	if sched == "" {
 		sched = "dmdas"
@@ -191,12 +199,21 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	rt, err := starpu.New(p, starpu.Config{Scheduler: sched, Model: model, Seed: cfg.Seed})
+	rtCfg := starpu.Config{Scheduler: sched, Model: model, Seed: cfg.Seed}
+	if cfg.Telemetry != nil {
+		rtCfg.Observer = cfg.Telemetry
+	}
+	rt, err := starpu.New(p, rtCfg)
 	if err != nil {
 		return nil, err
 	}
 	if err := submit(rt, cfg.Workload); err != nil {
 		return nil, err
+	}
+	if cfg.Telemetry != nil {
+		if _, err := cfg.Telemetry.AttachRun(p, rt, telemetry.SamplerConfig{}); err != nil {
+			return nil, err
+		}
 	}
 	makespan, err := rt.Run()
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
 	"repro/internal/starpu"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -29,6 +30,9 @@ func RunDynamic(cfg Config, dyn dyncap.Config) (*Result, *dyncap.Controller, err
 		}
 	}
 	model := perfmodel.NewHistory()
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.InstallModelHook(model)
+	}
 	sched := cfg.Scheduler
 	if sched == "" {
 		sched = "dmdas"
@@ -61,7 +65,11 @@ func RunDynamic(cfg Config, dyn dyncap.Config) (*Result, *dyncap.Controller, err
 		return nil, nil, err
 	}
 
-	rt, err := starpu.New(p, starpu.Config{Scheduler: sched, Model: model, Seed: cfg.Seed})
+	rtCfg := starpu.Config{Scheduler: sched, Model: model, Seed: cfg.Seed}
+	if cfg.Telemetry != nil {
+		rtCfg.Observer = cfg.Telemetry
+	}
+	rt, err := starpu.New(p, rtCfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -74,6 +82,14 @@ func RunDynamic(cfg Config, dyn dyncap.Config) (*Result, *dyncap.Controller, err
 		return nil, nil, err
 	}
 	ctl.Done = func() bool { return rt.Pending() == 0 }
+	if cfg.Telemetry != nil {
+		// Sampler first so the controller's cap moves land in its event
+		// series from the very first tick.
+		if _, err := cfg.Telemetry.AttachRun(p, rt, telemetry.SamplerConfig{}); err != nil {
+			return nil, nil, err
+		}
+		cfg.Telemetry.InstallDyncapHooks(ctl)
+	}
 	if err := ctl.Start(); err != nil {
 		return nil, nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/powercap"
 	"repro/internal/prec"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -92,6 +93,9 @@ type SweepOptions struct {
 	Plans []powercap.Plan
 	// Seed for randomised schedulers.
 	Seed int64
+	// Telemetry instruments every run of the sweep (counters accumulate
+	// across plans; the sampler follows the latest run).
+	Telemetry *telemetry.Collector
 }
 
 // SweepPlans measures a workload under every canonical plan on a
@@ -116,6 +120,7 @@ func SweepPlans(row TableIIRow, opt SweepOptions) ([]PlanResult, error) {
 		CPUCaps:   opt.CPUCaps,
 		Scheduler: opt.Scheduler,
 		Seed:      opt.Seed,
+		Telemetry: opt.Telemetry,
 	}
 	base, err := Run(baseCfg)
 	if err != nil {

@@ -15,6 +15,7 @@ package dyncap
 import (
 	"fmt"
 
+	"repro/internal/nvml"
 	"repro/internal/platform"
 	"repro/internal/units"
 )
@@ -49,6 +50,15 @@ type gpuState struct {
 	moves    int
 }
 
+// CapChange is one recorded controller move: at virtual time T, GPU's
+// cap went from Old to New Watts.
+type CapChange struct {
+	T   units.Seconds
+	GPU int
+	Old units.Watts
+	New units.Watts
+}
+
 // Controller drives one platform's GPU caps.
 type Controller struct {
 	plat *platform.Platform
@@ -57,8 +67,11 @@ type Controller struct {
 	// Done tells the controller to stop rescheduling itself; the
 	// experiment driver wires it to the runtime's pending-task count.
 	Done func() bool
+	// OnCapChange, when set, fires once per applied cap move (telemetry).
+	OnCapChange func(CapChange)
 
-	ticks int
+	ticks   int
+	history []CapChange
 }
 
 // New builds a controller over the platform's GPUs.
@@ -83,6 +96,12 @@ func New(plat *platform.Platform, cfg Config) (*Controller, error) {
 
 // Ticks reports how many control decisions have fired.
 func (c *Controller) Ticks() int { return c.ticks }
+
+// History reports every cap move the controller applied, in virtual-time
+// order (the final Caps() snapshot is the last move per GPU).
+func (c *Controller) History() []CapChange {
+	return append([]CapChange(nil), c.history...)
+}
 
 // Caps reports the current cap per GPU.
 func (c *Controller) Caps() []units.Watts {
@@ -144,11 +163,16 @@ func (c *Controller) tick() {
 		next := g.cap + units.Watts(g.dir)*g.step
 		next = units.Watts(units.Clamp(float64(next), float64(arch.MinPower), float64(arch.TDP)))
 		if next != g.cap {
+			h, ret := c.plat.NVML.DeviceGetHandleByIndex(i)
+			if ret.Error() != nil || h.SetPowerManagementLimit(uint32(float64(next)*1000)) != nvml.SUCCESS {
+				continue
+			}
+			change := CapChange{T: c.plat.Engine().Now(), GPU: i, Old: g.cap, New: next}
 			g.cap = next
 			g.moves++
-			h, ret := c.plat.NVML.DeviceGetHandleByIndex(i)
-			if ret.Error() == nil {
-				h.SetPowerManagementLimit(uint32(float64(next) * 1000))
+			c.history = append(c.history, change)
+			if c.OnCapChange != nil {
+				c.OnCapChange(change)
 			}
 		}
 	}

@@ -126,6 +126,64 @@ func TestCapsStayInDriverWindow(t *testing.T) {
 	}
 }
 
+func TestHistoryRecordsCapMoves(t *testing.T) {
+	p, err := New2GPU(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(p, Config{Interval: 0.1, InitialStep: 32, MinStep: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep GPU 0 busy so the controller has an efficiency signal to act on.
+	task := fakeTask()
+	eng := p.Engine()
+	for i := 0; i < 10; i++ {
+		at := units.Seconds(float64(i) * 0.1)
+		eng.At(at, func() { p.OnTaskStart(0, task) })
+		eng.At(at+0.08, func() { p.OnTaskEnd(0, task) })
+	}
+	var callbacks []CapChange
+	c.OnCapChange = func(ch CapChange) { callbacks = append(callbacks, ch) }
+	n := 0
+	c.Done = func() bool { n++; return n > 10 }
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+
+	hist := c.History()
+	if len(hist) == 0 {
+		t.Fatal("no cap moves recorded despite steady GPU load")
+	}
+	if len(callbacks) != len(hist) {
+		t.Errorf("OnCapChange fired %d times, history has %d moves", len(callbacks), len(hist))
+	}
+	var lastT units.Seconds
+	for i, ch := range hist {
+		if ch.T < lastT {
+			t.Errorf("move %d out of time order: %v after %v", i, ch.T, lastT)
+		}
+		lastT = ch.T
+		if ch.Old == ch.New {
+			t.Errorf("move %d records no change (%v)", i, ch.Old)
+		}
+		if ch.New < p.GPUArch.MinPower || ch.New > p.GPUArch.TDP {
+			t.Errorf("move %d cap %v outside driver window", i, ch.New)
+		}
+	}
+	// The final move per GPU must agree with the Caps() snapshot.
+	final := map[int]units.Watts{}
+	for _, ch := range hist {
+		final[ch.GPU] = ch.New
+	}
+	for gpu, cap := range final {
+		if got := c.Caps()[gpu]; got != cap {
+			t.Errorf("GPU %d: last history move %v != Caps() %v", gpu, cap, got)
+		}
+	}
+}
+
 // New2GPU builds a small platform for controller tests.
 func New2GPU(t *testing.T) (*platform.Platform, error) {
 	t.Helper()

@@ -64,6 +64,13 @@ type History struct {
 	// MinSamples is how many observations a key needs before Estimate
 	// trusts it (StarPU's calibration threshold; default 1).
 	MinSamples int
+	// OnRecord, when set, fires after every Record with the model's
+	// prediction as it stood *before* the new observation.  calibrated
+	// is false when the key had no trusted estimate yet — i.e. the
+	// observation was a calibration sample.  The telemetry layer uses
+	// this to track calibration events and estimate error.  Set before
+	// the model is shared; the hook runs outside the lock.
+	OnRecord func(k Key, observed, predicted units.Seconds, calibrated bool)
 }
 
 // NewHistory returns an empty model with the default sample threshold.
@@ -82,8 +89,21 @@ func (h *History) Record(k Key, d units.Seconds) {
 		e = &entry{}
 		h.entries[k] = e
 	}
+	min := h.MinSamples
+	if min < 1 {
+		min = 1
+	}
+	predicted := units.Seconds(e.mean)
+	calibrated := e.n >= min
 	e.add(float64(d))
+	hook := h.OnRecord
 	h.mu.Unlock()
+	if hook != nil {
+		if !calibrated {
+			predicted = 0
+		}
+		hook(k, d, predicted, calibrated)
+	}
 }
 
 // Estimate reports the expected duration for k.  ok is false while the

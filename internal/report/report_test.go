@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"strings"
 	"testing"
 )
@@ -76,5 +77,38 @@ func TestBar(t *testing.T) {
 	// All bars of one scale share a width, so columns align.
 	if len(pos) != len(neg) {
 		t.Errorf("bar widths differ: %d vs %d", len(pos), len(neg))
+	}
+}
+
+// TestCSVEscapingRoundTrip drives every escaping case — commas, quotes,
+// newlines, in headers and in cells — through an RFC 4180 reader and
+// checks the fields survive byte-for-byte.
+func TestCSVEscapingRoundTrip(t *testing.T) {
+	tbl := NewTable("", "plain", "with,comma", `with"quote`)
+	rows := [][]string{
+		{"a,b", `say "hi"`, "line1\nline2"},
+		{`""`, ",", "plain"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r[0], r[1], r[2])
+	}
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v\n%s", err, b.String())
+	}
+	want := append([][]string{{"plain", "with,comma", `with"quote`}}, rows...)
+	if len(records) != len(want) {
+		t.Fatalf("parsed %d records, want %d", len(records), len(want))
+	}
+	for i, rec := range records {
+		for j, cell := range rec {
+			if cell != want[i][j] {
+				t.Errorf("record[%d][%d] = %q, want %q", i, j, cell, want[i][j])
+			}
+		}
 	}
 }

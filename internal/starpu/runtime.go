@@ -65,6 +65,9 @@ type Config struct {
 	// Regression, when set, records work/duration pairs alongside the
 	// history model.
 	Regression *perfmodel.Regression
+	// Observer, when set, receives task lifecycle and scheduler decision
+	// events (telemetry).  Nil disables instrumentation.
+	Observer Observer
 	// TransferPenalty weights the data-transfer term in the dmda/dmdas
 	// completion-time estimates (StarPU's --sched-beta).  Values above 1
 	// make placement stickier, avoiding tile ping-pong between devices
@@ -228,6 +231,9 @@ func (rt *Runtime) Submit(t *Task) error {
 	}
 	rt.tasks = append(rt.tasks, t)
 	rt.nPending++
+	if rt.cfg.Observer != nil {
+		rt.cfg.Observer.TaskSubmitted(t)
+	}
 	if t.ndeps == 0 {
 		rt.markReady(t)
 	}
@@ -363,6 +369,9 @@ func (rt *Runtime) startTask(w *Worker, t *Task) {
 	w.busyTime += dur
 	engine.At(start, func() {
 		rt.machine.OnTaskStart(w.ID, t)
+		if rt.cfg.Observer != nil {
+			rt.cfg.Observer.TaskStarted(w.ID, t)
+		}
 		// The staging slot is free once compute begins: prefetch the
 		// next task's data while this one runs.
 		rt.tryStart(w)
@@ -403,6 +412,10 @@ func (rt *Runtime) complete(w *Worker, t *Task) {
 	rt.model.Record(key, t.Duration())
 	if rt.cfg.Regression != nil {
 		rt.cfg.Regression.Record(t.Codelet.Name, key.WorkerClass, t.Work, t.Duration())
+	}
+
+	if rt.cfg.Observer != nil {
+		rt.cfg.Observer.TaskCompleted(w.ID, t)
 	}
 
 	rt.lastWorker = w.ID

@@ -70,10 +70,19 @@ func (s *eagerSched) Pop(w *Worker) *Task {
 	for i, t := range s.queue {
 		if s.rt.machine.CanRun(w.ID, t.Codelet) {
 			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.rt.observeDecision(Decision{Task: t, Scheduler: s.Name(), Chosen: w.ID, Reason: "eager-pop"})
 			return t
 		}
 	}
 	return nil
+}
+
+// QueueLen reports the shared queue's depth on worker 0.
+func (s *eagerSched) QueueLen(worker int) int {
+	if worker == 0 {
+		return len(s.queue)
+	}
+	return 0
 }
 
 // --------------------------------------------------------------- random
@@ -102,6 +111,7 @@ func (s *randomSched) Push(t *Task) {
 	}
 	target := eligible[s.rng.Intn(len(eligible))]
 	s.queues[target] = append(s.queues[target], t)
+	s.rt.observeDecision(Decision{Task: t, Scheduler: s.Name(), Chosen: target, Reason: "random"})
 	s.rt.WakeWorker(target)
 }
 
@@ -114,6 +124,9 @@ func (s *randomSched) Pop(w *Worker) *Task {
 	s.queues[w.ID] = q[1:]
 	return t
 }
+
+// QueueLen reports worker i's ready-queue depth.
+func (s *randomSched) QueueLen(worker int) int { return len(s.queues[worker]) }
 
 // ------------------------------------------------------- work stealing
 
@@ -135,6 +148,7 @@ func (s *wsSched) Init(rt *Runtime) {
 
 func (s *wsSched) Push(t *Task) {
 	home := s.rt.lastWorker
+	reason := "locality-home"
 	if home < 0 || !s.rt.machine.CanRun(home, t.Codelet) {
 		// Initial tasks (or ineligible home): spread over eligible workers.
 		var eligible []int
@@ -144,8 +158,10 @@ func (s *wsSched) Push(t *Task) {
 			}
 		}
 		home = eligible[s.rng.Intn(len(eligible))]
+		reason = "spread"
 	}
 	s.deques[home] = append(s.deques[home], t)
+	s.rt.observeDecision(Decision{Task: t, Scheduler: s.Name(), Chosen: home, Reason: reason})
 	s.rt.WakeAll() // thieves may now find work
 }
 
@@ -171,12 +187,16 @@ func (s *wsSched) Pop(w *Worker) *Task {
 		for i, t := range vq {
 			if s.rt.machine.CanRun(w.ID, t.Codelet) {
 				s.deques[v] = append(vq[:i], vq[i+1:]...)
+				s.rt.observeDecision(Decision{Task: t, Scheduler: s.Name(), Chosen: w.ID, Reason: "steal"})
 				return t
 			}
 		}
 	}
 	return nil
 }
+
+// QueueLen reports worker i's deque depth.
+func (s *wsSched) QueueLen(worker int) int { return len(s.deques[worker]) }
 
 // ------------------------------------------------- dequeue model family
 
@@ -211,6 +231,7 @@ func (s *dmSched) Push(t *Task) {
 	best := -1
 	bestMetric := units.Seconds(math.Inf(1))
 	var bestECT units.Seconds
+	var cands []Candidate
 	for i := 0; i < s.rt.machine.NumWorkers(); i++ {
 		if !s.rt.machine.CanRun(i, t.Codelet) {
 			continue
@@ -220,14 +241,19 @@ func (s *dmSched) Push(t *Task) {
 		if now > avail {
 			avail = now
 		}
-		est, _ := s.rt.estimate(t, i)
+		est, calibrated := s.rt.estimate(t, i)
 		// ect is when the worker's compute engine would finish this
 		// task; the (weighted) transfer term only biases the choice —
 		// staging overlaps compute, so it must not inflate exp_end.
 		ect := avail + est
 		metric := ect
+		var xfer units.Seconds
 		if s.dataAware {
-			metric += s.rt.transferEstimate(t, i)
+			xfer = s.rt.transferEstimate(t, i)
+			metric += xfer
+		}
+		if s.rt.observing() {
+			cands = append(cands, Candidate{Worker: i, Estimate: est, Transfer: xfer, Metric: metric, Calibrated: calibrated})
 		}
 		if metric < bestMetric {
 			best, bestMetric, bestECT = i, metric, ect
@@ -238,6 +264,7 @@ func (s *dmSched) Push(t *Task) {
 	}
 	s.rt.workers[best].expEnd = bestECT
 	s.queues[best].push(t)
+	s.rt.observeDecision(Decision{Task: t, Scheduler: s.name, Chosen: best, Reason: "min-completion-time", Candidates: cands})
 	s.rt.WakeWorker(best)
 }
 
@@ -251,6 +278,9 @@ func (s *dmSched) Pop(w *Worker) *Task {
 	}
 	return q.pop()
 }
+
+// QueueLen reports worker i's ready-queue depth.
+func (s *dmSched) QueueLen(worker int) int { return s.queues[worker].len() }
 
 // ------------------------------------------------------------ calibrate
 
@@ -296,6 +326,7 @@ func (s *calibrateSched) Push(t *Task) {
 	}
 	c[best]++
 	s.queues[best] = append(s.queues[best], t)
+	s.rt.observeDecision(Decision{Task: t, Scheduler: s.Name(), Chosen: best, Reason: "calibration-spread"})
 	s.rt.WakeWorker(best)
 }
 
@@ -308,6 +339,9 @@ func (s *calibrateSched) Pop(w *Worker) *Task {
 	s.queues[w.ID] = q[1:]
 	return t
 }
+
+// QueueLen reports worker i's ready-queue depth.
+func (s *calibrateSched) QueueLen(worker int) int { return len(s.queues[worker]) }
 
 // ------------------------------------------------------------ taskQueue
 

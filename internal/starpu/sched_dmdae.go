@@ -49,6 +49,7 @@ func (s *dmdaeSched) Push(t *Task) {
 	best := -1
 	bestMetric := units.Seconds(math.Inf(1))
 	var bestECT units.Seconds
+	var cands []Candidate
 	for i := 0; i < s.rt.machine.NumWorkers(); i++ {
 		if !s.rt.machine.CanRun(i, t.Codelet) {
 			continue
@@ -58,11 +59,14 @@ func (s *dmdaeSched) Push(t *Task) {
 		if now > avail {
 			avail = now
 		}
-		est, _ := s.rt.estimate(t, i)
+		est, calibrated := s.rt.estimate(t, i)
 		ect := avail + est
 		energy := float64(pm.ExecPower(i, t)) * float64(est)
-		metric := ect + s.rt.transferEstimate(t, i) +
-			units.Seconds(s.gamma*energy/s.pref)
+		xfer := s.rt.transferEstimate(t, i)
+		metric := ect + xfer + units.Seconds(s.gamma*energy/s.pref)
+		if s.rt.observing() {
+			cands = append(cands, Candidate{Worker: i, Estimate: est, Transfer: xfer, Metric: metric, Calibrated: calibrated})
+		}
 		if metric < bestMetric {
 			best, bestMetric, bestECT = i, metric, ect
 		}
@@ -72,5 +76,6 @@ func (s *dmdaeSched) Push(t *Task) {
 	}
 	s.rt.workers[best].expEnd = bestECT
 	s.queues[best].push(t)
+	s.rt.observeDecision(Decision{Task: t, Scheduler: s.Name(), Chosen: best, Reason: "min-energy-completion-time", Candidates: cands})
 	s.rt.WakeWorker(best)
 }

@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dyncap"
+	"repro/internal/perfmodel"
+	"repro/internal/platform"
+	"repro/internal/starpu"
+	"repro/internal/units"
+)
+
+// Collector bundles the registry, the decision log and the per-run
+// sampler behind the starpu.Observer interface — the one object
+// experiment drivers thread through a run to get full telemetry.
+//
+// A Collector outlives individual runs: counters accumulate across a
+// sweep while AttachRun swaps the sampler per measured pass.
+type Collector struct {
+	Registry  *Registry
+	Decisions *DecisionLog
+
+	tasksSubmitted *CounterVec
+	tasksStarted   *CounterVec
+	tasksCompleted *CounterVec
+	taskDuration   *HistogramVec
+	transferBytes  *CounterVec
+	decisions      *CounterVec
+	modelRecords   *CounterVec
+	calibrations   *CounterVec
+	estimateErr    *HistogramVec
+	dyncapMoves    *CounterVec
+
+	mu      sync.Mutex
+	sampler *Sampler
+}
+
+// NewCollector builds a collector with a fresh registry and a bounded
+// decision log.
+func NewCollector() *Collector {
+	reg := NewRegistry()
+	c := &Collector{
+		Registry:  reg,
+		Decisions: NewDecisionLog(0),
+	}
+	c.tasksSubmitted = reg.NewCounter("capsim_tasks_submitted_total", "Tasks submitted to the runtime.", "codelet")
+	c.tasksStarted = reg.NewCounter("capsim_tasks_started_total", "Task compute phases begun.", "kind")
+	c.tasksCompleted = reg.NewCounter("capsim_tasks_completed_total", "Tasks completed.", "worker", "kind", "codelet")
+	c.taskDuration = reg.NewHistogram("capsim_task_duration_seconds", "Task compute durations.", nil, "kind")
+	c.transferBytes = reg.NewCounter("capsim_transfer_bytes_total", "Bytes staged for completed tasks.", "worker")
+	c.decisions = reg.NewCounter("capsim_sched_decisions_total", "Scheduler placement decisions.", "scheduler", "reason")
+	c.modelRecords = reg.NewCounter("capsim_perfmodel_records_total", "Performance-model observations.", "class")
+	c.calibrations = reg.NewCounter("capsim_perfmodel_calibrations_total", "First-time (calibration) observations per worker class.", "class")
+	c.estimateErr = reg.NewHistogram("capsim_perfmodel_estimate_rel_error", "Relative error |observed-predicted|/observed of calibrated estimates.",
+		[]float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2})
+	c.dyncapMoves = reg.NewCounter("capsim_dyncap_cap_moves_total", "Cap moves applied by the dynamic controller.", "gpu")
+	return c
+}
+
+// ---- starpu.Observer ----
+
+// TaskSubmitted counts one submission.
+func (c *Collector) TaskSubmitted(t *starpu.Task) {
+	c.tasksSubmitted.With(t.Codelet.Name).Inc()
+}
+
+// TaskStarted counts one compute-phase start.
+func (c *Collector) TaskStarted(workerID int, t *starpu.Task) {
+	c.tasksStarted.With(kindOf(c.currentSampler(), workerID)).Inc()
+}
+
+// TaskCompleted counts one completion with its duration and transfers.
+func (c *Collector) TaskCompleted(workerID int, t *starpu.Task) {
+	s := c.currentSampler()
+	kind := kindOf(s, workerID)
+	name := nameOf(s, workerID)
+	c.tasksCompleted.With(name, kind, t.Codelet.Name).Inc()
+	c.taskDuration.With(kind).Observe(float64(t.Duration()))
+	c.transferBytes.With(name).Add(float64(t.TransferBytes))
+}
+
+// SchedDecision counts and logs one placement decision.
+func (c *Collector) SchedDecision(d starpu.Decision) {
+	c.decisions.With(d.Scheduler, d.Reason).Inc()
+	c.Decisions.Record(d)
+}
+
+var _ starpu.Observer = (*Collector)(nil)
+
+// kindOf / nameOf resolve worker labels through the attached run (the
+// observer callbacks do not carry the machine).
+func kindOf(s *Sampler, workerID int) string {
+	if s == nil || workerID < 0 || workerID >= len(s.rt.Workers()) {
+		return "unknown"
+	}
+	return s.rt.Workers()[workerID].Info.Kind.String()
+}
+
+func nameOf(s *Sampler, workerID int) string {
+	if s == nil || workerID < 0 || workerID >= len(s.rt.Workers()) {
+		return "unknown"
+	}
+	return s.rt.Workers()[workerID].Info.Name
+}
+
+// ---- run attachment ----
+
+// AttachRun starts a sampler over one measured pass and remembers it as
+// the collector's current run.  Call after building the runtime and
+// before Run.
+func (c *Collector) AttachRun(plat *platform.Platform, rt *starpu.Runtime, cfg SamplerConfig) (*Sampler, error) {
+	s, err := AttachSampler(c.Registry, plat, rt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.sampler = s
+	c.mu.Unlock()
+	return s, nil
+}
+
+// Sampler reports the current run's sampler (nil before AttachRun).
+func (c *Collector) Sampler() *Sampler {
+	return c.currentSampler()
+}
+
+func (c *Collector) currentSampler() *Sampler {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sampler
+}
+
+// InstallModelHook instruments a performance model: every Record counts
+// toward the calibration/estimate-error metrics.  Install before the
+// model is used.
+func (c *Collector) InstallModelHook(h *perfmodel.History) {
+	h.OnRecord = func(k perfmodel.Key, observed, predicted units.Seconds, calibrated bool) {
+		c.modelRecords.With(k.WorkerClass).Inc()
+		if !calibrated {
+			c.calibrations.With(k.WorkerClass).Inc()
+			return
+		}
+		if observed > 0 {
+			rel := float64(observed-predicted) / float64(observed)
+			if rel < 0 {
+				rel = -rel
+			}
+			c.estimateErr.With().Observe(rel)
+		}
+	}
+}
+
+// InstallDyncapHooks instruments the dynamic cap controller: ticks are
+// counted and every cap move lands in the sampler's event series.
+func (c *Collector) InstallDyncapHooks(ctl *dyncap.Controller) {
+	ctl.OnCapChange = func(ch dyncap.CapChange) {
+		c.dyncapMoves.With(fmt.Sprintf("%d", ch.GPU)).Inc()
+		if s := c.currentSampler(); s != nil {
+			s.ObserveCapChange(ch.T, ch.GPU, ch.Old, ch.New)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"repro/internal/report"
+	"repro/internal/starpu"
+)
+
+// CandidateRecord is one considered worker of a logged decision,
+// flattened for JSON export.
+type CandidateRecord struct {
+	Worker     int     `json:"worker"`
+	EstimateS  float64 `json:"estimate_s"`
+	TransferS  float64 `json:"transfer_s,omitempty"`
+	MetricS    float64 `json:"metric_s"`
+	Calibrated bool    `json:"calibrated"`
+}
+
+// DecisionRecord is one scheduler placement decision: the task, the
+// candidate workers with their estimates, the chosen worker and the
+// reason — the paper's "how does the scheduler adapt" question made
+// inspectable.
+type DecisionRecord struct {
+	T          float64           `json:"t"`
+	Task       int               `json:"task"`
+	Tag        string            `json:"tag,omitempty"`
+	Codelet    string            `json:"codelet"`
+	Priority   int               `json:"priority,omitempty"`
+	Scheduler  string            `json:"scheduler"`
+	Chosen     int               `json:"chosen"`
+	Reason     string            `json:"reason"`
+	Candidates []CandidateRecord `json:"candidates,omitempty"`
+}
+
+// DecisionLog is a bounded in-memory log of scheduler decisions.  When
+// full it drops the oldest entries (keeping the tail), counting what it
+// dropped.  Safe for concurrent use.
+type DecisionLog struct {
+	mu      sync.Mutex
+	max     int
+	records []DecisionRecord
+	total   int
+	dropped int
+}
+
+// DefaultDecisionCapacity bounds the log unless configured otherwise.
+const DefaultDecisionCapacity = 20000
+
+// NewDecisionLog returns a log keeping at most max decisions
+// (0 = DefaultDecisionCapacity).
+func NewDecisionLog(max int) *DecisionLog {
+	if max <= 0 {
+		max = DefaultDecisionCapacity
+	}
+	return &DecisionLog{max: max}
+}
+
+// Record converts and appends one runtime decision.
+func (l *DecisionLog) Record(d starpu.Decision) {
+	rec := DecisionRecord{
+		T:         float64(d.Time),
+		Scheduler: d.Scheduler,
+		Chosen:    d.Chosen,
+		Reason:    d.Reason,
+	}
+	if d.Task != nil {
+		rec.Task = d.Task.ID
+		rec.Tag = d.Task.Tag
+		rec.Priority = d.Task.Priority
+		if d.Task.Codelet != nil {
+			rec.Codelet = d.Task.Codelet.Name
+		}
+	}
+	if len(d.Candidates) > 0 {
+		rec.Candidates = make([]CandidateRecord, len(d.Candidates))
+		for i, c := range d.Candidates {
+			rec.Candidates[i] = CandidateRecord{
+				Worker:     c.Worker,
+				EstimateS:  float64(c.Estimate),
+				TransferS:  float64(c.Transfer),
+				MetricS:    float64(c.Metric),
+				Calibrated: c.Calibrated,
+			}
+		}
+	}
+	l.mu.Lock()
+	l.total++
+	if len(l.records) >= l.max {
+		// Drop the oldest half in one move so appends stay amortised O(1).
+		half := len(l.records) / 2
+		l.dropped += half
+		l.records = append(l.records[:0], l.records[half:]...)
+	}
+	l.records = append(l.records, rec)
+	l.mu.Unlock()
+}
+
+// Decisions reports the retained records, oldest first.
+func (l *DecisionLog) Decisions() []DecisionRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]DecisionRecord(nil), l.records...)
+}
+
+// Total reports how many decisions were ever recorded (including
+// dropped ones).
+func (l *DecisionLog) Total() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Dropped reports how many old decisions were evicted by the bound.
+func (l *DecisionLog) Dropped() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Reset clears the log (between runs of a sweep).
+func (l *DecisionLog) Reset() {
+	l.mu.Lock()
+	l.records = l.records[:0]
+	l.total = 0
+	l.dropped = 0
+	l.mu.Unlock()
+}
+
+// decisionExport is the JSON document shape of WriteJSON.
+type decisionExport struct {
+	Total     int              `json:"total"`
+	Dropped   int              `json:"dropped"`
+	Decisions []DecisionRecord `json:"decisions"`
+}
+
+// WriteJSON renders the log as one JSON document.
+func (l *DecisionLog) WriteJSON(w io.Writer) error {
+	l.mu.Lock()
+	doc := decisionExport{Total: l.total, Dropped: l.dropped,
+		Decisions: append([]DecisionRecord(nil), l.records...)}
+	l.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// SummaryTable digests the log per (scheduler, reason, chosen-worker
+// kind is not known here, so per worker bucket): decision counts and how
+// often the chosen worker's estimate was calibrated.
+func (l *DecisionLog) SummaryTable() *report.Table {
+	type key struct{ sched, reason string }
+	counts := map[key]int{}
+	calibrated := map[key]int{}
+	withCands := map[key]int{}
+	for _, d := range l.Decisions() {
+		k := key{d.Scheduler, d.Reason}
+		counts[k]++
+		for _, c := range d.Candidates {
+			if c.Worker == d.Chosen {
+				withCands[k]++
+				if c.Calibrated {
+					calibrated[k]++
+				}
+				break
+			}
+		}
+	}
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	// Stable order: scheduler then reason.
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j].sched < keys[i].sched ||
+				(keys[j].sched == keys[i].sched && keys[j].reason < keys[i].reason) {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	tbl := report.NewTable("Scheduler decisions", "scheduler", "reason", "decisions", "calibrated est. %")
+	for _, k := range keys {
+		pct := "-"
+		if n := withCands[k]; n > 0 {
+			pct = formatLe(100 * float64(calibrated[k]) / float64(n))
+		}
+		tbl.AddRow(k.sched, k.reason, counts[k], pct)
+	}
+	return tbl
+}

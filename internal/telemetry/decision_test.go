@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/starpu"
+	"repro/internal/units"
+)
+
+func mkDecision(id int, sched, reason string) starpu.Decision {
+	return starpu.Decision{
+		Time:      units.Seconds(float64(id) * 0.1),
+		Task:      &starpu.Task{ID: id, Codelet: &starpu.Codelet{Name: "dgemm"}},
+		Scheduler: sched,
+		Chosen:    1,
+		Reason:    reason,
+		Candidates: []starpu.Candidate{
+			{Worker: 0, Estimate: 0.2, Metric: 0.3},
+			{Worker: 1, Estimate: 0.1, Metric: 0.15, Calibrated: true},
+		},
+	}
+}
+
+func TestDecisionLogRecordsAndFlattens(t *testing.T) {
+	l := NewDecisionLog(0)
+	l.Record(mkDecision(7, "dmda", "min-completion-time"))
+	recs := l.Decisions()
+	if len(recs) != 1 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	r := recs[0]
+	if r.Task != 7 || r.Codelet != "dgemm" || r.Chosen != 1 || r.Scheduler != "dmda" {
+		t.Errorf("record = %+v", r)
+	}
+	if len(r.Candidates) != 2 || !r.Candidates[1].Calibrated || r.Candidates[0].EstimateS != 0.2 {
+		t.Errorf("candidates = %+v", r.Candidates)
+	}
+}
+
+func TestDecisionLogBounded(t *testing.T) {
+	l := NewDecisionLog(10)
+	for i := 0; i < 25; i++ {
+		l.Record(mkDecision(i, "eager", "eager-pop"))
+	}
+	if got := l.Total(); got != 25 {
+		t.Errorf("total = %d, want 25", got)
+	}
+	recs := l.Decisions()
+	if len(recs) > 10 {
+		t.Errorf("retained %d > capacity 10", len(recs))
+	}
+	if l.Dropped()+len(recs) != 25 {
+		t.Errorf("dropped(%d) + retained(%d) != 25", l.Dropped(), len(recs))
+	}
+	// The newest record always survives.
+	if recs[len(recs)-1].Task != 24 {
+		t.Errorf("last retained task = %d, want 24", recs[len(recs)-1].Task)
+	}
+}
+
+func TestDecisionLogWriteJSON(t *testing.T) {
+	l := NewDecisionLog(0)
+	l.Record(mkDecision(0, "dmdas", "min-completion-time"))
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Total     int              `json:"total"`
+		Dropped   int              `json:"dropped"`
+		Decisions []DecisionRecord `json:"decisions"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Total != 1 || len(doc.Decisions) != 1 {
+		t.Errorf("doc = %+v", doc)
+	}
+}
+
+func TestDecisionLogSummaryTable(t *testing.T) {
+	l := NewDecisionLog(0)
+	for i := 0; i < 4; i++ {
+		l.Record(mkDecision(i, "dmda", "min-completion-time"))
+	}
+	l.Record(mkDecision(9, "eager", "eager-pop"))
+	tbl := l.SummaryTable()
+	if got := tbl.Len(); got != 2 {
+		t.Fatalf("summary rows = %d, want 2", got)
+	}
+	out := tbl.String()
+	// Sorted by scheduler: dmda before eager; calibrated chosen worker
+	// in every dmda decision → 100%.
+	if !strings.Contains(out, "dmda") || !strings.Contains(out, "eager") {
+		t.Errorf("summary missing schedulers:\n%s", out)
+	}
+	if strings.Index(out, "dmda") > strings.Index(out, "eager") {
+		t.Errorf("rows not sorted by scheduler:\n%s", out)
+	}
+	if !strings.Contains(out, "100") {
+		t.Errorf("calibrated%% missing:\n%s", out)
+	}
+}
+
+func TestDecisionLogReset(t *testing.T) {
+	l := NewDecisionLog(4)
+	for i := 0; i < 9; i++ {
+		l.Record(mkDecision(i, "ws", "spread"))
+	}
+	l.Reset()
+	if l.Total() != 0 || l.Dropped() != 0 || len(l.Decisions()) != 0 {
+		t.Errorf("reset left state: total=%d dropped=%d len=%d", l.Total(), l.Dropped(), len(l.Decisions()))
+	}
+}

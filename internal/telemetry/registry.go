@@ -1,0 +1,369 @@
+// Package telemetry is the repo's observability layer: a concurrency-safe
+// metric registry with Prometheus text exposition and JSON snapshots, a
+// simulated-clock sampler that turns a run into per-GPU power/cap/energy
+// and per-worker queue/busy time series, a structured scheduler decision
+// log, and an HTTP exporter serving it all live during a run.
+//
+// The simulation itself is single-threaded, but the exporter reads the
+// registry, sampler and decision log from HTTP handler goroutines while
+// the run mutates them — everything here locks.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MetricType distinguishes the three metric kinds.
+type MetricType int
+
+// The metric kinds, matching the Prometheus exposition TYPE names.
+const (
+	CounterType MetricType = iota
+	GaugeType
+	HistogramType
+)
+
+// String reports "counter", "gauge" or "histogram".
+func (t MetricType) String() string {
+	switch t {
+	case GaugeType:
+		return "gauge"
+	case HistogramType:
+		return "histogram"
+	}
+	return "counter"
+}
+
+// DefBuckets is the default histogram bucketing, tuned for task
+// durations in simulated seconds (microseconds to minutes).
+var DefBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 30, 120}
+
+// Registry holds metric families and renders them.  All methods are safe
+// for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	byName   map[string]*family
+	families []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// family is one named metric with a fixed label schema; children are the
+// label-value instantiations.
+type family struct {
+	name       string
+	help       string
+	typ        MetricType
+	labelNames []string
+	buckets    []float64 // histogram upper bounds, sorted, without +Inf
+
+	mu       sync.Mutex
+	children map[string]*metric
+	order    []string // child keys in first-use order
+}
+
+// metric is one (family, label values) series.
+type metric struct {
+	fam    *family
+	labels []string
+
+	mu    sync.Mutex
+	value float64   // counter / gauge
+	obs   []uint64  // histogram per-bucket counts (len(buckets))
+	sum   float64   // histogram sum
+	count uint64    // histogram count
+}
+
+// register creates or returns the family, enforcing a consistent schema.
+func (r *Registry) register(name, help string, typ MetricType, labelNames []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ || len(f.labelNames) != len(labelNames) {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s with %d labels (was %s with %d)",
+				name, typ, len(labelNames), f.typ, len(f.labelNames)))
+		}
+		return f
+	}
+	f := &family{
+		name:       name,
+		help:       help,
+		typ:        typ,
+		labelNames: append([]string(nil), labelNames...),
+		buckets:    append([]float64(nil), buckets...),
+		children:   make(map[string]*metric),
+	}
+	sort.Float64s(f.buckets)
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// child finds or creates the series for the given label values.
+func (f *family) child(values []string) *metric {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("telemetry: metric %q wants %d label values, got %d", f.name, len(f.labelNames), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.children[key]
+	if !ok {
+		m = &metric{fam: f, labels: append([]string(nil), values...)}
+		if f.typ == HistogramType {
+			m.obs = make([]uint64, len(f.buckets))
+		}
+		f.children[key] = m
+		f.order = append(f.order, key)
+	}
+	return m
+}
+
+// ---------------------------------------------------------------- counter
+
+// CounterVec is a counter family; With resolves one labelled series.
+type CounterVec struct{ f *family }
+
+// Counter is a monotonically increasing value.
+type Counter struct{ m *metric }
+
+// NewCounter registers (or finds) a counter family.
+func (r *Registry) NewCounter(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, CounterType, labelNames, nil)}
+}
+
+// With resolves the series for the given label values.
+func (v *CounterVec) With(labelValues ...string) Counter {
+	return Counter{m: v.f.child(labelValues)}
+}
+
+// Inc adds one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas are ignored (counters are
+// monotonic by contract).
+func (c Counter) Add(delta float64) {
+	if delta < 0 || math.IsNaN(delta) {
+		return
+	}
+	c.m.mu.Lock()
+	c.m.value += delta
+	c.m.mu.Unlock()
+}
+
+// Value reports the current total.
+func (c Counter) Value() float64 {
+	c.m.mu.Lock()
+	defer c.m.mu.Unlock()
+	return c.m.value
+}
+
+// ------------------------------------------------------------------ gauge
+
+// GaugeVec is a gauge family; With resolves one labelled series.
+type GaugeVec struct{ f *family }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ m *metric }
+
+// NewGauge registers (or finds) a gauge family.
+func (r *Registry) NewGauge(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, GaugeType, labelNames, nil)}
+}
+
+// With resolves the series for the given label values.
+func (v *GaugeVec) With(labelValues ...string) Gauge {
+	return Gauge{m: v.f.child(labelValues)}
+}
+
+// Set replaces the value.
+func (g Gauge) Set(v float64) {
+	g.m.mu.Lock()
+	g.m.value = v
+	g.m.mu.Unlock()
+}
+
+// Add adjusts the value by delta (may be negative).
+func (g Gauge) Add(delta float64) {
+	g.m.mu.Lock()
+	g.m.value += delta
+	g.m.mu.Unlock()
+}
+
+// Value reports the current value.
+func (g Gauge) Value() float64 {
+	g.m.mu.Lock()
+	defer g.m.mu.Unlock()
+	return g.m.value
+}
+
+// -------------------------------------------------------------- histogram
+
+// HistogramVec is a histogram family; With resolves one labelled series.
+type HistogramVec struct{ f *family }
+
+// Histogram accumulates observations into configurable buckets.
+type Histogram struct{ m *metric }
+
+// NewHistogram registers (or finds) a histogram family with the given
+// bucket upper bounds (nil means DefBuckets); +Inf is implicit.
+func (r *Registry) NewHistogram(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{f: r.register(name, help, HistogramType, labelNames, buckets)}
+}
+
+// With resolves the series for the given label values.
+func (v *HistogramVec) With(labelValues ...string) Histogram {
+	return Histogram{m: v.f.child(labelValues)}
+}
+
+// Observe records one sample.
+func (h Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.m.mu.Lock()
+	for i, ub := range h.m.fam.buckets {
+		if v <= ub {
+			h.m.obs[i]++
+		}
+	}
+	h.m.sum += v
+	h.m.count++
+	h.m.mu.Unlock()
+}
+
+// Count reports the number of observations.
+func (h Histogram) Count() uint64 {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	return h.m.count
+}
+
+// Sum reports the total of all observations.
+func (h Histogram) Sum() float64 {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	return h.m.sum
+}
+
+// ------------------------------------------------------------- exposition
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, HELP/TYPE headers,
+// histogram series with cumulative le buckets, _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		children := make([]*metric, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		sort.Slice(children, func(i, j int) bool {
+			return strings.Join(children[i].labels, "\x00") < strings.Join(children[j].labels, "\x00")
+		})
+
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, m := range children {
+			if err := m.writePrometheus(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (m *metric) writePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.fam
+	switch f.typ {
+	case HistogramType:
+		for i, ub := range f.buckets {
+			ls := labelString(f.labelNames, m.labels, "le", formatLe(ub))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, ls, m.obs[i]); err != nil {
+				return err
+			}
+		}
+		ls := labelString(f.labelNames, m.labels, "le", "+Inf")
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, ls, m.count); err != nil {
+			return err
+		}
+		plain := labelString(f.labelNames, m.labels, "", "")
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, plain, formatValue(m.sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, plain, m.count)
+		return err
+	default:
+		ls := labelString(f.labelNames, m.labels, "", "")
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, ls, formatValue(m.value))
+		return err
+	}
+}
+
+// labelString renders {a="x",b="y"} with an optional extra pair; empty
+// when there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes \, " and newlines exactly as the exposition
+		// format requires.
+		fmt.Fprintf(&b, "%s=%q", n, values[i])
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraName, extraValue)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatLe(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("jobs_total", "Jobs.", "kind")
+	c.With("cuda").Inc()
+	c.With("cuda").Add(2)
+	c.With("cpu").Inc()
+	if got := c.With("cuda").Value(); got != 3 {
+		t.Errorf("cuda counter = %v, want 3", got)
+	}
+	if got := c.With("cpu").Value(); got != 1 {
+		t.Errorf("cpu counter = %v, want 1", got)
+	}
+	// Counters are monotonic: negative deltas are ignored.
+	c.With("cuda").Add(-5)
+	if got := c.With("cuda").Value(); got != 3 {
+		t.Errorf("counter after negative Add = %v, want 3", got)
+	}
+
+	g := reg.NewGauge("depth", "Queue depth.")
+	g.With().Set(7)
+	g.With().Add(-3)
+	if got := g.With().Value(); got != 4 {
+		t.Errorf("gauge = %v, want 4", got)
+	}
+}
+
+func TestRegisterIdempotentAndMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.NewCounter("x_total", "X.", "k")
+	b := reg.NewCounter("x_total", "X.", "k")
+	a.With("v").Inc()
+	if got := b.With("v").Value(); got != 1 {
+		t.Errorf("re-registered family not shared: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different type did not panic")
+		}
+	}()
+	reg.NewGauge("x_total", "X.", "k")
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.With().Observe(v)
+	}
+	if got := h.With().Count(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+	if got := h.With().Sum(); got != 56.05 {
+		t.Errorf("sum = %v, want 56.05", got)
+	}
+	// Buckets are cumulative: <=0.1 →1, <=1 →3, <=10 →4, +Inf →5.
+	snap := reg.Snapshot()
+	if len(snap) != 1 || len(snap[0].Series) != 1 {
+		t.Fatalf("snapshot shape: %+v", snap)
+	}
+	got := snap[0].Series[0].Buckets
+	want := []BucketCount{{"0.1", 1}, {"1", 3}, {"10", 4}, {"+Inf", 5}}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("capsim_tasks_total", "Tasks run.", "worker")
+	c.With("cuda0").Add(3)
+	c.With("cpu0").Add(1)
+	g := reg.NewGauge("capsim_power_watts", "Power.", "gpu")
+	g.With("0").Set(213.5)
+	h := reg.NewHistogram("capsim_dur_seconds", "Durations.", []float64{0.5, 1})
+	h.With().Observe(0.25)
+	h.With().Observe(2)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP capsim_dur_seconds Durations.",
+		"# TYPE capsim_dur_seconds histogram",
+		`capsim_dur_seconds_bucket{le="0.5"} 1`,
+		`capsim_dur_seconds_bucket{le="1"} 1`,
+		`capsim_dur_seconds_bucket{le="+Inf"} 2`,
+		"capsim_dur_seconds_sum 2.25",
+		"capsim_dur_seconds_count 2",
+		"# HELP capsim_power_watts Power.",
+		"# TYPE capsim_power_watts gauge",
+		`capsim_power_watts{gpu="0"} 213.5`,
+		"# HELP capsim_tasks_total Tasks run.",
+		"# TYPE capsim_tasks_total counter",
+		`capsim_tasks_total{worker="cpu0"} 1`,
+		`capsim_tasks_total{worker="cuda0"} 3`,
+		"",
+	}, "\n")
+	if buf.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}
+
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("a_total", "A.", "l").With("x").Inc()
+	reg.NewHistogram("b_seconds", "B.", nil).With().Observe(0.3)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var fams []FamilySnapshot
+	if err := json.Unmarshal(buf.Bytes(), &fams); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(fams) != 2 || fams[0].Name != "a_total" || fams[1].Name != "b_seconds" {
+		t.Errorf("families = %+v", fams)
+	}
+	if fams[0].Type != "counter" || fams[1].Type != "histogram" {
+		t.Errorf("types = %s, %s", fams[0].Type, fams[1].Type)
+	}
+	if fams[0].Series[0].Labels["l"] != "x" {
+		t.Errorf("labels = %+v", fams[0].Series[0].Labels)
+	}
+}
+
+// TestRegistryConcurrency hammers a shared registry from many goroutines
+// while readers render it — meaningful under -race.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("ops_total", "Ops.", "g")
+	g := reg.NewGauge("val", "Val.", "g")
+	h := reg.NewHistogram("obs_seconds", "Obs.", nil, "g")
+
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			label := string(rune('a' + id%4))
+			for i := 0; i < iters; i++ {
+				c.With(label).Inc()
+				g.With(label).Set(float64(i))
+				h.With(label).Observe(float64(i) / iters)
+			}
+		}(w)
+	}
+	// Concurrent readers.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var buf bytes.Buffer
+				if err := reg.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				reg.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+
+	var total float64
+	for _, fam := range reg.Snapshot() {
+		if fam.Name != "ops_total" {
+			continue
+		}
+		for _, s := range fam.Series {
+			total += s.Value
+		}
+	}
+	if total != workers*iters {
+		t.Errorf("total ops = %v, want %d", total, workers*iters)
+	}
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler builds the export mux over a collector:
+//
+//	/metrics          Prometheus text exposition
+//	/metrics.json     registry snapshot as JSON
+//	/timeseries.json  the sampler's power/cap/energy and worker series
+//	/decisions.json   the scheduler decision log
+//	/                 a plain-text index
+//
+// All endpoints are read-only and safe while a run mutates the data.
+func Handler(c *Collector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		c.Registry.WriteJSON(w)
+	})
+	mux.HandleFunc("/timeseries.json", func(w http.ResponseWriter, r *http.Request) {
+		s := c.Sampler()
+		if s == nil {
+			http.Error(w, "no run attached yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		s.WriteTimeSeriesJSON(w)
+	})
+	mux.HandleFunc("/decisions.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		c.Decisions.WriteJSON(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "capsim telemetry")
+		fmt.Fprintln(w, "  /metrics          Prometheus text exposition")
+		fmt.Fprintln(w, "  /metrics.json     registry snapshot")
+		fmt.Fprintln(w, "  /timeseries.json  per-GPU power/cap/energy + per-worker series")
+		fmt.Fprintln(w, "  /decisions.json   scheduler decision log")
+	})
+	return mux
+}
+
+// Server is a live telemetry endpoint.
+type Server struct {
+	http *http.Server
+	ln   net.Listener
+}
+
+// Serve starts the export endpoint on addr (e.g. ":9090" or
+// "127.0.0.1:0") in a background goroutine and returns once the
+// listener is bound, so Addr is immediately valid.
+func Serve(addr string, c *Collector) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(c)}
+	go srv.Serve(ln)
+	return &Server{http: srv, ln: ln}, nil
+}
+
+// Addr reports the bound address (resolves ":0" ports).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.http.Close() }

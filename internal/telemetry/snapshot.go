@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BucketCount is one histogram bucket in a snapshot (cumulative count of
+// observations <= Le; Le is "+Inf" for the last bucket).
+type BucketCount struct {
+	Le    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// SeriesSnapshot is one labelled series' state at snapshot time.
+type SeriesSnapshot struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`
+	Sum     float64           `json:"sum,omitempty"`
+	Count   uint64            `json:"count,omitempty"`
+	Buckets []BucketCount     `json:"buckets,omitempty"`
+}
+
+// FamilySnapshot is one metric family's state at snapshot time.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Type   string           `json:"type"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot captures every family, sorted by name, each series sorted by
+// label values — a stable, JSON-friendly view of the registry.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.RLock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ.String()}
+		f.mu.Lock()
+		children := make([]*metric, 0, len(f.children))
+		for _, k := range f.order {
+			children = append(children, f.children[k])
+		}
+		f.mu.Unlock()
+		sort.Slice(children, func(i, j int) bool {
+			return strings.Join(children[i].labels, "\x00") < strings.Join(children[j].labels, "\x00")
+		})
+		for _, m := range children {
+			m.mu.Lock()
+			ss := SeriesSnapshot{Value: m.value, Sum: m.sum, Count: m.count}
+			if len(f.labelNames) > 0 {
+				ss.Labels = make(map[string]string, len(f.labelNames))
+				for i, n := range f.labelNames {
+					ss.Labels[n] = m.labels[i]
+				}
+			}
+			if f.typ == HistogramType {
+				ss.Buckets = make([]BucketCount, 0, len(f.buckets)+1)
+				for i, ub := range f.buckets {
+					ss.Buckets = append(ss.Buckets, BucketCount{Le: formatLe(ub), Count: m.obs[i]})
+				}
+				ss.Buckets = append(ss.Buckets, BucketCount{Le: "+Inf", Count: m.count})
+			}
+			m.mu.Unlock()
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

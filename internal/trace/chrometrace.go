@@ -37,7 +37,9 @@ type chromeMeta struct {
 // WriteChromeTrace emits the executed DAG as a Chrome Trace JSON array:
 // one thread per worker, one complete event per task (compute phase).
 func WriteChromeTrace(w io.Writer, rt *starpu.Runtime) error {
-	var objs []interface{}
+	// A nil slice encodes as JSON null, which trace viewers reject; an
+	// empty runtime must still produce a valid (empty) event array.
+	objs := make([]interface{}, 0, len(rt.Workers())+len(rt.Tasks())+1)
 	for _, wk := range rt.Workers() {
 		objs = append(objs, chromeMeta{
 			Name: "thread_name", Ph: "M", Pid: 0, Tid: wk.ID,
