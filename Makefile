@@ -5,7 +5,10 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench clean
+.PHONY: all build vet test check bench fuzz-short clean
+
+# How long each fuzz target runs under fuzz-short (CI uses the default).
+FUZZTIME ?= 10s
 
 all: check
 
@@ -23,6 +26,13 @@ check:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Short coverage-guided fuzz pass over both fuzz targets: the plan
+# parser (input validation) and the event engine (ordering/determinism
+# under adversarial schedules).  Go runs one fuzz target per invocation.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzParsePlan$$' -fuzztime $(FUZZTIME) ./internal/powercap
+	$(GO) test -run '^$$' -fuzz '^FuzzEventOrdering$$' -fuzztime $(FUZZTIME) ./internal/eventsim
 
 clean:
 	$(GO) clean ./...

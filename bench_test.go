@@ -11,7 +11,10 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dyncap"
@@ -251,6 +254,52 @@ func BenchmarkFig7TileSizes(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(wins)/float64(cells)*100, "allB_wins_%")
+}
+
+// BenchmarkParallelSpeedup times the same grid — every Table II row at
+// reduced order, all canonical plans — through the executor at one
+// worker and at eight, verifies the outputs match, and emits the
+// wall-clock baseline as a machine-readable "BENCH" JSON line.  The
+// speedup is bounded by the host's cores (GOMAXPROCS is part of the
+// record): on a multi-core host the grid's ~100 independent cells keep
+// eight workers busy, while a single-core CI runner reports ~1×.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	rows := make([]core.TableIIRow, len(core.TableII))
+	for i, r := range core.TableII {
+		r.N = r.NB * 3
+		rows[i] = r
+	}
+	opt := core.SweepOptions{Seed: 1}
+	var serial, parallel time.Duration
+	cells := 0
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		sres, err := core.ParallelSweep(rows, opt, core.ParallelOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		serial = time.Since(t0)
+		t0 = time.Now()
+		pres, err := core.ParallelSweep(rows, opt, core.ParallelOptions{Workers: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		parallel = time.Since(t0)
+		cells = 0
+		for j := range sres {
+			cells += len(sres[j])
+			for k := range sres[j] {
+				if sres[j][k].Result.Efficiency != pres[j][k].Result.Efficiency {
+					b.Fatalf("row %d plan %s: serial and parallel efficiencies differ", j, sres[j][k].Plan)
+				}
+			}
+		}
+	}
+	speedup := serial.Seconds() / parallel.Seconds()
+	b.ReportMetric(speedup, "speedup_x")
+	b.ReportMetric(float64(cells), "cells")
+	fmt.Printf("BENCH {\"name\":\"parallel_sweep\",\"cells\":%d,\"workers\":8,\"gomaxprocs\":%d,\"serial_s\":%.3f,\"parallel_s\":%.3f,\"speedup\":%.2f}\n",
+		cells, runtime.GOMAXPROCS(0), serial.Seconds(), parallel.Seconds(), speedup)
 }
 
 // BenchmarkAblationSchedulers compares dmdas against the baseline

@@ -15,6 +15,7 @@
 //	fig5     per-device energy split on 24-Intel-2-V100, double
 //	fig6     efficiency gain from capping CPU1 at 48 % TDP (V100 node)
 //	fig7     efficiency across tile sizes, all platforms
+//	grid     the full Table II × plan grid through the parallel executor
 //	autoplan automatic plan selection under a slowdown budget (extension)
 //	budget   node power budget -> per-GPU cap allocation (extension)
 //	ablation scheduler / calibration / transfer-model ablations (extension)
@@ -25,9 +26,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/telemetry"
 )
 
@@ -70,6 +73,8 @@ func main() {
 		err = runFig6(opts)
 	case "fig7":
 		err = runFig7(opts)
+	case "grid":
+		err = runGrid(opts)
 	case "autoplan":
 		err = runAutoPlan(opts)
 	case "ablation":
@@ -126,6 +131,8 @@ type options struct {
 	outDir      string
 	metricsAddr string
 	hold        time.Duration
+	parallel    int
+	seed        int64
 
 	// telem is non-nil when -metrics-addr is set; every experiment
 	// threads it through core so the endpoint reflects the live run.
@@ -144,19 +151,41 @@ func parseOpts(fs *flag.FlagSet, args []string) *options {
 	fs.StringVar(&o.metricsAddr, "metrics-addr", "",
 		"serve live telemetry on this address (/metrics, /timeseries.json, /decisions.json)")
 	fs.DurationVar(&o.hold, "hold", 0, "keep the telemetry endpoint open this long after the experiments finish")
+	fs.IntVar(&o.parallel, "parallel", runtime.NumCPU(),
+		"worker-pool size for sweep cells (1 = serial; output is byte-identical at any value)")
+	fs.Int64Var(&o.seed, "seed", 0, "root seed for the grid experiment (per-cell seeds are derived from it)")
 	fs.Parse(args)
 	if o.scale < 1 {
 		o.scale = 1
 	}
+	if o.parallel < 1 {
+		o.parallel = 1
+	}
 	return o
+}
+
+// popt builds the executor options: the -parallel pool size plus, when
+// fanning out, a progress line on stderr (stdout stays clean for the
+// tables, which render only after the pool drains).
+func (o *options) popt() core.ParallelOptions {
+	po := core.ParallelOptions{Workers: o.parallel}
+	if o.parallel > 1 {
+		po.OnProgress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rcapbench: %d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	return po
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
 usage: capbench <experiment> [flags]
-experiments: fig1 table1 table2 fig3 fig4 fig5 fig6 fig7 autoplan ablation budget all
+experiments: fig1 table1 table2 fig3 fig4 fig5 fig6 fig7 grid autoplan ablation budget all
 flags: -platform <name|all> -csv -scale N -budget PCT -scheduler NAME -out DIR
-       -metrics-addr HOST:PORT -hold DURATION`))
+       -parallel N -seed N -metrics-addr HOST:PORT -hold DURATION`))
 }
 
 func runAll(o *options) error {
@@ -172,6 +201,7 @@ func runAll(o *options) error {
 		{"fig5", runFig5},
 		{"fig6", runFig6},
 		{"fig7", runFig7},
+		{"grid", runGrid},
 		{"autoplan", runAutoPlan},
 		{"ablation", runAblation},
 		{"budget", runBudget},

@@ -55,30 +55,36 @@ func runFig34(o *options, single bool) error {
 	if err != nil {
 		return err
 	}
+	// Enumerate every (platform, op) row first, fan the whole figure's
+	// cells across the worker pool, then render in enumeration order —
+	// the output is byte-identical to the serial loop at any -parallel.
+	var rows []core.TableIIRow
 	for _, plat := range platforms {
 		for _, op := range []core.Operation{core.GEMM, core.POTRF} {
 			row, err := core.LookupTableII(plat, op, p)
 			if err != nil {
 				return err
 			}
-			row = scaledRow(row, o.scale)
-			results, err := core.SweepPlans(row, core.SweepOptions{Scheduler: o.scheduler, Telemetry: o.telem})
-			if err != nil {
-				return err
-			}
-			tbl := report.NewTable(
-				fmt.Sprintf("%s — %s on %s (%s)", fig, row.Workload(), plat, schedName(o)),
-				"plan", "perf Δ%", "energy Δ%", "Gflop/s/W", "Gflop/s", "trend")
-			for _, r := range results {
-				tbl.AddRow(r.Plan.String(), r.Delta.PerfPct, r.Delta.EnergyPct,
-					r.Result.Efficiency, float64(r.Result.Rate)/units.Giga,
-					report.Bar(r.Delta.EffGainPct, 40, 12))
-			}
-			if err := emit(o, tbl); err != nil {
-				return err
-			}
-			fmt.Println()
+			rows = append(rows, scaledRow(row, o.scale))
 		}
+	}
+	sweeps, err := core.ParallelSweep(rows, core.SweepOptions{Scheduler: o.scheduler, Telemetry: o.telem}, o.popt())
+	if err != nil {
+		return err
+	}
+	for i, row := range rows {
+		tbl := report.NewTable(
+			fmt.Sprintf("%s — %s on %s (%s)", fig, row.Workload(), row.Platform, schedName(o)),
+			"plan", "perf Δ%", "energy Δ%", "Gflop/s/W", "Gflop/s", "trend")
+		for _, r := range sweeps[i] {
+			tbl.AddRow(r.Plan.String(), r.Delta.PerfPct, r.Delta.EnergyPct,
+				r.Result.Efficiency, float64(r.Result.Rate)/units.Giga,
+				report.Bar(r.Delta.EffGainPct, 40, 12))
+		}
+		if err := emit(o, tbl); err != nil {
+			return err
+		}
+		fmt.Println()
 	}
 	return nil
 }
@@ -93,16 +99,20 @@ func schedName(o *options) string {
 // runFig5 prints the per-device energy split per plan on the V100 node
 // in double precision — the paper's Fig. 5.
 func runFig5(o *options) error {
+	var rows []core.TableIIRow
 	for _, op := range []core.Operation{core.GEMM, core.POTRF} {
 		row, err := core.LookupTableII(platform.TwoV100Name, op, prec.Double)
 		if err != nil {
 			return err
 		}
-		row = scaledRow(row, o.scale)
-		results, err := core.SweepPlans(row, core.SweepOptions{Scheduler: o.scheduler, Telemetry: o.telem})
-		if err != nil {
-			return err
-		}
+		rows = append(rows, scaledRow(row, o.scale))
+	}
+	sweeps, err := core.ParallelSweep(rows, core.SweepOptions{Scheduler: o.scheduler, Telemetry: o.telem}, o.popt())
+	if err != nil {
+		return err
+	}
+	for i, row := range rows {
+		results := sweeps[i]
 		tbl := report.NewTable(
 			fmt.Sprintf("Fig. 5 — per-device energy, %s on %s", row.Workload(), platform.TwoV100Name),
 			"plan", "CPU0_J", "CPU1_J", "GPU0_J", "GPU1_J", "total_J", "CPU share %")
@@ -125,42 +135,48 @@ func runFig5(o *options) error {
 // (socket 1 at 48 % TDP = 60 W) on the V100 node, both precisions.
 func runFig6(o *options) error {
 	cpuCaps := map[int]units.Watts{1: 60}
+	var rows []core.TableIIRow
 	for _, p := range prec.All {
 		for _, op := range []core.Operation{core.GEMM, core.POTRF} {
 			row, err := core.LookupTableII(platform.TwoV100Name, op, p)
 			if err != nil {
 				return err
 			}
-			row = scaledRow(row, o.scale)
-			plain, err := core.SweepPlans(row, core.SweepOptions{Scheduler: o.scheduler, Telemetry: o.telem})
-			if err != nil {
-				return err
-			}
-			capped, err := core.SweepPlans(row, core.SweepOptions{Scheduler: o.scheduler, CPUCaps: cpuCaps, Telemetry: o.telem})
-			if err != nil {
-				return err
-			}
-			var defaultRate float64
-			for _, r := range plain {
-				if r.Plan.AllHigh() {
-					defaultRate = float64(r.Result.Rate)
-				}
-			}
-			tbl := report.NewTable(
-				fmt.Sprintf("Fig. 6 — CPU1 capped at 60 W, %s on %s", row.Workload(), platform.TwoV100Name),
-				"plan", "eff (no CPU cap)", "eff (CPU cap)", "improvement %", "perf Δ% vs uncapped-CPU default")
-			for i := range plain {
-				base := plain[i].Result
-				with := capped[i].Result
-				tbl.AddRow(plain[i].Plan.String(), base.Efficiency, with.Efficiency,
-					units.PercentChange(base.Efficiency, with.Efficiency),
-					units.PercentChange(defaultRate, float64(with.Rate)))
-			}
-			if err := emit(o, tbl); err != nil {
-				return err
-			}
-			fmt.Println()
+			rows = append(rows, scaledRow(row, o.scale))
 		}
+	}
+	// The capped and uncapped sweeps differ in options, so they fan out
+	// as two pools; rows align index-for-index.
+	plainSweeps, err := core.ParallelSweep(rows, core.SweepOptions{Scheduler: o.scheduler, Telemetry: o.telem}, o.popt())
+	if err != nil {
+		return err
+	}
+	cappedSweeps, err := core.ParallelSweep(rows, core.SweepOptions{Scheduler: o.scheduler, CPUCaps: cpuCaps, Telemetry: o.telem}, o.popt())
+	if err != nil {
+		return err
+	}
+	for i, row := range rows {
+		plain, capped := plainSweeps[i], cappedSweeps[i]
+		var defaultRate float64
+		for _, r := range plain {
+			if r.Plan.AllHigh() {
+				defaultRate = float64(r.Result.Rate)
+			}
+		}
+		tbl := report.NewTable(
+			fmt.Sprintf("Fig. 6 — CPU1 capped at 60 W, %s on %s", row.Workload(), platform.TwoV100Name),
+			"plan", "eff (no CPU cap)", "eff (CPU cap)", "improvement %", "perf Δ% vs uncapped-CPU default")
+		for j := range plain {
+			base := plain[j].Result
+			with := capped[j].Result
+			tbl.AddRow(plain[j].Plan.String(), base.Efficiency, with.Efficiency,
+				units.PercentChange(base.Efficiency, with.Efficiency),
+				units.PercentChange(defaultRate, float64(with.Rate)))
+		}
+		if err := emit(o, tbl); err != nil {
+			return err
+		}
+		fmt.Println()
 	}
 	return nil
 }
@@ -177,12 +193,29 @@ func runFig7(o *options) error {
 		if plat == platform.TwoV100Name {
 			cpuCaps = map[int]units.Watts{1: 60}
 		}
+		// One pool per platform: every (op, precision, tile) sweep of the
+		// figure fans out together, results consumed in enumeration order.
+		var rows []core.TableIIRow
 		for _, op := range []core.Operation{core.GEMM, core.POTRF} {
 			for _, p := range prec.All {
 				row, err := core.LookupTableII(plat, op, p)
 				if err != nil {
 					return err
 				}
+				for _, nb := range core.Fig7TileSizes(plat, op) {
+					r := row
+					r.NB = nb
+					rows = append(rows, scaledRow(r, o.scale))
+				}
+			}
+		}
+		sweeps, err := core.ParallelSweep(rows, core.SweepOptions{Scheduler: o.scheduler, CPUCaps: cpuCaps, Telemetry: o.telem}, o.popt())
+		if err != nil {
+			return err
+		}
+		next := 0
+		for _, op := range []core.Operation{core.GEMM, core.POTRF} {
+			for _, p := range prec.All {
 				type cell struct {
 					plan string
 					eff  float64
@@ -190,13 +223,8 @@ func runFig7(o *options) error {
 				byTile := map[int][]cell{}
 				var planOrder []string
 				for _, nb := range core.Fig7TileSizes(plat, op) {
-					r := row
-					r.NB = nb
-					r = scaledRow(r, o.scale)
-					results, err := core.SweepPlans(r, core.SweepOptions{Scheduler: o.scheduler, CPUCaps: cpuCaps, Telemetry: o.telem})
-					if err != nil {
-						return err
-					}
+					results := sweeps[next]
+					next++
 					planOrder = planOrder[:0]
 					for _, pr := range results {
 						byTile[nb] = append(byTile[nb], cell{pr.Plan.String(), pr.Result.Efficiency})

@@ -199,9 +199,15 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// Telemetry observes through a per-run scope: the collector's
+	// counters are shared and concurrency-safe, but worker-label
+	// resolution and the time-series sampler bind to this run's runtime
+	// so concurrent cells of a parallel sweep never interleave series.
+	var scope *telemetry.RunScope
 	rtCfg := starpu.Config{Scheduler: sched, Model: model, Seed: cfg.Seed}
 	if cfg.Telemetry != nil {
-		rtCfg.Observer = cfg.Telemetry
+		scope = cfg.Telemetry.NewRunScope()
+		rtCfg.Observer = scope
 	}
 	rt, err := starpu.New(p, rtCfg)
 	if err != nil {
@@ -210,8 +216,8 @@ func Run(cfg Config) (*Result, error) {
 	if err := submit(rt, cfg.Workload); err != nil {
 		return nil, err
 	}
-	if cfg.Telemetry != nil {
-		if _, err := cfg.Telemetry.AttachRun(p, rt, telemetry.SamplerConfig{}); err != nil {
+	if scope != nil {
+		if _, err := scope.Attach(p, rt, telemetry.SamplerConfig{}); err != nil {
 			return nil, err
 		}
 	}

@@ -65,9 +65,11 @@ func RunDynamic(cfg Config, dyn dyncap.Config) (*Result, *dyncap.Controller, err
 		return nil, nil, err
 	}
 
+	var scope *telemetry.RunScope
 	rtCfg := starpu.Config{Scheduler: sched, Model: model, Seed: cfg.Seed}
 	if cfg.Telemetry != nil {
-		rtCfg.Observer = cfg.Telemetry
+		scope = cfg.Telemetry.NewRunScope()
+		rtCfg.Observer = scope
 	}
 	rt, err := starpu.New(p, rtCfg)
 	if err != nil {
@@ -82,13 +84,13 @@ func RunDynamic(cfg Config, dyn dyncap.Config) (*Result, *dyncap.Controller, err
 		return nil, nil, err
 	}
 	ctl.Done = func() bool { return rt.Pending() == 0 }
-	if cfg.Telemetry != nil {
+	if scope != nil {
 		// Sampler first so the controller's cap moves land in its event
 		// series from the very first tick.
-		if _, err := cfg.Telemetry.AttachRun(p, rt, telemetry.SamplerConfig{}); err != nil {
+		if _, err := scope.Attach(p, rt, telemetry.SamplerConfig{}); err != nil {
 			return nil, nil, err
 		}
-		cfg.Telemetry.InstallDyncapHooks(ctl)
+		scope.InstallDyncapHooks(ctl)
 	}
 	if err := ctl.Start(); err != nil {
 		return nil, nil, err

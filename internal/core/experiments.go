@@ -102,46 +102,16 @@ type SweepOptions struct {
 // platform, returning the paper's Fig. 3/4 data: per-plan performance
 // change, energy change and absolute efficiency.  The all-H result is
 // always measured (first) as the baseline.
+//
+// SweepPlans is the serial entry point: it delegates to ParallelSweep
+// with a single worker, so the serial and parallel paths share one
+// implementation and cannot drift apart.
 func SweepPlans(row TableIIRow, opt SweepOptions) ([]PlanResult, error) {
-	spec, err := platform.SpecByName(row.Platform)
+	out, err := ParallelSweep([]TableIIRow{row}, opt, ParallelOptions{Workers: 1})
 	if err != nil {
 		return nil, err
 	}
-	plans := opt.Plans
-	if plans == nil {
-		plans = powercap.Enumerate(spec.GPUCount)
-	}
-	// Baseline first.
-	baseCfg := Config{
-		Spec:      spec,
-		Workload:  row.Workload(),
-		Plan:      powercap.MustParsePlan(repeat('H', spec.GPUCount)),
-		BestFrac:  row.BestFrac,
-		CPUCaps:   opt.CPUCaps,
-		Scheduler: opt.Scheduler,
-		Seed:      opt.Seed,
-		Telemetry: opt.Telemetry,
-	}
-	base, err := Run(baseCfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: baseline %s: %w", baseCfg.Plan, err)
-	}
-	var out []PlanResult
-	for _, plan := range plans {
-		var res *Result
-		if plan.AllHigh() {
-			res = base
-		} else {
-			cfg := baseCfg
-			cfg.Plan = plan
-			res, err = Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("core: plan %s: %w", plan, err)
-			}
-		}
-		out = append(out, PlanResult{Plan: plan, Result: res, Delta: Compare(base, res)})
-	}
-	return out, nil
+	return out[0], nil
 }
 
 // Fig1Point is one sample of the single-GPU kernel sweep (Fig. 1): a

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/powercap"
+	"repro/internal/prec"
+	"repro/internal/report"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.  The goldens pin the paper-reproduction numbers:
+// any model, calibration or formatting drift shows up as a readable
+// CSV diff.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/core -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the pinned numbers (re-run with -update only if the change is intended):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestGoldenTable1 pins the recomputed Table I: best cap, efficiency
+// saving and slowdown per architecture and precision.
+func TestGoldenTable1(t *testing.T) {
+	tbl := report.NewTable("Table I", "arch", "precision", "size", "best_cap_pct", "saving_pct", "slowdown_pct")
+	for _, r := range Table1() {
+		tbl.AddRow(r.Arch, r.Precision.String(), r.Size, r.BestCapPct, r.SavingPct, r.SlowdownPct)
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1", buf.Bytes())
+}
+
+// TestGoldenTable2 pins Table II together with the resolved power
+// levels: for each row, the Watts an all-H and an all-B plan set on
+// every GPU.  This catches silent drift in the arch tables, the
+// BestFrac column and the cap resolution in one diff.
+func TestGoldenTable2(t *testing.T) {
+	tbl := report.NewTable("Table II", "platform", "op", "precision", "N", "NB", "best_frac", "tdp_W", "P_best_W", "P_min_W")
+	for _, r := range TableII {
+		spec, err := platform.SpecByName(r.Platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := powercap.MustParsePlan(repeat('B', spec.GPUCount)).Caps(spec.GPUArch, r.BestFrac)
+		low := powercap.MustParsePlan(repeat('L', spec.GPUCount)).Caps(spec.GPUArch, r.BestFrac)
+		tbl.AddRow(r.Platform, r.Op.String(), r.Precision.String(), r.N, r.NB, r.BestFrac,
+			float64(spec.GPUArch.TDP), float64(best[0]), float64(low[0]))
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table2", buf.Bytes())
+}
+
+// TestGoldenGridSweep pins one full end-to-end sweep per platform — the
+// numbers the Fig. 3 reproduction prints for reduced GEMM instances —
+// through the parallel executor.  Because the executor is deterministic
+// at any worker count, the golden also re-proves determinism across
+// test runs and machines.
+func TestGoldenGridSweep(t *testing.T) {
+	var rows []TableIIRow
+	for _, plat := range []string{platform.TwoV100Name, platform.TwoA100Name, platform.FourA100Name} {
+		row, err := LookupTableII(plat, GEMM, prec.Double)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row.N = row.NB * 2
+		rows = append(rows, row)
+	}
+	res, err := RunGrid(GridSpec{Rows: rows, RootSeed: 1}, ParallelOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "grid_gemm_double", renderSweeps(t, res.Rows, res.Results))
+}

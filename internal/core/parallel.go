@@ -1,0 +1,285 @@
+// Parallel experiment execution.  The paper's evaluation is a grid of
+// independent runs — power cap × matrix size × precision × platform ×
+// schedule — and every cell builds its own platform, runtime and
+// performance-model state, so cells can fan out across goroutines
+// without sharing any simulation state.  The executor here is the
+// repo's one concurrency boundary for experiments; everything below it
+// (eventsim, starpu, platform) stays single-threaded per cell by
+// design.
+//
+// Determinism contract: output is byte-identical regardless of worker
+// count.  Three rules enforce it:
+//
+//  1. Each cell's seed is a pure function of the root seed and the
+//     cell's identity (CellSeed), never of scheduling order.
+//  2. No simulation state is shared between cells: platform.New,
+//     starpu.New and perfmodel.NewHistory run per cell.  The only
+//     cross-cell shared objects (gpu/cpu architecture tables, chameleon
+//     codelets) are sync.Once-built and read-only afterwards.
+//  3. Results land in a slice indexed by cell position, and aggregation
+//     (baseline reuse, delta computation, report rendering) happens
+//     after the pool drains, in cell order.
+package core
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/platform"
+	"repro/internal/powercap"
+)
+
+// ParallelOptions tunes the worker-pool executor.
+type ParallelOptions struct {
+	// Workers bounds the number of concurrent cells; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Context cancels the pool early; nil means context.Background().
+	Context context.Context
+	// OnProgress, when set, is called after every finished cell with the
+	// number done and the total.  It may be called from multiple
+	// goroutines; keep it cheap and thread-safe.
+	OnProgress func(done, total int)
+}
+
+func (o ParallelOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o ParallelOptions) context() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// CellSeed derives a per-cell seed from a root seed and the cell's
+// stable identity string.  FNV-1a over (root, key) keeps the derivation
+// deterministic, order-free and well spread, so the same cell always
+// simulates identically no matter which worker picks it up, how many
+// workers run, or which other cells share the grid.
+func CellSeed(root int64, key string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(root) >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(key))
+	// Mask the sign bit: seeds stay non-negative, which keeps them
+	// readable in logs and stable under int64 round-trips.
+	return int64(h.Sum64() &^ (1 << 63))
+}
+
+// RunCells executes independent configurations across a bounded worker
+// pool and returns their results in input order.  The first error
+// cancels the remaining cells and is returned (wrapped with the cell
+// index); cells already in flight run to completion but their results
+// are discarded alongside the error.
+func RunCells(cfgs []Config, opt ParallelOptions) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	if len(cfgs) == 0 {
+		return results, nil
+	}
+	ctx, cancel := context.WithCancel(opt.context())
+	defer cancel()
+
+	workers := opt.workers()
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	var done atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				res, err := Run(cfgs[i])
+				if err != nil {
+					fail(fmt.Errorf("core: cell %d (%s plan %s): %w", i, cfgs[i].Workload, cfgs[i].Plan, err))
+					continue
+				}
+				results[i] = res
+				n := done.Add(1)
+				if opt.OnProgress != nil {
+					opt.OnProgress(int(n), len(cfgs))
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := range cfgs {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(indices)
+	wg.Wait()
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if ctxErr := opt.context().Err(); ctxErr != nil {
+		return nil, fmt.Errorf("core: sweep cancelled: %w", ctxErr)
+	}
+	return results, nil
+}
+
+// sweepCells flattens per-row plan sweeps into one cell list (per row:
+// the all-H baseline first, then every non-baseline plan, mirroring
+// SweepPlans' serial measurement order), runs the pool, and reassembles
+// per-row PlanResults in enumeration order.  opts[i] carries row i's
+// sweep options, letting RunGrid seed each row independently.
+func sweepCells(rows []TableIIRow, opts []SweepOptions, popt ParallelOptions) ([][]PlanResult, error) {
+	var cfgs []Config
+	plansPerRow := make([][]powercap.Plan, len(rows))
+	baselineAt := make([]int, len(rows))
+	for i, row := range rows {
+		opt := opts[i]
+		spec, err := platform.SpecByName(row.Platform)
+		if err != nil {
+			return nil, err
+		}
+		plans := opt.Plans
+		if plans == nil {
+			plans = powercap.Enumerate(spec.GPUCount)
+		}
+		plansPerRow[i] = plans
+		base := Config{
+			Spec:      spec,
+			Workload:  row.Workload(),
+			Plan:      powercap.MustParsePlan(repeat('H', spec.GPUCount)),
+			BestFrac:  row.BestFrac,
+			CPUCaps:   opt.CPUCaps,
+			Scheduler: opt.Scheduler,
+			Seed:      opt.Seed,
+			Telemetry: opt.Telemetry,
+		}
+		baselineAt[i] = len(cfgs)
+		cfgs = append(cfgs, base)
+		for _, plan := range plans {
+			if plan.AllHigh() {
+				continue // measured once, as the baseline
+			}
+			cfg := base
+			cfg.Plan = plan
+			cfgs = append(cfgs, cfg)
+		}
+	}
+
+	results, err := RunCells(cfgs, popt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate in row/plan order, reusing the baseline result for all-H
+	// plans exactly as the serial sweep does.
+	out := make([][]PlanResult, len(rows))
+	for i := range rows {
+		base := results[baselineAt[i]]
+		next := baselineAt[i] + 1
+		for _, plan := range plansPerRow[i] {
+			var res *Result
+			if plan.AllHigh() {
+				res = base
+			} else {
+				res = results[next]
+				next++
+			}
+			out[i] = append(out[i], PlanResult{Plan: plan, Result: res, Delta: Compare(base, res)})
+		}
+	}
+	return out, nil
+}
+
+// ParallelSweep runs SweepPlans for every row concurrently at cell
+// granularity: each (row, plan) measurement is one pool item, so even a
+// single row fans out across workers.  Results keep SweepPlans' exact
+// shape and order — out[i] is row i's plan results — which makes the
+// output byte-identical to calling SweepPlans serially, at any worker
+// count.
+func ParallelSweep(rows []TableIIRow, opt SweepOptions, popt ParallelOptions) ([][]PlanResult, error) {
+	opts := make([]SweepOptions, len(rows))
+	for i := range opts {
+		opts[i] = opt
+	}
+	return sweepCells(rows, opts, popt)
+}
+
+// GridSpec declares a full experiment grid: the cross product of
+// platform rows (cap × size × precision via Table II lookups) with the
+// canonical plan set, the unit of the paper's Figs. 3/4 reproduction.
+type GridSpec struct {
+	// Rows lists the (platform, op, size, tiling, precision) points.
+	Rows []TableIIRow
+	// Sweep carries the shared options (scheduler, CPU caps, plans,
+	// telemetry).  Its Seed field is ignored: RunGrid derives each row's
+	// seed from RootSeed instead.
+	Sweep SweepOptions
+	// RootSeed is the single seed the whole grid derives from.
+	RootSeed int64
+}
+
+// GridResult pairs the grid's rows with their plan results, index-aligned.
+type GridResult struct {
+	Rows    []TableIIRow
+	Results [][]PlanResult
+}
+
+// RunGrid executes the whole grid across one worker pool with per-row
+// seeds derived from the root seed: row i is seeded by
+// CellSeed(RootSeed, rowKey(row)), so adding, removing or reordering
+// rows never changes another row's simulation, and neither does the
+// worker count.
+func RunGrid(spec GridSpec, popt ParallelOptions) (*GridResult, error) {
+	opts := make([]SweepOptions, len(spec.Rows))
+	for i, row := range spec.Rows {
+		o := spec.Sweep
+		o.Seed = CellSeed(spec.RootSeed, rowKey(row, o))
+		opts[i] = o
+	}
+	results, err := sweepCells(spec.Rows, opts, popt)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TableIIRow, len(spec.Rows))
+	copy(rows, spec.Rows)
+	return &GridResult{Rows: rows, Results: results}, nil
+}
+
+// rowKey is the stable identity CellSeed hashes for a grid row.
+func rowKey(r TableIIRow, o SweepOptions) string {
+	sched := o.Scheduler
+	if sched == "" {
+		sched = "dmdas"
+	}
+	return fmt.Sprintf("%s|%s|%d|%d|%s|%.4f|%s", r.Platform, r.Op, r.N, r.NB, r.Precision, r.BestFrac, sched)
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/powercap"
+	"repro/internal/prec"
+	"repro/internal/report"
+)
+
+// reducedRows returns one small row per platform: full tile size (so
+// per-task behaviour matches the paper's), reduced order for test speed.
+func reducedRows(t *testing.T, op Operation, p prec.Precision, tiles int) []TableIIRow {
+	t.Helper()
+	var rows []TableIIRow
+	for _, plat := range []string{platform.TwoV100Name, platform.TwoA100Name, platform.FourA100Name} {
+		row, err := LookupTableII(plat, op, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row.N = row.NB * tiles
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// renderSweeps flattens sweep results into the CSV a report would emit —
+// the byte stream the determinism contract is stated over.
+func renderSweeps(t *testing.T, rows []TableIIRow, sweeps [][]PlanResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i, row := range rows {
+		tbl := report.NewTable(row.Platform+" "+row.Workload().String(),
+			"plan", "perf", "energy", "eff", "gflops", "makespan", "joules")
+		for _, r := range sweeps[i] {
+			tbl.AddRow(r.Plan.String(), r.Delta.PerfPct, r.Delta.EnergyPct,
+				r.Result.Efficiency, float64(r.Result.Rate), float64(r.Result.Makespan),
+				float64(r.Result.Energy))
+		}
+		if err := tbl.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestParallelSweepDeterminism is the executor's core guarantee: the
+// same seeded sweep rendered from 1 worker and from 8 workers is
+// byte-identical, including under a randomised scheduler whose RNG is
+// seeded per cell.  Any shared simulation state, ordering dependence or
+// seed leakage between cells breaks this.
+func TestParallelSweepDeterminism(t *testing.T) {
+	rows := reducedRows(t, GEMM, prec.Double, 2)
+	for _, sched := range []string{"", "ws"} {
+		opt := SweepOptions{Scheduler: sched, Seed: 42}
+		serial, err := ParallelSweep(rows, opt, ParallelOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := ParallelSweep(rows, opt, ParallelOptions{Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := renderSweeps(t, rows, serial)
+		b := renderSweeps(t, rows, parallel)
+		if !bytes.Equal(a, b) {
+			t.Errorf("scheduler %q: -parallel 1 and -parallel 8 reports differ:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				sched, a, b)
+		}
+	}
+}
+
+// TestParallelSweepMatchesSweepPlans pins the parallel path to the
+// public serial API: ParallelSweep at 8 workers must reproduce what a
+// plain SweepPlans loop measures, row for row, byte for byte.
+func TestParallelSweepMatchesSweepPlans(t *testing.T) {
+	rows := reducedRows(t, POTRF, prec.Single, 3)
+	opt := SweepOptions{Seed: 7}
+	serial := make([][]PlanResult, len(rows))
+	for i, row := range rows {
+		res, err := SweepPlans(row, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = res
+	}
+	parallel, err := ParallelSweep(rows, opt, ParallelOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := renderSweeps(t, rows, serial)
+	b := renderSweeps(t, rows, parallel)
+	if !bytes.Equal(a, b) {
+		t.Errorf("SweepPlans loop and ParallelSweep differ:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestRunGridDeterminism checks the grid wrapper end to end: per-row
+// derived seeds plus the pool must yield byte-identical reports at any
+// worker count.
+func TestRunGridDeterminism(t *testing.T) {
+	rows := reducedRows(t, GEMM, prec.Single, 2)
+	spec := GridSpec{Rows: rows, Sweep: SweepOptions{Scheduler: "random"}, RootSeed: 1234}
+	one, err := RunGrid(spec, ParallelOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := RunGrid(spec, ParallelOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := renderSweeps(t, one.Rows, one.Results)
+	b := renderSweeps(t, eight.Rows, eight.Results)
+	if !bytes.Equal(a, b) {
+		t.Errorf("RunGrid at 1 and 8 workers differ:\n--- 1 ---\n%s\n--- 8 ---\n%s", a, b)
+	}
+}
+
+// TestRunCellsOrderStable checks aggregation order: results land at the
+// index of their configuration no matter which worker finishes first.
+func TestRunCellsOrderStable(t *testing.T) {
+	spec, err := platform.SpecByName(platform.TwoV100Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []string{"HH", "HB", "BB", "HL", "LL"}
+	var cfgs []Config
+	for _, p := range plans {
+		cfgs = append(cfgs, Config{
+			Spec:     spec,
+			Workload: Workload{Op: GEMM, N: 2 * 2880, NB: 2880, Precision: prec.Double},
+			Plan:     powercap.MustParsePlan(p),
+			BestFrac: 0.62,
+		})
+	}
+	results, err := RunCells(cfgs, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("cell %d: nil result", i)
+		}
+		if res.Plan != plans[i] {
+			t.Errorf("cell %d: got plan %s, want %s", i, res.Plan, plans[i])
+		}
+	}
+}
+
+// TestRunCellsProgress checks every finished cell reports exactly once
+// and the final callback sees done == total.
+func TestRunCellsProgress(t *testing.T) {
+	spec, err := platform.SpecByName(platform.TwoV100Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Spec:     spec,
+		Workload: Workload{Op: GEMM, N: 2 * 2880, NB: 2880, Precision: prec.Double},
+		BestFrac: 0.62,
+	}
+	cfgs := []Config{cfg, cfg, cfg}
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	calls, last := 0, 0
+	_, err = RunCells(cfgs, ParallelOptions{Workers: 2, OnProgress: func(done, total int) {
+		<-mu
+		calls++
+		if done > last {
+			last = done
+		}
+		if total != len(cfgs) {
+			t.Errorf("total = %d, want %d", total, len(cfgs))
+		}
+		mu <- struct{}{}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(cfgs) || last != len(cfgs) {
+		t.Errorf("progress calls = %d (last done %d), want %d", calls, last, len(cfgs))
+	}
+}
+
+// TestRunCellsError checks a failing cell cancels the sweep and names
+// itself in the error.
+func TestRunCellsError(t *testing.T) {
+	spec, err := platform.SpecByName(platform.TwoV100Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Config{
+		Spec:     spec,
+		Workload: Workload{Op: GEMM, N: 2 * 2880, NB: 2880, Precision: prec.Double},
+		BestFrac: 0.62,
+	}
+	bad := good
+	bad.Plan = powercap.MustParsePlan("HBBB") // 4 levels on a 2-GPU node
+	_, err = RunCells([]Config{good, bad, good}, ParallelOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("want error from the mismatched plan, got nil")
+	}
+	if !strings.Contains(err.Error(), "cell 1") {
+		t.Errorf("error does not name the failing cell: %v", err)
+	}
+}
+
+// TestRunCellsCancellation checks a cancelled context aborts the pool
+// with a wrapped context error.
+func TestRunCellsCancellation(t *testing.T) {
+	spec, err := platform.SpecByName(platform.TwoV100Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Spec:     spec,
+		Workload: Workload{Op: GEMM, N: 2 * 2880, NB: 2880, Precision: prec.Double},
+		BestFrac: 0.62,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the pool starts
+	_, err = RunCells([]Config{cfg, cfg, cfg, cfg}, ParallelOptions{Workers: 2, Context: ctx})
+	if err == nil {
+		t.Fatal("want cancellation error, got nil")
+	}
+	if !strings.Contains(err.Error(), "cancel") {
+		t.Errorf("error does not mention cancellation: %v", err)
+	}
+}
+
+// TestCellSeed checks the derivation is stable, key-sensitive,
+// root-sensitive and non-negative.
+func TestCellSeed(t *testing.T) {
+	if a, b := CellSeed(1, "x"), CellSeed(1, "x"); a != b {
+		t.Errorf("same (root, key) gave %d and %d", a, b)
+	}
+	if a, b := CellSeed(1, "x"), CellSeed(1, "y"); a == b {
+		t.Errorf("different keys collided at %d", a)
+	}
+	if a, b := CellSeed(1, "x"), CellSeed(2, "x"); a == b {
+		t.Errorf("different roots collided at %d", a)
+	}
+	seen := map[int64]string{}
+	for _, key := range []string{"a", "b", "c", "aa", "ab", ""} {
+		s := CellSeed(-7, key)
+		if s < 0 {
+			t.Errorf("CellSeed(-7, %q) = %d, want non-negative", key, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("keys %q and %q collided at %d", prev, key, s)
+		}
+		seen[s] = key
+	}
+}

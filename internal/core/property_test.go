@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/platform"
+	"repro/internal/prec"
+)
+
+// archCases are the §II kernel-study sweeps: each architecture at its
+// Table I matrix size, with the best-cap fraction the paper reports.
+var archCases = []struct {
+	name     string
+	arch     func() *gpu.Arch
+	size     int
+	bestFrac map[prec.Precision]float64 // Table I "best cap % of TDP"
+}{
+	{"A100SXM4", gpu.A100SXM4, 5120, map[prec.Precision]float64{prec.Double: 0.54, prec.Single: 0.40}},
+	{"A100PCIe", gpu.A100PCIe, 5760, map[prec.Precision]float64{prec.Double: 0.78, prec.Single: 0.60}},
+	{"V100PCIe", gpu.V100PCIe, 5120, map[prec.Precision]float64{prec.Double: 0.60, prec.Single: 0.58}},
+}
+
+// TestFig1PeakNearTableICap checks the efficiency curve peaks where the
+// paper says it does: the best Gflop/s/W cap must land within one sweep
+// step (2 % of TDP, plus float slack) of the Table I best cap.
+func TestFig1PeakNearTableICap(t *testing.T) {
+	const tol = 0.03
+	for _, c := range archCases {
+		arch := c.arch()
+		for p, want := range c.bestFrac {
+			pts := Fig1Sweep(arch, p, []int{c.size})
+			best := pts[0]
+			for _, pt := range pts {
+				if pt.EffGFW > best.EffGFW {
+					best = pt
+				}
+			}
+			if diff := best.CapFrac - want; diff < -tol || diff > tol {
+				t.Errorf("%s %s: efficiency peaks at cap %.2f of TDP, want %.2f ± %.2f",
+					c.name, p, best.CapFrac, want, tol)
+			}
+		}
+	}
+}
+
+// TestFig1CurveShape checks the §II sweep's physical invariants at every
+// point: throughput never decreases as the cap rises, drawn power never
+// exceeds the cap, and energy is positive.  Above the best cap, energy
+// per kernel must grow (or hold) with the cap — the efficiency loss the
+// whole paper exploits.
+func TestFig1CurveShape(t *testing.T) {
+	for _, c := range archCases {
+		arch := c.arch()
+		for _, p := range prec.All {
+			pts := Fig1Sweep(arch, p, []int{c.size})
+			best := pts[0]
+			for _, pt := range pts {
+				if pt.EffGFW > best.EffGFW {
+					best = pt
+				}
+			}
+			const slack = 1e-9
+			for i, pt := range pts {
+				if pt.EnergyJ <= 0 {
+					t.Errorf("%s %s cap %.0f W: energy %.3f J, want > 0", c.name, p, float64(pt.CapW), float64(pt.EnergyJ))
+				}
+				if float64(pt.PowerW) > float64(pt.CapW)*(1+slack) {
+					t.Errorf("%s %s cap %.0f W: draws %.1f W above the cap", c.name, p, float64(pt.CapW), float64(pt.PowerW))
+				}
+				if i == 0 {
+					continue
+				}
+				prev := pts[i-1]
+				if pt.GFlops < prev.GFlops*(1-slack) {
+					t.Errorf("%s %s: throughput fell from %.1f to %.1f Gflop/s when the cap rose %.0f -> %.0f W",
+						c.name, p, prev.GFlops, pt.GFlops, float64(prev.CapW), float64(pt.CapW))
+				}
+				if prev.CapFrac >= best.CapFrac && float64(pt.EnergyJ) < float64(prev.EnergyJ)*(1-slack) {
+					t.Errorf("%s %s: energy fell from %.1f to %.1f J above the best cap (%.0f -> %.0f W)",
+						c.name, p, float64(prev.EnergyJ), float64(pt.EnergyJ), float64(prev.CapW), float64(pt.CapW))
+				}
+			}
+		}
+	}
+}
+
+// TestAllBestBeatsDefaultGEMM is the paper's headline claim as a
+// property: on every platform and both precisions, running GEMM with
+// every GPU at P_best is at least as energy-efficient as the all-H
+// default.  Table-driven across the full platform set.
+func TestAllBestBeatsDefaultGEMM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-platform sweeps take a few seconds")
+	}
+	for _, plat := range []string{platform.TwoV100Name, platform.TwoA100Name, platform.FourA100Name} {
+		for _, p := range prec.All {
+			row, err := LookupTableII(plat, GEMM, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row.N = row.NB * 4
+			results, err := SweepPlans(row, SweepOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var effH, effB float64
+			for _, r := range results {
+				switch {
+				case r.Plan.AllHigh():
+					effH = r.Result.Efficiency
+				case allBest(r):
+					effB = r.Result.Efficiency
+				}
+			}
+			if effH == 0 || effB == 0 {
+				t.Fatalf("%s %s: sweep is missing the all-H or all-B plan", plat, p)
+			}
+			if effB < effH*0.999 {
+				t.Errorf("%s %s GEMM: all-B efficiency %.3f < all-H %.3f Gflop/s/W — the paper's gain vanished",
+					plat, p, effB, effH)
+			}
+		}
+	}
+}
+
+// allBest reports whether every GPU in the plan runs at P_best.
+func allBest(r PlanResult) bool {
+	for _, c := range r.Plan.String() {
+		if c != 'B' {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSweepDeltasConsistent cross-checks the derived fields every figure
+// prints: the baseline's deltas are exactly zero, efficiency is
+// flops/energy, and each delta reproduces the percent change of its raw
+// pair.
+func TestSweepDeltasConsistent(t *testing.T) {
+	row, err := LookupTableII(platform.TwoV100Name, GEMM, prec.Double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row.N = row.NB * 2
+	results, err := SweepPlans(row, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base *Result
+	for _, r := range results {
+		if r.Plan.AllHigh() {
+			base = r.Result
+		}
+	}
+	if base == nil {
+		t.Fatal("no all-H baseline in sweep")
+	}
+	for _, r := range results {
+		res := r.Result
+		if res.Energy <= 0 || res.Makespan <= 0 {
+			t.Fatalf("plan %s: non-positive energy %.1f J or makespan %.3f s",
+				r.Plan, float64(res.Energy), float64(res.Makespan))
+		}
+		wantEff := float64(row.Op.Flops(row.N)) / float64(res.Energy) / 1e9
+		if !approxEqual(res.Efficiency, wantEff, 1e-9) {
+			t.Errorf("plan %s: efficiency %.6f != flops/energy %.6f", r.Plan, res.Efficiency, wantEff)
+		}
+		wantPerf := 100 * (float64(res.Rate)/float64(base.Rate) - 1)
+		if !approxEqual(r.Delta.PerfPct, wantPerf, 1e-6) {
+			t.Errorf("plan %s: perf delta %.4f%% != recomputed %.4f%%", r.Plan, r.Delta.PerfPct, wantPerf)
+		}
+		wantEnergy := -100 * (float64(res.Energy)/float64(base.Energy) - 1)
+		if !approxEqual(r.Delta.EnergyPct, wantEnergy, 1e-6) {
+			t.Errorf("plan %s: energy delta %.4f%% != recomputed %.4f%%", r.Plan, r.Delta.EnergyPct, wantEnergy)
+		}
+		if r.Plan.AllHigh() && (r.Delta.PerfPct != 0 || r.Delta.EnergyPct != 0 || r.Delta.EffGainPct != 0) {
+			t.Errorf("baseline deltas not zero: %+v", r.Delta)
+		}
+	}
+}
+
+func approxEqual(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if b > 1 || b < -1 {
+		scale = b
+		if scale < 0 {
+			scale = -scale
+		}
+	}
+	return d <= tol*scale
+}

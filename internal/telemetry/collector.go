@@ -65,19 +65,36 @@ func (c *Collector) TaskSubmitted(t *starpu.Task) {
 	c.tasksSubmitted.With(t.Codelet.Name).Inc()
 }
 
-// TaskStarted counts one compute-phase start.
+// TaskStarted counts one compute-phase start, resolving labels through
+// the current run's sampler.  Concurrent runs should observe through a
+// RunScope instead, which pins label resolution to its own runtime.
 func (c *Collector) TaskStarted(workerID int, t *starpu.Task) {
-	c.tasksStarted.With(kindOf(c.currentSampler(), workerID)).Inc()
+	c.taskStarted(c.currentRuntime(), workerID, t)
 }
 
 // TaskCompleted counts one completion with its duration and transfers.
 func (c *Collector) TaskCompleted(workerID int, t *starpu.Task) {
-	s := c.currentSampler()
-	kind := kindOf(s, workerID)
-	name := nameOf(s, workerID)
+	c.taskCompleted(c.currentRuntime(), workerID, t)
+}
+
+func (c *Collector) taskStarted(rt *starpu.Runtime, workerID int, _ *starpu.Task) {
+	c.tasksStarted.With(kindOf(rt, workerID)).Inc()
+}
+
+func (c *Collector) taskCompleted(rt *starpu.Runtime, workerID int, t *starpu.Task) {
+	kind := kindOf(rt, workerID)
+	name := nameOf(rt, workerID)
 	c.tasksCompleted.With(name, kind, t.Codelet.Name).Inc()
 	c.taskDuration.With(kind).Observe(float64(t.Duration()))
 	c.transferBytes.With(name).Add(float64(t.TransferBytes))
+}
+
+// currentRuntime resolves the runtime of the current run's sampler.
+func (c *Collector) currentRuntime() *starpu.Runtime {
+	if s := c.currentSampler(); s != nil {
+		return s.rt
+	}
+	return nil
 }
 
 // SchedDecision counts and logs one placement decision.
@@ -88,36 +105,41 @@ func (c *Collector) SchedDecision(d starpu.Decision) {
 
 var _ starpu.Observer = (*Collector)(nil)
 
-// kindOf / nameOf resolve worker labels through the attached run (the
+// kindOf / nameOf resolve worker labels through a run's runtime (the
 // observer callbacks do not carry the machine).
-func kindOf(s *Sampler, workerID int) string {
-	if s == nil || workerID < 0 || workerID >= len(s.rt.Workers()) {
+func kindOf(rt *starpu.Runtime, workerID int) string {
+	if rt == nil || workerID < 0 || workerID >= len(rt.Workers()) {
 		return "unknown"
 	}
-	return s.rt.Workers()[workerID].Info.Kind.String()
+	return rt.Workers()[workerID].Info.Kind.String()
 }
 
-func nameOf(s *Sampler, workerID int) string {
-	if s == nil || workerID < 0 || workerID >= len(s.rt.Workers()) {
+func nameOf(rt *starpu.Runtime, workerID int) string {
+	if rt == nil || workerID < 0 || workerID >= len(rt.Workers()) {
 		return "unknown"
 	}
-	return s.rt.Workers()[workerID].Info.Name
+	return rt.Workers()[workerID].Info.Name
 }
 
 // ---- run attachment ----
 
 // AttachRun starts a sampler over one measured pass and remembers it as
 // the collector's current run.  Call after building the runtime and
-// before Run.
+// before Run.  For runs that may execute concurrently, attach through a
+// RunScope instead.
 func (c *Collector) AttachRun(plat *platform.Platform, rt *starpu.Runtime, cfg SamplerConfig) (*Sampler, error) {
 	s, err := AttachSampler(c.Registry, plat, rt, cfg)
 	if err != nil {
 		return nil, err
 	}
+	c.setCurrentSampler(s)
+	return s, nil
+}
+
+func (c *Collector) setCurrentSampler(s *Sampler) {
 	c.mu.Lock()
 	c.sampler = s
 	c.mu.Unlock()
-	return s, nil
 }
 
 // Sampler reports the current run's sampler (nil before AttachRun).
@@ -155,9 +177,13 @@ func (c *Collector) InstallModelHook(h *perfmodel.History) {
 // counted and every cap move lands in the sampler's event series.
 func (c *Collector) InstallDyncapHooks(ctl *dyncap.Controller) {
 	ctl.OnCapChange = func(ch dyncap.CapChange) {
-		c.dyncapMoves.With(fmt.Sprintf("%d", ch.GPU)).Inc()
+		c.countDyncapMove(ch.GPU)
 		if s := c.currentSampler(); s != nil {
 			s.ObserveCapChange(ch.T, ch.GPU, ch.Old, ch.New)
 		}
 	}
+}
+
+func (c *Collector) countDyncapMove(gpu int) {
+	c.dyncapMoves.With(fmt.Sprintf("%d", gpu)).Inc()
 }

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"sync"
+
+	"repro/internal/dyncap"
+	"repro/internal/platform"
+	"repro/internal/starpu"
+)
+
+// RunScope scopes a shared Collector to one measured run.  The parallel
+// sweep executor runs many simulations at once against one collector;
+// the collector's counters are concurrency-safe by construction, but
+// worker-label resolution and the time-series sampler are per-run state.
+// A RunScope pins both to its own runtime, so concurrent runs never
+// resolve labels through — or append samples into — another run's
+// series.
+//
+// The scope implements starpu.Observer; pass it (not the collector) as
+// the runtime observer for any run that may execute concurrently.
+type RunScope struct {
+	c *Collector
+
+	mu      sync.Mutex
+	rt      *starpu.Runtime
+	sampler *Sampler
+}
+
+// NewRunScope creates a scope over the collector for one run.
+func (c *Collector) NewRunScope() *RunScope {
+	return &RunScope{c: c}
+}
+
+// Attach starts this run's sampler (registered in the collector's
+// shared registry — gauges are last-writer-wins across concurrent runs,
+// series stay per-scope) and binds worker-label resolution to the
+// runtime.  It also publishes the sampler as the collector's current
+// one so live endpoints keep working; with concurrent runs the "current"
+// sampler is simply the most recently attached.
+func (s *RunScope) Attach(plat *platform.Platform, rt *starpu.Runtime, cfg SamplerConfig) (*Sampler, error) {
+	smp, err := AttachSampler(s.c.Registry, plat, rt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.rt = rt
+	s.sampler = smp
+	s.mu.Unlock()
+	s.c.setCurrentSampler(smp)
+	return smp, nil
+}
+
+// Sampler reports this run's sampler (nil before Attach).
+func (s *RunScope) Sampler() *Sampler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sampler
+}
+
+func (s *RunScope) runtime() *starpu.Runtime {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rt
+}
+
+// InstallDyncapHooks mirrors Collector.InstallDyncapHooks but lands cap
+// events in this run's sampler rather than the collector's current one.
+func (s *RunScope) InstallDyncapHooks(ctl *dyncap.Controller) {
+	ctl.OnCapChange = func(ch dyncap.CapChange) {
+		s.c.countDyncapMove(ch.GPU)
+		if smp := s.Sampler(); smp != nil {
+			smp.ObserveCapChange(ch.T, ch.GPU, ch.Old, ch.New)
+		}
+	}
+}
+
+// ---- starpu.Observer ----
+
+// TaskSubmitted counts one submission on the shared collector.
+func (s *RunScope) TaskSubmitted(t *starpu.Task) { s.c.TaskSubmitted(t) }
+
+// TaskStarted counts one compute-phase start, labelled via this run's
+// runtime.
+func (s *RunScope) TaskStarted(workerID int, t *starpu.Task) {
+	s.c.taskStarted(s.runtime(), workerID, t)
+}
+
+// TaskCompleted counts one completion, labelled via this run's runtime.
+func (s *RunScope) TaskCompleted(workerID int, t *starpu.Task) {
+	s.c.taskCompleted(s.runtime(), workerID, t)
+}
+
+// SchedDecision counts and logs one placement decision.
+func (s *RunScope) SchedDecision(d starpu.Decision) { s.c.SchedDecision(d) }
+
+var _ starpu.Observer = (*RunScope)(nil)
