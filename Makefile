@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench fuzz-short clean
+.PHONY: all build vet test check bench fuzz-short trace-demo clean
 
 # How long each fuzz target runs under fuzz-short (CI uses the default).
 FUZZTIME ?= 10s
@@ -33,6 +33,16 @@ bench:
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePlan$$' -fuzztime $(FUZZTIME) ./internal/powercap
 	$(GO) test -run '^$$' -fuzz '^FuzzEventOrdering$$' -fuzztime $(FUZZTIME) ./internal/eventsim
+
+# Span-tracer smoke test: analyze a tiny POTRF under an unbalanced
+# plan and export a Chrome trace.  The analyze subcommand re-reads the
+# written JSON and fails if it does not decode as a Chrome event array,
+# so this target is the trace-format gate CI runs.
+trace-demo:
+	mkdir -p /tmp/capsim-trace-demo
+	$(GO) run ./cmd/schedtrace analyze -platform 24-Intel-2-V100 -op potrf \
+		-scale 10 -plan HB -chrome /tmp/capsim-trace-demo/potrf.json \
+		-folded /tmp/capsim-trace-demo/potrf.folded
 
 clean:
 	$(GO) clean ./...

@@ -29,12 +29,16 @@ func runGrid(o *options) error {
 		}
 	}
 
+	sweep := o.sweepOpts(nil)
 	res, err := core.RunGrid(core.GridSpec{
 		Rows:     rows,
-		Sweep:    core.SweepOptions{Scheduler: o.scheduler, Telemetry: o.telem},
+		Sweep:    sweep,
 		RootSeed: o.seed,
 	}, o.popt())
 	if err != nil {
+		return err
+	}
+	if err := writeSweepTraces(o, rows, sweep, o.seed, res.Results); err != nil {
 		return err
 	}
 

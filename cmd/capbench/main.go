@@ -129,6 +129,7 @@ type options struct {
 	budget      float64
 	scheduler   string
 	outDir      string
+	traceDir    string
 	metricsAddr string
 	hold        time.Duration
 	parallel    int
@@ -148,6 +149,8 @@ func parseOpts(fs *flag.FlagSet, args []string) *options {
 	fs.Float64Var(&o.budget, "budget", 15, "autoplan: max slowdown in percent")
 	fs.StringVar(&o.scheduler, "scheduler", "", "override the dmdas scheduler")
 	fs.StringVar(&o.outDir, "out", "", "also write each table as a CSV file into this directory")
+	fs.StringVar(&o.traceDir, "trace-dir", "",
+		"write per-cell span-trace artifacts (Chrome trace, folded stacks, analyzer report) into this directory")
 	fs.StringVar(&o.metricsAddr, "metrics-addr", "",
 		"serve live telemetry on this address (/metrics, /timeseries.json, /decisions.json)")
 	fs.DurationVar(&o.hold, "hold", 0, "keep the telemetry endpoint open this long after the experiments finish")
@@ -185,7 +188,7 @@ func usage() {
 usage: capbench <experiment> [flags]
 experiments: fig1 table1 table2 fig3 fig4 fig5 fig6 fig7 grid autoplan ablation budget all
 flags: -platform <name|all> -csv -scale N -budget PCT -scheduler NAME -out DIR
-       -parallel N -seed N -metrics-addr HOST:PORT -hold DURATION`))
+       -trace-dir DIR -parallel N -seed N -metrics-addr HOST:PORT -hold DURATION`))
 }
 
 func runAll(o *options) error {

@@ -68,8 +68,12 @@ func runFig34(o *options, single bool) error {
 			rows = append(rows, scaledRow(row, o.scale))
 		}
 	}
-	sweeps, err := core.ParallelSweep(rows, core.SweepOptions{Scheduler: o.scheduler, Telemetry: o.telem}, o.popt())
+	opt := o.sweepOpts(nil)
+	sweeps, err := core.ParallelSweep(rows, opt, o.popt())
 	if err != nil {
+		return err
+	}
+	if err := writeSweepTraces(o, rows, opt, opt.Seed, sweeps); err != nil {
 		return err
 	}
 	for i, row := range rows {
@@ -87,6 +91,17 @@ func runFig34(o *options, single bool) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// sweepOpts builds the shared sweep options for this invocation,
+// turning span tracing on whenever -trace-dir asks for artifacts.
+func (o *options) sweepOpts(cpuCaps map[int]units.Watts) core.SweepOptions {
+	return core.SweepOptions{
+		Scheduler: o.scheduler,
+		CPUCaps:   cpuCaps,
+		Telemetry: o.telem,
+		Trace:     o.traceDir != "",
+	}
 }
 
 func schedName(o *options) string {
@@ -107,8 +122,12 @@ func runFig5(o *options) error {
 		}
 		rows = append(rows, scaledRow(row, o.scale))
 	}
-	sweeps, err := core.ParallelSweep(rows, core.SweepOptions{Scheduler: o.scheduler, Telemetry: o.telem}, o.popt())
+	opt := o.sweepOpts(nil)
+	sweeps, err := core.ParallelSweep(rows, opt, o.popt())
 	if err != nil {
+		return err
+	}
+	if err := writeSweepTraces(o, rows, opt, opt.Seed, sweeps); err != nil {
 		return err
 	}
 	for i, row := range rows {
@@ -146,13 +165,21 @@ func runFig6(o *options) error {
 		}
 	}
 	// The capped and uncapped sweeps differ in options, so they fan out
-	// as two pools; rows align index-for-index.
-	plainSweeps, err := core.ParallelSweep(rows, core.SweepOptions{Scheduler: o.scheduler, Telemetry: o.telem}, o.popt())
+	// as two pools; rows align index-for-index.  Their trace artifacts
+	// cannot collide: TraceCellKey embeds the CPU-cap state.
+	plainOpt, cappedOpt := o.sweepOpts(nil), o.sweepOpts(cpuCaps)
+	plainSweeps, err := core.ParallelSweep(rows, plainOpt, o.popt())
 	if err != nil {
 		return err
 	}
-	cappedSweeps, err := core.ParallelSweep(rows, core.SweepOptions{Scheduler: o.scheduler, CPUCaps: cpuCaps, Telemetry: o.telem}, o.popt())
+	cappedSweeps, err := core.ParallelSweep(rows, cappedOpt, o.popt())
 	if err != nil {
+		return err
+	}
+	if err := writeSweepTraces(o, rows, plainOpt, plainOpt.Seed, plainSweeps); err != nil {
+		return err
+	}
+	if err := writeSweepTraces(o, rows, cappedOpt, cappedOpt.Seed, cappedSweeps); err != nil {
 		return err
 	}
 	for i, row := range rows {
@@ -209,8 +236,12 @@ func runFig7(o *options) error {
 				}
 			}
 		}
-		sweeps, err := core.ParallelSweep(rows, core.SweepOptions{Scheduler: o.scheduler, CPUCaps: cpuCaps, Telemetry: o.telem}, o.popt())
+		opt := o.sweepOpts(cpuCaps)
+		sweeps, err := core.ParallelSweep(rows, opt, o.popt())
 		if err != nil {
+			return err
+		}
+		if err := writeSweepTraces(o, rows, opt, opt.Seed, sweeps); err != nil {
 			return err
 		}
 		next := 0

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/spantrace"
+)
+
+// writeSweepTraces dumps one artifact set per traced sweep cell into
+// -trace-dir: a Chrome trace with causal flow arrows, a folded-stack
+// energy profile and the analyzer report.  Filenames derive from
+// CellSeed over the cell's TraceCellKey — a pure function of the cell's
+// configuration, never of its index in the grid or the worker that ran
+// it — so reruns and different -parallel values produce byte-identical
+// trees.  root is the seed the experiment derived its cells from.
+func writeSweepTraces(o *options, rows []core.TableIIRow, opt core.SweepOptions, root int64, sweeps [][]core.PlanResult) error {
+	if o.traceDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(o.traceDir, 0o755); err != nil {
+		return err
+	}
+	index, err := os.OpenFile(filepath.Join(o.traceDir, "index.txt"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer index.Close()
+
+	written := 0
+	seen := make(map[*spantrace.Trace]bool)
+	for i, row := range rows {
+		for _, pr := range sweeps[i] {
+			tr := pr.Result.Trace
+			if tr == nil || seen[tr] {
+				continue // baseline results repeat for every all-H plan
+			}
+			seen[tr] = true
+			key := core.TraceCellKey(row, opt, pr.Plan)
+			stem := fmt.Sprintf("cell-%016x", uint64(core.CellSeed(root, key)))
+			if err := writeCell(o.traceDir, stem, tr); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(index, "%s %s\n", stem, key); err != nil {
+				return err
+			}
+			written++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "capbench: %d cell traces written to %s\n", written, o.traceDir)
+	return nil
+}
+
+func writeCell(dir, stem string, tr *spantrace.Trace) error {
+	outputs := []struct {
+		suffix string
+		write  func(*os.File) error
+	}{
+		{".chrome.json", func(f *os.File) error { return spantrace.WriteChrome(f, tr) }},
+		{".folded.txt", func(f *os.File) error { return spantrace.WriteFolded(f, tr) }},
+		{".report.txt", func(f *os.File) error { return spantrace.Analyze(tr, 10).Write(f) }},
+	}
+	for _, out := range outputs {
+		f, err := os.Create(filepath.Join(dir, stem+out.suffix))
+		if err != nil {
+			return err
+		}
+		if err := out.write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/powercap"
+	"repro/internal/prec"
+	"repro/internal/spantrace"
+	"repro/internal/trace"
+)
+
+// runAnalyze implements the analyze subcommand: run one configuration
+// with the span tracer attached and print the causal analysis —
+// critical path with its power-state composition, per-worker idle
+// breakdown, top energy task types and the per-device energy
+// reconciliation (the per-run view behind the paper's Fig. 5 split).
+// Chrome traces written here are parsed back before reporting success,
+// so an invalid artifact fails the command (the CI smoke test relies
+// on this).
+func runAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	platName := fs.String("platform", platform.FourA100Name, "platform name")
+	opName := fs.String("op", "gemm", "gemm or potrf")
+	precName := fs.String("precision", "double", "single or double")
+	planStr := fs.String("plan", "", "power plan (default all-H)")
+	sched := fs.String("scheduler", "dmdas", "scheduling policy")
+	scale := fs.Int("scale", 4, "divide the Table II matrix order by this factor")
+	topK := fs.Int("top", 10, "rows in the top-energy task-type table")
+	chromePath := fs.String("chrome", "", "write the Chrome trace (with causal flow arrows) to this path")
+	foldedPath := fs.String("folded", "", "write folded energy stacks (flamegraph input) to this path")
+	seed := fs.Int64("seed", 0, "seed for randomised schedulers")
+	fs.Parse(args)
+
+	op := core.GEMM
+	if *opName == "potrf" {
+		op = core.POTRF
+	} else if *opName != "gemm" {
+		return fmt.Errorf("unknown op %q", *opName)
+	}
+	p := prec.Double
+	if *precName == "single" {
+		p = prec.Single
+	} else if *precName != "double" {
+		return fmt.Errorf("unknown precision %q", *precName)
+	}
+	row, err := core.LookupTableII(*platName, op, p)
+	if err != nil {
+		return err
+	}
+	if *scale > 1 {
+		nt := row.N / row.NB / *scale
+		if nt < 2 {
+			nt = 2
+		}
+		row.N = nt * row.NB
+	}
+	spec, err := platform.SpecByName(*platName)
+	if err != nil {
+		return err
+	}
+	plan := powercap.MustParsePlan(allHigh(spec.GPUCount))
+	if *planStr != "" {
+		if plan, err = powercap.ParsePlan(*planStr); err != nil {
+			return err
+		}
+	}
+	cfg := core.Config{
+		Spec:      spec,
+		Workload:  row.Workload(),
+		Plan:      plan,
+		BestFrac:  row.BestFrac,
+		Scheduler: *sched,
+		Seed:      *seed,
+		Trace:     true,
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s, plan %s, scheduler %s\n\n", row.Workload(), *platName,
+		powercap.Describe(plan, spec.GPUArch, row.BestFrac), *sched)
+	rep := spantrace.Analyze(res.Trace, *topK)
+	if err := rep.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	if *chromePath != "" {
+		f, err := os.Create(*chromePath)
+		if err != nil {
+			return err
+		}
+		err = spantrace.WriteChrome(f, res.Trace)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		n, err := validateChrome(*chromePath)
+		if err != nil {
+			return fmt.Errorf("chrome trace %s failed parse-back: %w", *chromePath, err)
+		}
+		fmt.Printf("\nchrome trace written to %s (%d events, parse-back OK)\n", *chromePath, n)
+	}
+	if *foldedPath != "" {
+		f, err := os.Create(*foldedPath)
+		if err != nil {
+			return err
+		}
+		err = spantrace.WriteFolded(f, res.Trace)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("folded stacks written to %s\n", *foldedPath)
+	}
+	return nil
+}
+
+// validateChrome re-reads a written trace and decodes it as a Chrome
+// event array, returning the event count.
+func validateChrome(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var events []trace.ChromeEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return 0, err
+	}
+	if len(events) == 0 {
+		return 0, fmt.Errorf("no events")
+	}
+	return len(events), nil
+}

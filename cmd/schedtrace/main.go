@@ -8,6 +8,15 @@
 //	           [-plan HHBB] [-scheduler dmdas] [-scale 4] [-gantt out.csv]
 //	           [-power power.csv] [-chrome trace.json] [-model]
 //	           [-decisions decisions.json] [-telemetry]
+//
+// The analyze subcommand runs the causal span tracer instead: critical
+// path with per-power-state composition, per-worker idle breakdown, top
+// energy task types and the per-device energy reconciliation, plus
+// Chrome-trace (with causal flow arrows) and folded-stack exports:
+//
+//	schedtrace analyze [-platform ...] [-op ...] [-precision ...] [-plan HHBB]
+//	                   [-scheduler dmdas] [-scale 4] [-top 10] [-seed 0]
+//	                   [-chrome trace.json] [-folded stacks.txt]
 package main
 
 import (
@@ -28,6 +37,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		if err := runAnalyze(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "schedtrace analyze:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	platName := flag.String("platform", platform.FourA100Name, "platform name")
 	opName := flag.String("op", "gemm", "gemm or potrf")
 	precName := flag.String("precision", "double", "single or double")

@@ -14,6 +14,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/powercap"
 	"repro/internal/prec"
+	"repro/internal/spantrace"
 	"repro/internal/starpu"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -98,6 +99,11 @@ type Config struct {
 	// scheduler-decision counters, perfmodel calibration metrics, and a
 	// power/energy time-series sampler attached to the run.
 	Telemetry *telemetry.Collector
+	// Trace, when set, records a causal span trace of the measured pass
+	// (one span per task with per-span energy attribution) into
+	// Result.Trace.  Traces are per-run objects, so parallel sweep cells
+	// never share a tracer.
+	Trace bool
 }
 
 // Result is one measured run.
@@ -119,6 +125,8 @@ type Result struct {
 	Efficiency float64
 	// Stats digests the schedule.
 	Stats *trace.Stats
+	// Trace is the measured pass's span trace (nil unless Config.Trace).
+	Trace *spantrace.Trace
 }
 
 // Run executes one configuration: build platform, apply caps,
@@ -203,12 +211,24 @@ func Run(cfg Config) (*Result, error) {
 	// counters are shared and concurrency-safe, but worker-label
 	// resolution and the time-series sampler bind to this run's runtime
 	// so concurrent cells of a parallel sweep never interleave series.
+	// The span tracer tees in beside it; both are per-run objects.
 	var scope *telemetry.RunScope
+	var tracer *spantrace.Tracer
 	rtCfg := starpu.Config{Scheduler: sched, Model: model, Seed: cfg.Seed}
 	if cfg.Telemetry != nil {
 		scope = cfg.Telemetry.NewRunScope()
-		rtCfg.Observer = scope
 	}
+	if cfg.Trace {
+		tracer = spantrace.NewTracer(p)
+	}
+	var observers []starpu.Observer
+	if scope != nil {
+		observers = append(observers, scope)
+	}
+	if tracer != nil {
+		observers = append(observers, tracer)
+	}
+	rtCfg.Observer = starpu.CombineObservers(observers...)
 	rt, err := starpu.New(p, rtCfg)
 	if err != nil {
 		return nil, err
@@ -220,6 +240,11 @@ func Run(cfg Config) (*Result, error) {
 		if _, err := scope.Attach(p, rt, telemetry.SamplerConfig{}); err != nil {
 			return nil, err
 		}
+	}
+	if tracer != nil {
+		// No virtual time passes between the counter reads above and here,
+		// so the tracer's window coincides with the energy bracket.
+		tracer.Begin(rt)
 	}
 	makespan, err := rt.Run()
 	if err != nil {
@@ -255,6 +280,17 @@ func Run(cfg Config) (*Result, error) {
 	res.Rate = units.Rate(flops, makespan)
 	if res.Energy > 0 {
 		res.Efficiency = float64(flops) / float64(res.Energy) / units.Giga
+	}
+	if tracer != nil {
+		// Finalize against the same counter deltas the result reports, so
+		// the trace's reconciliation targets exactly what Fig. 5 plots.
+		res.Trace = tracer.Finalize(res.Device)
+		if cfg.Telemetry != nil {
+			rep := spantrace.Analyze(res.Trace, 0)
+			cfg.Telemetry.ObserveTraceSummary(
+				float64(rep.CritPath.Length), rep.CritPath.Fraction,
+				rep.IdleFraction, rep.Parallelism)
+		}
 	}
 	return res, nil
 }

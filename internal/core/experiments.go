@@ -96,6 +96,9 @@ type SweepOptions struct {
 	// Telemetry instruments every run of the sweep (counters accumulate
 	// across plans; the sampler follows the latest run).
 	Telemetry *telemetry.Collector
+	// Trace records a span trace for every cell into its Result (see
+	// Config.Trace); TraceCellKey names each cell's artifacts.
+	Trace bool
 }
 
 // SweepPlans measures a workload under every canonical plan on a

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -182,6 +183,7 @@ func sweepCells(rows []TableIIRow, opts []SweepOptions, popt ParallelOptions) ([
 			Scheduler: opt.Scheduler,
 			Seed:      opt.Seed,
 			Telemetry: opt.Telemetry,
+			Trace:     opt.Trace,
 		}
 		baselineAt[i] = len(cfgs)
 		cfgs = append(cfgs, base)
@@ -282,4 +284,25 @@ func rowKey(r TableIIRow, o SweepOptions) string {
 		sched = "dmdas"
 	}
 	return fmt.Sprintf("%s|%s|%d|%d|%s|%.4f|%s", r.Platform, r.Op, r.N, r.NB, r.Precision, r.BestFrac, sched)
+}
+
+// TraceCellKey is the stable identity of one sweep cell — the row key
+// extended with the GPU plan and any CPU caps (the Fig. 6 protocol runs
+// the same rows twice, with and without caps, and their artifacts must
+// not collide).  Hash it through CellSeed to name a cell's trace
+// artifacts: the name is a pure function of the cell's configuration,
+// never of its position in the grid or the worker that ran it.
+func TraceCellKey(row TableIIRow, opt SweepOptions, plan powercap.Plan) string {
+	key := rowKey(row, opt) + "|" + plan.String()
+	if len(opt.CPUCaps) > 0 {
+		sockets := make([]int, 0, len(opt.CPUCaps))
+		for s := range opt.CPUCaps {
+			sockets = append(sockets, s)
+		}
+		sort.Ints(sockets)
+		for _, s := range sockets {
+			key += fmt.Sprintf("|cpu%d=%.1fW", s, float64(opt.CPUCaps[s]))
+		}
+	}
+	return key
 }

@@ -321,6 +321,59 @@ func (p *Platform) ExecPower(i int, t *starpu.Task) units.Watts {
 // (the dynamic capping controller's throughput signal).
 func (p *Platform) GPUWorkDone(i int) units.Flops { return p.gpuWork[i] }
 
+// ---- span-trace model (spantrace.Model) ----
+
+// WorkerGPU reports the GPU index worker i drives, or -1 for a plain
+// CPU worker.
+func (p *Platform) WorkerGPU(i int) int { return p.workers[i].gpu }
+
+// WorkerPackage reports the CPU package hosting worker i's core (the
+// pinned driver core for CUDA workers).
+func (p *Platform) WorkerPackage(i int) int { return p.workers[i].pkg }
+
+// SpanPower reports the marginal draw OnTaskStart adds while t runs on
+// worker i, split into the accelerator part (zero for CPU workers) and
+// the host-core part.  Queried at task-start virtual time it reproduces
+// the meter increments exactly, which is what lets spantrace's per-span
+// energies sum back to the device meters.
+func (p *Platform) SpanPower(i int, t *starpu.Task) (accel, host units.Watts) {
+	w := p.workers[i]
+	host = p.packages[w.pkg].BusyCorePower()
+	if w.gpu >= 0 {
+		op := p.gpus[w.gpu].Operate(t.Codelet.Precision, t.Work, eff(t.Codelet.GPUEfficiency))
+		accel = op.Power - p.GPUArch.IdlePower
+		if accel < 0 {
+			accel = 0
+		}
+	}
+	return accel, host
+}
+
+// GPULevel maps GPU g's active cap onto the paper's L/B/H notation.
+func (p *Platform) GPULevel(g int) string {
+	limit := p.gpus[g].PowerLimit()
+	switch {
+	case limit <= p.GPUArch.MinPower:
+		return "L"
+	case limit >= p.GPUArch.TDP:
+		return "H"
+	}
+	return "B"
+}
+
+// IdleBaselines reports each device meter's baseline draw (GPU idle
+// power, CPU uncore power), keyed like DeviceEnergy.
+func (p *Platform) IdleBaselines() map[string]units.Watts {
+	out := make(map[string]units.Watts, len(p.gpus)+len(p.packages))
+	for i := range p.gpus {
+		out[fmt.Sprintf("GPU%d", i)] = p.GPUArch.IdlePower
+	}
+	for i := range p.packages {
+		out[fmt.Sprintf("CPU%d", i)] = p.CPUArch.UncorePower
+	}
+	return out
+}
+
 // ---- power and measurement helpers ----
 
 // GPUs exposes the simulated boards (tests and tools only).

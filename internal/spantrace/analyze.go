@@ -1,0 +1,301 @@
+package spantrace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+// CriticalPath is the longest dependency chain through the executed
+// DAG, weighted by measured span durations.  Its length is a lower
+// bound on the makespan: every successor starts only after its
+// predecessor ends, so the chain's compute time can never exceed the
+// measured wall time (the analyzer tests assert this).
+type CriticalPath struct {
+	// Tasks lists the chain's task IDs in execution order.
+	Tasks []int
+	// Length is the summed compute time along the chain.
+	Length units.Seconds
+	// Fraction is Length / makespan — near 1 means the run is
+	// dependency-bound and slowing the devices off the path is cheap,
+	// the regime unbalanced capping exploits.
+	Fraction float64
+	// ByLevel decomposes Length by power state ("L"/"B"/"H"/"cpu"):
+	// how much of the binding chain ran on capped devices.
+	ByLevel map[string]units.Seconds
+}
+
+// WorkerStat is one worker's share of the run.
+type WorkerStat struct {
+	WorkerMeta
+	// Tasks is the span count placed on this worker.
+	Tasks int
+	// Busy is the summed compute time; Idle is makespan minus Busy.
+	Busy, Idle units.Seconds
+	// Util is Busy / makespan.
+	Util float64
+	// EnergyJ is the summed attributed dynamic energy of its spans.
+	EnergyJ units.Joules
+}
+
+// CodeletEnergy aggregates attributed energy over one task type.
+type CodeletEnergy struct {
+	// Codelet is the kernel name; Level is the power state its spans ran
+	// under (one row per (codelet, level) pair).
+	Codelet string
+	Level   string
+	// Count is the span count, Time the summed duration.
+	Count int
+	Time  units.Seconds
+	// EnergyJ is the summed attributed dynamic energy.
+	EnergyJ units.Joules
+}
+
+// Report is the analyzer's output over one trace.
+type Report struct {
+	// Makespan is last task end minus window start; Window is the full
+	// measured interval (T1 - T0, >= Makespan).
+	Makespan units.Seconds
+	Window   units.Seconds
+	// NumTasks and NumEdges size the executed DAG.
+	NumTasks, NumEdges int
+	// CritPath is the dependency-aware critical path.
+	CritPath CriticalPath
+	// Workers breaks the run down per worker, in worker order.
+	Workers []WorkerStat
+	// Parallelism is the mean concurrency (total busy time / makespan).
+	Parallelism float64
+	// IdleFraction is the workforce's idle share:
+	// 1 - total busy / (workers x makespan).
+	IdleFraction float64
+	// TopEnergy ranks (codelet, level) groups by attributed energy,
+	// largest first, truncated to the analyzer's topK.
+	TopEnergy []CodeletEnergy
+	// Devices carries the trace's energy reconciliation through.
+	Devices []DeviceEnergy
+}
+
+// Analyze computes the report over tr, keeping the topK largest
+// (codelet, level) energy groups (topK <= 0 keeps all).
+func Analyze(tr *Trace, topK int) *Report {
+	r := &Report{
+		Window:   tr.Window(),
+		NumTasks: len(tr.Spans),
+		NumEdges: len(tr.Edges),
+		Devices:  append([]DeviceEnergy(nil), tr.Devices...),
+	}
+	for i := range tr.Spans {
+		if end := tr.Spans[i].EndT - tr.T0; end > r.Makespan {
+			r.Makespan = end
+		}
+	}
+
+	r.CritPath = criticalPath(tr, r.Makespan)
+	r.Workers = workerStats(tr, r.Makespan)
+
+	var busy units.Seconds
+	for _, w := range r.Workers {
+		busy += w.Busy
+	}
+	if r.Makespan > 0 {
+		r.Parallelism = float64(busy / r.Makespan)
+	}
+	if n := len(r.Workers); n > 0 && r.Makespan > 0 {
+		r.IdleFraction = 1 - float64(busy)/(float64(n)*float64(r.Makespan))
+	}
+
+	r.TopEnergy = topEnergy(tr, topK)
+	return r
+}
+
+// criticalPath finds the longest duration-weighted chain.  Edges always
+// point from a lower task ID to a higher one (dependencies are recorded
+// at submission), so descending ID order is a valid reverse topological
+// order.  Ties break toward the smallest successor ID, keeping the path
+// deterministic.
+func criticalPath(tr *Trace, makespan units.Seconds) CriticalPath {
+	cp := CriticalPath{ByLevel: map[string]units.Seconds{}}
+	if len(tr.Spans) == 0 {
+		return cp
+	}
+	byID := make(map[int]*Span, len(tr.Spans))
+	ids := make([]int, 0, len(tr.Spans))
+	for i := range tr.Spans {
+		byID[tr.Spans[i].Task] = &tr.Spans[i]
+		ids = append(ids, tr.Spans[i].Task)
+	}
+	succs := make(map[int][]int, len(tr.Edges))
+	for _, e := range tr.Edges {
+		succs[e.From] = append(succs[e.From], e.To)
+	}
+
+	// dist[id] = longest chain starting at id (inclusive); next[id] = the
+	// successor continuing it.
+	dist := make(map[int]units.Seconds, len(ids))
+	next := make(map[int]int, len(ids))
+	sort.Sort(sort.Reverse(sort.IntSlice(ids)))
+	for _, id := range ids {
+		best, bestSucc := units.Seconds(0), -1
+		for _, s := range succs[id] {
+			if d := dist[s]; bestSucc == -1 || d > best || (d == best && s < bestSucc) {
+				best, bestSucc = d, s
+			}
+		}
+		dist[id] = byID[id].Duration() + best
+		next[id] = bestSucc
+	}
+
+	start, longest := -1, units.Seconds(-1)
+	sort.Ints(ids)
+	for _, id := range ids {
+		if dist[id] > longest {
+			start, longest = id, dist[id]
+		}
+	}
+	for id := start; id != -1; id = next[id] {
+		s := byID[id]
+		cp.Tasks = append(cp.Tasks, id)
+		cp.Length += s.Duration()
+		cp.ByLevel[s.Level] += s.Duration()
+	}
+	if makespan > 0 {
+		cp.Fraction = float64(cp.Length / makespan)
+	}
+	return cp
+}
+
+func workerStats(tr *Trace, makespan units.Seconds) []WorkerStat {
+	stats := make([]WorkerStat, len(tr.Workers))
+	for i, w := range tr.Workers {
+		stats[i] = WorkerStat{WorkerMeta: w}
+	}
+	for i := range tr.Spans {
+		s := &tr.Spans[i]
+		if s.Worker < 0 || s.Worker >= len(stats) {
+			continue
+		}
+		st := &stats[s.Worker]
+		st.Tasks++
+		st.Busy += s.Duration()
+		st.EnergyJ += s.Energy()
+	}
+	for i := range stats {
+		stats[i].Idle = makespan - stats[i].Busy
+		if makespan > 0 {
+			stats[i].Util = float64(stats[i].Busy / makespan)
+		}
+	}
+	return stats
+}
+
+func topEnergy(tr *Trace, topK int) []CodeletEnergy {
+	type key struct{ codelet, level string }
+	agg := make(map[key]*CodeletEnergy)
+	for i := range tr.Spans {
+		s := &tr.Spans[i]
+		k := key{s.Codelet, s.Level}
+		g, ok := agg[k]
+		if !ok {
+			g = &CodeletEnergy{Codelet: s.Codelet, Level: s.Level}
+			agg[k] = g
+		}
+		g.Count++
+		g.Time += s.Duration()
+		g.EnergyJ += s.Energy()
+	}
+	out := make([]CodeletEnergy, 0, len(agg))
+	for _, g := range agg {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EnergyJ != out[j].EnergyJ {
+			return out[i].EnergyJ > out[j].EnergyJ
+		}
+		if out[i].Codelet != out[j].Codelet {
+			return out[i].Codelet < out[j].Codelet
+		}
+		return out[i].Level < out[j].Level
+	})
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}
+
+// levelOrder renders a ByLevel map deterministically, busiest states
+// first in the fixed order H, B, L, cpu.
+var levelOrder = []string{"H", "B", "L", "cpu"}
+
+func formatByLevel(m map[string]units.Seconds, total units.Seconds) string {
+	var parts []string
+	for _, lv := range levelOrder {
+		d, ok := m[lv]
+		if !ok {
+			continue
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(d/total)
+		}
+		parts = append(parts, fmt.Sprintf("%s %.1f%%", lv, pct))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "  ")
+}
+
+// Write renders the report as the deterministic text the schedtrace
+// analyze subcommand prints (and the golden test pins).
+func (r *Report) Write(w io.Writer) error {
+	fmt.Fprintf(w, "Trace: %d tasks, %d edges, %d workers\n", r.NumTasks, r.NumEdges, len(r.Workers))
+	fmt.Fprintf(w, "Makespan: %.6f s (window %.6f s)\n", float64(r.Makespan), float64(r.Window))
+	fmt.Fprintf(w, "Mean parallelism: %.2f   idle fraction: %.3f\n", r.Parallelism, r.IdleFraction)
+	fmt.Fprintf(w, "Critical path: %d tasks, %.6f s (%.1f%% of makespan)  [%s]\n\n",
+		len(r.CritPath.Tasks), float64(r.CritPath.Length), 100*r.CritPath.Fraction,
+		formatByLevel(r.CritPath.ByLevel, r.CritPath.Length))
+
+	wt := report.NewTable("Workers", "worker", "kind", "tasks", "busy (s)", "idle (s)", "util", "energy (J)")
+	for _, s := range r.Workers {
+		wt.AddRow(s.Name, s.Kind, s.Tasks, float64(s.Busy), float64(s.Idle), s.Util, float64(s.EnergyJ))
+	}
+	if err := wt.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	et := report.NewTable("Top energy by task type", "codelet", "level", "count", "time (s)", "energy (J)", "share")
+	var totalJ units.Joules
+	for _, d := range r.Devices {
+		totalJ += d.SpanJ
+	}
+	for _, g := range r.TopEnergy {
+		share := 0.0
+		if totalJ > 0 {
+			share = float64(g.EnergyJ / totalJ)
+		}
+		et.AddRow(g.Codelet, g.Level, g.Count, float64(g.Time), float64(g.EnergyJ), share)
+	}
+	if err := et.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	dt := report.NewTable("Device energy reconciliation", "device", "measured (J)", "spans (J)", "static (J)", "residual (J)", "rel err")
+	for _, d := range r.Devices {
+		dt.AddRow(d.Device, float64(d.MeasuredJ), float64(d.SpanJ), float64(d.StaticJ),
+			float64(d.MeasuredJ-d.AttributedJ()), d.RelError())
+	}
+	return dt.Write(w)
+}
+
+// String renders the report via Write.
+func (r *Report) String() string {
+	var b strings.Builder
+	_ = r.Write(&b)
+	return b.String()
+}

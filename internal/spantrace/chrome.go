@@ -1,0 +1,67 @@
+package spantrace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// usec converts a window-relative virtual time to Chrome's microsecond
+// timeline.
+func usec(t, t0 units.Seconds) float64 { return float64(t-t0) * 1e6 }
+
+// WriteChrome renders the trace in Chrome Trace Event Format: one row
+// per worker, one complete ("X") event per span carrying the power
+// state and attributed energy in args, and one flow arrow ("s"/"f")
+// per causal edge so chrome://tracing and Perfetto draw the dependency
+// chains — the critical path becomes visible as the unbroken arrow
+// sequence.
+func WriteChrome(w io.Writer, tr *Trace) error {
+	var b trace.ChromeTraceBuilder
+	b.Add(trace.ChromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]string{"name": "simulated machine"},
+	})
+	for _, wm := range tr.Workers {
+		b.Add(trace.ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: wm.ID,
+			Args: map[string]string{"name": fmt.Sprintf("%s (%s)", wm.Name, wm.Kind)},
+		})
+	}
+
+	byID := make(map[int]*Span, len(tr.Spans))
+	for i := range tr.Spans {
+		s := &tr.Spans[i]
+		byID[s.Task] = s
+		b.Add(trace.ChromeEvent{
+			Name: s.Codelet,
+			Cat:  s.Kind,
+			Ph:   "X",
+			Ts:   usec(s.StartT, tr.T0),
+			Dur:  float64(s.Duration()) * 1e6,
+			Pid:  0,
+			Tid:  s.Worker,
+			Args: map[string]string{
+				"task":     fmt.Sprintf("%d", s.Task),
+				"tag":      s.Tag,
+				"level":    s.Level,
+				"reason":   s.Reason,
+				"energy_j": fmt.Sprintf("%.6f", float64(s.Energy())),
+				"wait_us":  fmt.Sprintf("%.3f", float64(s.QueueWait())*1e6),
+			},
+		})
+	}
+
+	for _, e := range tr.Edges {
+		from, to := byID[e.From], byID[e.To]
+		if from == nil || to == nil {
+			continue
+		}
+		b.FlowPair("dep", "dep", fmt.Sprintf("d%d-%d", e.From, e.To),
+			usec(from.EndT, tr.T0), from.Worker,
+			usec(to.StartT, tr.T0), to.Worker)
+	}
+	return b.Write(w)
+}

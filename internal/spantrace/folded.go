@@ -1,0 +1,42 @@
+package spantrace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// WriteFolded renders the trace's energy attribution as folded stacks
+// ("frame;frame;frame value", one line per stack) for flamegraph
+// tooling.  Stacks are device;level;codelet with values in microjoules;
+// a CUDA span contributes its accelerator energy under its GPU and its
+// host-core energy under the owning CPU socket, and each device gets an
+// extra device;idle frame holding the static residual, so the flame
+// graph's total area equals the attributed machine energy.
+func WriteFolded(w io.Writer, tr *Trace) error {
+	agg := make(map[string]units.Joules)
+	for i := range tr.Spans {
+		s := &tr.Spans[i]
+		if s.GPU >= 0 {
+			agg[fmt.Sprintf("GPU%d;%s;%s", s.GPU, s.Level, s.Codelet)] += s.AccelEnergy()
+		}
+		agg[fmt.Sprintf("CPU%d;host;%s", s.Package, s.Codelet)] += s.HostEnergy()
+	}
+	for _, d := range tr.Devices {
+		agg[d.Device+";idle"] += d.StaticJ
+	}
+
+	stacks := make([]string, 0, len(agg))
+	for k := range agg {
+		stacks = append(stacks, k)
+	}
+	sort.Strings(stacks)
+	for _, k := range stacks {
+		if _, err := fmt.Fprintf(w, "%s %.0f\n", k, float64(agg[k])*1e6); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package spantrace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/starpu"
+	"repro/internal/units"
+)
+
+// Model is the view of the machine the tracer needs for attribution:
+// worker-to-device topology, the marginal power a task adds while it
+// runs, the owning GPU's power state and the per-device idle baselines.
+// *platform.Platform satisfies it structurally.
+type Model interface {
+	// WorkerGPU reports worker i's GPU index, -1 for CPU workers.
+	WorkerGPU(i int) int
+	// WorkerPackage reports the CPU socket hosting worker i's core.
+	WorkerPackage(i int) int
+	// SpanPower reports the exact marginal wattage the machine adds to
+	// its meters while t runs on worker i under the current power state:
+	// accelerator draw above idle, and the busy host core.
+	SpanPower(i int, t *starpu.Task) (accel, host units.Watts)
+	// GPULevel classifies GPU g's current cap as "L", "B" or "H".
+	GPULevel(g int) string
+	// IdleBaselines reports each device meter's static draw, keyed by
+	// the meter names the energy counters use ("GPU0", "CPU1").
+	IdleBaselines() map[string]units.Watts
+}
+
+// Tracer records one span per executed task.  It implements
+// starpu.Observer; attach it via Config.Observer (tee with
+// starpu.CombineObservers when telemetry is also on).  All callbacks
+// fire from inside the single-threaded simulation loop, so the tracer
+// needs no locking; one Tracer serves exactly one run.
+type Tracer struct {
+	model   Model
+	rt      *starpu.Runtime
+	t0      units.Seconds
+	spans   []Span
+	open    map[int]int    // task ID -> index into spans
+	reasons map[int]string // task ID -> last scheduler decision reason
+}
+
+// NewTracer builds a tracer over the given machine model.
+func NewTracer(model Model) *Tracer {
+	return &Tracer{
+		model:   model,
+		open:    make(map[int]int),
+		reasons: make(map[int]string),
+	}
+}
+
+// Begin marks the start of the measured window.  Call it where the
+// energy counters are read, immediately before Runtime.Run, so the
+// static residual integrates over exactly the measured interval.
+func (tr *Tracer) Begin(rt *starpu.Runtime) {
+	tr.rt = rt
+	tr.t0 = rt.Machine().Engine().Now()
+}
+
+// TaskSubmitted implements starpu.Observer.
+func (tr *Tracer) TaskSubmitted(t *starpu.Task) {}
+
+// SchedDecision implements starpu.Observer, keeping the placement
+// reason so the span can explain why its task landed where it did.
+func (tr *Tracer) SchedDecision(d starpu.Decision) {
+	tr.reasons[d.Task.ID] = d.Reason
+}
+
+// TaskStarted implements starpu.Observer.  It opens the span and
+// captures the power split and the owning GPU's level at start time —
+// the same instant the machine raises its meters, so the recorded
+// wattage is exactly what the meters integrate.
+func (tr *Tracer) TaskStarted(workerID int, t *starpu.Task) {
+	w := tr.rt.Machine().Worker(workerID)
+	accel, host := tr.model.SpanPower(workerID, t)
+	gpu := tr.model.WorkerGPU(workerID)
+	level := "cpu"
+	if gpu >= 0 {
+		level = tr.model.GPULevel(gpu)
+	}
+	tr.open[t.ID] = len(tr.spans)
+	tr.spans = append(tr.spans, Span{
+		Task:        t.ID,
+		Tag:         t.Tag,
+		Codelet:     t.Codelet.Name,
+		Worker:      workerID,
+		WorkerName:  w.Name,
+		Kind:        w.Kind.String(),
+		GPU:         gpu,
+		Package:     tr.model.WorkerPackage(workerID),
+		Level:       level,
+		Reason:      tr.reasons[t.ID],
+		SubmitT:     t.SubmitT,
+		ReadyT:      t.ReadyT,
+		StartT:      t.StartT,
+		AccelPowerW: accel,
+		HostPowerW:  host,
+	})
+}
+
+// TaskCompleted implements starpu.Observer, closing the span.
+func (tr *Tracer) TaskCompleted(workerID int, t *starpu.Task) {
+	i, ok := tr.open[t.ID]
+	if !ok {
+		return
+	}
+	delete(tr.open, t.ID)
+	s := &tr.spans[i]
+	s.EndT = t.EndT
+	s.TransferBytes = t.TransferBytes
+}
+
+// Finalize closes the measured window and assembles the Trace: spans in
+// task-ID order, the causal edge set from the recorded DAG
+// dependencies, and the per-device energy reconciliation against the
+// measured counter deltas.  Call it where the closing counter reads
+// happen, right after Runtime.Run returns.
+func (tr *Tracer) Finalize(measured map[string]units.Joules) *Trace {
+	t1 := tr.rt.Machine().Engine().Now()
+	out := &Trace{T0: tr.t0, T1: t1}
+
+	m := tr.rt.Machine()
+	for i := 0; i < m.NumWorkers(); i++ {
+		wi := m.Worker(i)
+		out.Workers = append(out.Workers, WorkerMeta{ID: i, Name: wi.Name, Kind: wi.Kind.String()})
+	}
+
+	out.Spans = append(out.Spans, tr.spans...)
+	sort.Slice(out.Spans, func(i, j int) bool { return out.Spans[i].Task < out.Spans[j].Task })
+
+	// Causal edges from the DAG: each task's recorded predecessors are
+	// already sorted by ID, and tasks are visited in ID order, so the
+	// edge list comes out ordered by (To, From) with no extra sort.
+	executed := make(map[int]bool, len(out.Spans))
+	for i := range out.Spans {
+		executed[out.Spans[i].Task] = true
+	}
+	for _, t := range tr.rt.Tasks() {
+		if !executed[t.ID] {
+			continue
+		}
+		for _, d := range t.Dependencies() {
+			if executed[d.ID] {
+				out.Edges = append(out.Edges, Edge{From: d.ID, To: t.ID})
+			}
+		}
+	}
+
+	// Per-device reconciliation: dynamic span energy by meter name plus
+	// the static baseline over the window.
+	window := t1 - tr.t0
+	spanJ := make(map[string]units.Joules)
+	for i := range out.Spans {
+		s := &out.Spans[i]
+		if s.GPU >= 0 {
+			spanJ[fmt.Sprintf("GPU%d", s.GPU)] += s.AccelEnergy()
+		}
+		spanJ[fmt.Sprintf("CPU%d", s.Package)] += s.HostEnergy()
+	}
+	baselines := tr.model.IdleBaselines()
+	names := make([]string, 0, len(baselines))
+	for name := range baselines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out.Devices = append(out.Devices, DeviceEnergy{
+			Device:    name,
+			MeasuredJ: measured[name],
+			SpanJ:     spanJ[name],
+			StaticJ:   units.Energy(baselines[name], window),
+		})
+	}
+	return out
+}

@@ -79,6 +79,52 @@ func (rt *Runtime) QueueDepth(i int) int {
 // not completed).
 func (w *Worker) Inflight() int { return w.inflight }
 
+// multiObserver fans every callback out to several observers in order.
+type multiObserver []Observer
+
+func (m multiObserver) TaskSubmitted(t *Task) {
+	for _, o := range m {
+		o.TaskSubmitted(t)
+	}
+}
+
+func (m multiObserver) TaskStarted(workerID int, t *Task) {
+	for _, o := range m {
+		o.TaskStarted(workerID, t)
+	}
+}
+
+func (m multiObserver) TaskCompleted(workerID int, t *Task) {
+	for _, o := range m {
+		o.TaskCompleted(workerID, t)
+	}
+}
+
+func (m multiObserver) SchedDecision(d Decision) {
+	for _, o := range m {
+		o.SchedDecision(d)
+	}
+}
+
+// CombineObservers tees runtime events to every non-nil observer, in
+// argument order.  It returns nil when none remain (keeping the
+// nil-Observer fast path) and the observer itself when only one does.
+func CombineObservers(obs ...Observer) Observer {
+	var live multiObserver
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
 // observeDecision forwards a decision to the configured observer.
 func (rt *Runtime) observeDecision(d Decision) {
 	if rt.cfg.Observer != nil {

@@ -3,6 +3,7 @@ package starpu
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/perfmodel"
 	"repro/internal/units"
@@ -224,11 +225,14 @@ func (rt *Runtime) Submit(t *Task) error {
 	}
 	delete(deps, t)
 	for d := range deps {
+		t.preds = append(t.preds, d)
 		if !d.done {
 			t.ndeps++
 			d.succs = append(d.succs, t)
 		}
 	}
+	// The deps map iterates in random order; predecessors must not.
+	sort.Slice(t.preds, func(i, j int) bool { return t.preds[i].ID < t.preds[j].ID })
 	rt.tasks = append(rt.tasks, t)
 	rt.nPending++
 	if rt.cfg.Observer != nil {

@@ -89,6 +89,7 @@ type Task struct {
 	// Dependency state (owned by the runtime).
 	ndeps int
 	succs []*Task
+	preds []*Task
 
 	// Placement results (filled by the simulated run).
 	WorkerID      int
@@ -107,6 +108,12 @@ func (t *Task) Duration() units.Seconds { return t.EndT - t.StartT }
 // Successors reports the tasks depending on t (read-only; used by the
 // trace package's critical-path analysis).
 func (t *Task) Successors() []*Task { return t.succs }
+
+// Dependencies reports t's predecessors in ascending ID order — every
+// task t waited on at submission, including ones already complete by
+// then (which Successors, pruned to live edges, cannot recover).  The
+// spantrace package reads these to build the causal edge set.
+func (t *Task) Dependencies() []*Task { return t.preds }
 
 // Footprint hashes the task's buffer geometry, mirroring StarPU's
 // per-size history buckets.

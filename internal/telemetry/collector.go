@@ -31,6 +31,7 @@ type Collector struct {
 	calibrations   *CounterVec
 	estimateErr    *HistogramVec
 	dyncapMoves    *CounterVec
+	traceSummary   *GaugeVec
 
 	mu      sync.Mutex
 	sampler *Sampler
@@ -55,7 +56,20 @@ func NewCollector() *Collector {
 	c.estimateErr = reg.NewHistogram("capsim_perfmodel_estimate_rel_error", "Relative error |observed-predicted|/observed of calibrated estimates.",
 		[]float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2})
 	c.dyncapMoves = reg.NewCounter("capsim_dyncap_cap_moves_total", "Cap moves applied by the dynamic controller.", "gpu")
+	c.traceSummary = reg.NewGauge("capsim_trace_summary", "Span-trace analyzer summary of the most recent traced run.", "stat")
 	return c
+}
+
+// ObserveTraceSummary publishes the span-trace analyzer's headline
+// numbers for the most recent traced run as gauges ("stat" label:
+// critical_path_seconds, critical_path_fraction, idle_fraction,
+// parallelism).  Gauges are last-writer-wins, matching the sampler's
+// semantics under concurrent sweeps.
+func (c *Collector) ObserveTraceSummary(critPathSeconds, critPathFraction, idleFraction, parallelism float64) {
+	c.traceSummary.With("critical_path_seconds").Set(critPathSeconds)
+	c.traceSummary.With("critical_path_fraction").Set(critPathFraction)
+	c.traceSummary.With("idle_fraction").Set(idleFraction)
+	c.traceSummary.With("parallelism").Set(parallelism)
 }
 
 // ---- starpu.Observer ----

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestBuilderStableOrder checks the writer's ordering contract: events
+// come out sorted by (ts, tid, name, ph) no matter the insertion order,
+// so producers never need to pre-sort to keep traces byte-stable.
+func TestBuilderStableOrder(t *testing.T) {
+	var b ChromeTraceBuilder
+	b.Add(ChromeEvent{Name: "z", Ph: "X", Ts: 5, Tid: 1})
+	b.Add(ChromeEvent{Name: "a", Ph: "X", Ts: 5, Tid: 1})
+	b.Add(ChromeEvent{Name: "m", Ph: "X", Ts: 5, Tid: 0})
+	b.Add(ChromeEvent{Name: "first", Ph: "X", Ts: 1, Tid: 9})
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", b.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []ChromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range events {
+		names = append(names, e.Name)
+	}
+	want := []string{"first", "m", "a", "z"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("order = %v, want %v", names, want)
+		}
+	}
+}
+
+// TestFlowPair checks the causal-arrow encoding: one "s" and one "f"
+// event sharing the id, the finish carrying bp:"e" and both landing on
+// the requested (ts, tid) coordinates.
+func TestFlowPair(t *testing.T) {
+	var b ChromeTraceBuilder
+	b.FlowPair("dep", "dep", "d1-2", 10, 3, 20, 7)
+
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []ChromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	s, f := events[0], events[1]
+	if s.Ph != "s" || f.Ph != "f" {
+		t.Fatalf("phases = %q/%q, want s/f", s.Ph, f.Ph)
+	}
+	if s.ID != "d1-2" || f.ID != s.ID {
+		t.Errorf("ids = %q/%q, want both d1-2", s.ID, f.ID)
+	}
+	if f.BP != "e" {
+		t.Errorf("finish bp = %q, want e", f.BP)
+	}
+	if s.Ts != 10 || s.Tid != 3 || f.Ts != 20 || f.Tid != 7 {
+		t.Errorf("coordinates s=(%v,%d) f=(%v,%d), want (10,3) and (20,7)", s.Ts, s.Tid, f.Ts, f.Tid)
+	}
+}
+
+// TestBuilderEmptyIsArray guards the nil-slice case at the builder
+// level too: zero events must encode as [] rather than null.
+func TestBuilderEmptyIsArray(t *testing.T) {
+	var b ChromeTraceBuilder
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(bytes.TrimSpace(buf.Bytes())); got != "[]" {
+		t.Errorf("empty builder wrote %q, want []", got)
+	}
+}
