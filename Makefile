@@ -5,10 +5,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench fuzz-short trace-demo clean
+.PHONY: all build vet test check bench fuzz-short chaos-short trace-demo clean
 
 # How long each fuzz target runs under fuzz-short (CI uses the default).
 FUZZTIME ?= 10s
+
+# How many seeded fault schedules chaos-short runs (the in-package
+# default is 50; CI trims it because the fleet runs under -race).
+CHAOS_SCHEDULES ?= 10
 
 all: check
 
@@ -33,6 +37,12 @@ bench:
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePlan$$' -fuzztime $(FUZZTIME) ./internal/powercap
 	$(GO) test -run '^$$' -fuzz '^FuzzEventOrdering$$' -fuzztime $(FUZZTIME) ./internal/eventsim
+
+# Race-enabled chaos fleet: seeded fault schedules through the full
+# core.Run path, checking completion-or-DegradedRun, attribution
+# closure and the parallel determinism contract with faults enabled.
+chaos-short:
+	$(GO) test -race -run 'Chaos' ./internal/core/ -chaos.schedules=$(CHAOS_SCHEDULES)
 
 # Span-tracer smoke test: analyze a tiny POTRF under an unbalanced
 # plan and export a Chrome trace.  The analyze subcommand re-reads the

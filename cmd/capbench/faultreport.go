@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// emitFaultSummary prints the per-cell fault/retry/eviction table for a
+// sweep run under -faults.  No-op without a fault spec, keeping the
+// fault-free output byte-identical to previous releases.
+func emitFaultSummary(o *options, rows []core.TableIIRow, sweeps [][]core.PlanResult) error {
+	if o.faults.Zero() {
+		return nil
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Fault injection — spec %s (seed %d)", o.faults, o.seed),
+		"platform", "workload", "plan", "injected", "cap fail", "cap clamp", "cap retries",
+		"task retries", "evicted", "requeued", "surviving plan")
+	for i, row := range rows {
+		for _, pr := range sweeps[i] {
+			rep := pr.Result.Faults
+			if rep == nil {
+				continue
+			}
+			surviving := pr.Plan.String()
+			evicted := 0
+			if d := pr.Result.Degraded; d != nil {
+				surviving = d.Plan
+				evicted = len(d.Evictions)
+			}
+			tbl.AddRow(row.Platform, row.Workload().String(), pr.Plan.String(),
+				rep.Injected.Total(), rep.Injected.CapFailures, rep.Injected.CapClamps,
+				rep.CapRetries, rep.TaskRetries, evicted, rep.Injected.Requeued, surviving)
+		}
+	}
+	if err := emit(o, tbl); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}

@@ -41,6 +41,9 @@ func runGrid(o *options) error {
 	if err := writeSweepTraces(o, rows, sweep, o.seed, res.Results); err != nil {
 		return err
 	}
+	if err := emitFaultSummary(o, rows, res.Results); err != nil {
+		return err
+	}
 
 	// Per-row best plan plus the whole grid in one table: the summary
 	// the paper's Figs. 3/4 distil into prose.

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/telemetry"
 )
 
@@ -134,6 +135,7 @@ type options struct {
 	hold        time.Duration
 	parallel    int
 	seed        int64
+	faults      faults.Spec
 
 	// telem is non-nil when -metrics-addr is set; every experiment
 	// threads it through core so the endpoint reflects the live run.
@@ -157,7 +159,15 @@ func parseOpts(fs *flag.FlagSet, args []string) *options {
 	fs.IntVar(&o.parallel, "parallel", runtime.NumCPU(),
 		"worker-pool size for sweep cells (1 = serial; output is byte-identical at any value)")
 	fs.Int64Var(&o.seed, "seed", 0, "root seed for the grid experiment (per-cell seeds are derived from it)")
+	faultSpec := fs.String("faults", "",
+		"deterministic fault injection spec, e.g. capfail=0.3,clamp=0.1,throttle=1,dropout=1,taskfail=0.02,retries=3 (seeded from -seed)")
 	fs.Parse(args)
+	spec, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "capbench: -faults: %v\n", err)
+		os.Exit(2)
+	}
+	o.faults = spec
 	if o.scale < 1 {
 		o.scale = 1
 	}
@@ -188,7 +198,7 @@ func usage() {
 usage: capbench <experiment> [flags]
 experiments: fig1 table1 table2 fig3 fig4 fig5 fig6 fig7 grid autoplan ablation budget all
 flags: -platform <name|all> -csv -scale N -budget PCT -scheduler NAME -out DIR
-       -trace-dir DIR -parallel N -seed N -metrics-addr HOST:PORT -hold DURATION`))
+       -trace-dir DIR -parallel N -seed N -faults SPEC -metrics-addr HOST:PORT -hold DURATION`))
 }
 
 func runAll(o *options) error {

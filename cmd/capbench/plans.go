@@ -76,6 +76,9 @@ func runFig34(o *options, single bool) error {
 	if err := writeSweepTraces(o, rows, opt, opt.Seed, sweeps); err != nil {
 		return err
 	}
+	if err := emitFaultSummary(o, rows, sweeps); err != nil {
+		return err
+	}
 	for i, row := range rows {
 		tbl := report.NewTable(
 			fmt.Sprintf("%s — %s on %s (%s)", fig, row.Workload(), row.Platform, schedName(o)),
@@ -94,13 +97,16 @@ func runFig34(o *options, single bool) error {
 }
 
 // sweepOpts builds the shared sweep options for this invocation,
-// turning span tracing on whenever -trace-dir asks for artifacts.
+// turning span tracing on whenever -trace-dir asks for artifacts and
+// threading the -faults spec (seeded from -seed) into every cell.
 func (o *options) sweepOpts(cpuCaps map[int]units.Watts) core.SweepOptions {
 	return core.SweepOptions{
 		Scheduler: o.scheduler,
 		CPUCaps:   cpuCaps,
+		Seed:      o.seed,
 		Telemetry: o.telem,
 		Trace:     o.traceDir != "",
+		Faults:    o.faults,
 	}
 }
 
@@ -128,6 +134,9 @@ func runFig5(o *options) error {
 		return err
 	}
 	if err := writeSweepTraces(o, rows, opt, opt.Seed, sweeps); err != nil {
+		return err
+	}
+	if err := emitFaultSummary(o, rows, sweeps); err != nil {
 		return err
 	}
 	for i, row := range rows {
@@ -180,6 +189,12 @@ func runFig6(o *options) error {
 		return err
 	}
 	if err := writeSweepTraces(o, rows, cappedOpt, cappedOpt.Seed, cappedSweeps); err != nil {
+		return err
+	}
+	if err := emitFaultSummary(o, rows, plainSweeps); err != nil {
+		return err
+	}
+	if err := emitFaultSummary(o, rows, cappedSweeps); err != nil {
 		return err
 	}
 	for i, row := range rows {
@@ -242,6 +257,9 @@ func runFig7(o *options) error {
 			return err
 		}
 		if err := writeSweepTraces(o, rows, opt, opt.Seed, sweeps); err != nil {
+			return err
+		}
+		if err := emitFaultSummary(o, rows, sweeps); err != nil {
 			return err
 		}
 		next := 0

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/platform"
 	"repro/internal/powercap"
 	"repro/internal/prec"
@@ -34,7 +35,13 @@ func runAnalyze(args []string) error {
 	chromePath := fs.String("chrome", "", "write the Chrome trace (with causal flow arrows) to this path")
 	foldedPath := fs.String("folded", "", "write folded energy stacks (flamegraph input) to this path")
 	seed := fs.Int64("seed", 0, "seed for randomised schedulers")
+	faultSpec := fs.String("faults", "",
+		"deterministic fault injection spec, e.g. capfail=0.3,dropout=1 (seeded from -seed)")
 	fs.Parse(args)
+	injected, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		return fmt.Errorf("-faults: %w", err)
+	}
 
 	op := core.GEMM
 	if *opName == "potrf" {
@@ -77,6 +84,7 @@ func runAnalyze(args []string) error {
 		Scheduler: *sched,
 		Seed:      *seed,
 		Trace:     true,
+		Faults:    injected,
 	}
 
 	res, err := core.Run(cfg)
@@ -85,6 +93,16 @@ func runAnalyze(args []string) error {
 	}
 	fmt.Printf("%s on %s, plan %s, scheduler %s\n\n", row.Workload(), *platName,
 		powercap.Describe(plan, spec.GPUArch, row.BestFrac), *sched)
+	if f := res.Faults; f != nil {
+		st := f.Injected
+		fmt.Printf("faults: spec %s — %d injected (capfail %d, clamp %d, throttle %d, dropout %d, task %d); cap retries %d, task retries %d\n",
+			f.Spec, st.Total(), st.CapFailures, st.CapClamps, st.Throttles, st.Dropouts, st.TaskFaults,
+			f.CapRetries, f.TaskRetries)
+		if d := res.Degraded; d != nil {
+			fmt.Printf("degraded: %d worker(s) evicted, surviving plan %s\n", len(d.Evictions), d.Plan)
+		}
+		fmt.Println()
+	}
 	rep := spantrace.Analyze(res.Trace, *topK)
 	if err := rep.Write(os.Stdout); err != nil {
 		return err

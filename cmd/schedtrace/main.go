@@ -16,7 +16,8 @@
 //
 //	schedtrace analyze [-platform ...] [-op ...] [-precision ...] [-plan HHBB]
 //	                   [-scheduler dmdas] [-scale 4] [-top 10] [-seed 0]
-//	                   [-chrome trace.json] [-folded stacks.txt]
+//	                   [-faults capfail=0.3,dropout=1] [-chrome trace.json]
+//	                   [-folded stacks.txt]
 package main
 
 import (

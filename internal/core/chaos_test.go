@@ -1,0 +1,268 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/linalg"
+	"repro/internal/platform"
+	"repro/internal/prec"
+	"repro/internal/spantrace"
+	"repro/internal/starpu"
+
+	"repro/internal/chameleon"
+)
+
+// chaosSchedules sizes the seeded chaos fleet.  CI's chaos-short target
+// shrinks it to keep the race-enabled run fast.
+var chaosSchedules = flag.Int("chaos.schedules", 50, "number of seeded fault schedules in the chaos fleet")
+
+// chaosSpecs is the fault-mix rotation the fleet cycles through: each
+// class alone, then everything at once.
+var chaosSpecs = []faults.Spec{
+	{TaskFail: 0.05, Retries: 3},
+	{CapFail: 0.2, CapClamp: 0.2},
+	{Throttles: 2},
+	{Dropouts: 1},
+	{CapFail: 0.15, CapClamp: 0.15, Throttles: 1, Dropouts: 1, TaskFail: 0.03, Retries: 3},
+}
+
+// chaosConfig is a reduced 4xA100 DGEMM with tracing and the given fault
+// mix: small enough to run dozens of schedules, big enough that every
+// fault class has room to land.
+func chaosConfig(spec faults.Spec, seed int64) Config {
+	cfg := smallGemm()
+	cfg.Workload.N = cfg.Workload.NB * 4
+	cfg.Trace = true
+	cfg.Seed = seed
+	cfg.Faults = spec
+	return cfg
+}
+
+// TestChaosSeededSchedules is the chaos fleet: across many seeded fault
+// schedules, every run must either complete with numerically sound
+// results or report structured degradation — never corrupt statistics.
+// For each run the span-trace energy attribution must close within
+// 0.1 % per device and the critical-path lower bound must hold.
+func TestChaosSeededSchedules(t *testing.T) {
+	var sawDropout, sawDegraded, sawRetry, sawCapFault int
+	for i := 0; i < *chaosSchedules; i++ {
+		spec := chaosSpecs[i%len(chaosSpecs)]
+		seed := int64(1000 + i)
+		res, err := Run(chaosConfig(spec, seed))
+		if err != nil {
+			t.Fatalf("schedule %d (spec %s, seed %d): %v", i, spec, seed, err)
+		}
+		if res.Makespan <= 0 || res.Energy <= 0 || res.Efficiency <= 0 {
+			t.Fatalf("schedule %d: degenerate result %+v", i, res)
+		}
+		if res.Faults == nil {
+			t.Fatalf("schedule %d: no fault report despite spec %s", i, spec)
+		}
+		if res.Faults.Spec != spec.String() {
+			t.Errorf("schedule %d: report spec %q != %q", i, res.Faults.Spec, spec.String())
+		}
+		st := res.Faults.Injected
+
+		// Degradation must be structural, never silent: a run reports
+		// DegradedRun exactly when workers were evicted, and the surviving
+		// plan shows one dead slot per dropped board.
+		if st.Dropouts > 0 {
+			if res.Degraded == nil {
+				t.Fatalf("schedule %d: %d dropouts but no DegradedRun", i, st.Dropouts)
+			}
+			if got := strings.Count(res.Degraded.Plan, "_"); got != st.Dropouts {
+				t.Errorf("schedule %d: plan %q has %d dead slots, want %d", i, res.Degraded.Plan, got, st.Dropouts)
+			}
+			if len(res.Degraded.Evictions) == 0 {
+				t.Errorf("schedule %d: DegradedRun with no eviction records", i)
+			}
+			sawDropout++
+		} else if res.Degraded != nil {
+			t.Errorf("schedule %d: DegradedRun without any dropout: %+v", i, res.Degraded)
+		}
+		if res.Degraded != nil {
+			sawDegraded++
+		}
+		if res.Faults.TaskRetries > 0 {
+			sawRetry++
+		}
+		if st.CapFailures+st.CapClamps > 0 {
+			sawCapFault++
+		}
+
+		// Energy attribution closes under faults: aborted attempts stay
+		// attributed, dead boards keep integrating idle draw.
+		if res.Trace == nil {
+			t.Fatalf("schedule %d: no trace", i)
+		}
+		if rel := res.Trace.MaxDeviceRelError(); rel > 1e-3 {
+			t.Errorf("schedule %d (spec %s): attribution error %.4f%% > 0.1%%", i, spec, 100*rel)
+		}
+		rep := spantrace.Analyze(res.Trace, 0)
+		if rep.CritPath.Length > rep.Makespan*(1+1e-9) {
+			t.Errorf("schedule %d: critical path %v exceeds makespan %v", i, rep.CritPath.Length, rep.Makespan)
+		}
+	}
+	// The rotation must actually have exercised every recovery path.
+	if sawDropout == 0 || sawDegraded == 0 {
+		t.Error("fleet never degraded a run")
+	}
+	if *chaosSchedules >= len(chaosSpecs) {
+		if sawRetry == 0 {
+			t.Error("fleet never retried a task")
+		}
+		if sawCapFault == 0 {
+			t.Error("fleet never faulted a cap write")
+		}
+	}
+}
+
+// TestChaosDeterminism: an identical (spec, seed) cell reproduces its
+// result exactly, including the fault report and eviction record.
+func TestChaosDeterminism(t *testing.T) {
+	spec := chaosSpecs[len(chaosSpecs)-1]
+	a, err := Run(chaosConfig(spec, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(chaosConfig(spec, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Energy != b.Energy {
+		t.Fatalf("identical chaos cells diverge: %v/%v vs %v/%v", a.Makespan, a.Energy, b.Makespan, b.Energy)
+	}
+	if fmt.Sprintf("%+v", a.Faults) != fmt.Sprintf("%+v", b.Faults) {
+		t.Errorf("fault reports diverge:\n%+v\n%+v", a.Faults, b.Faults)
+	}
+	if fmt.Sprintf("%+v", a.Degraded) != fmt.Sprintf("%+v", b.Degraded) {
+		t.Errorf("degradation records diverge:\n%+v\n%+v", a.Degraded, b.Degraded)
+	}
+}
+
+// TestChaosParallelSweepDeterminism extends the PR 3 determinism
+// contract to faulty sweeps: with fault injection on, the rendered sweep
+// from 1 worker and from 8 workers is still byte-identical, and so are
+// the per-cell fault reports.
+func TestChaosParallelSweepDeterminism(t *testing.T) {
+	rows := reducedRows(t, GEMM, prec.Double, 2)
+	opt := SweepOptions{
+		Seed:   42,
+		Faults: faults.Spec{CapFail: 0.15, CapClamp: 0.15, Throttles: 1, Dropouts: 1, TaskFail: 0.03, Retries: 3},
+	}
+	serial, err := ParallelSweep(rows, opt, ParallelOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ParallelSweep(rows, opt, ParallelOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, pb := renderSweeps(t, rows, serial), renderSweeps(t, rows, parallel)
+	if string(sb) != string(pb) {
+		t.Fatal("faulty sweep output differs between 1 and 8 workers")
+	}
+	for i := range serial {
+		for j := range serial[i] {
+			fa := fmt.Sprintf("%+v %+v", serial[i][j].Result.Faults, serial[i][j].Result.Degraded)
+			fb := fmt.Sprintf("%+v %+v", parallel[i][j].Result.Faults, parallel[i][j].Result.Degraded)
+			if fa != fb {
+				t.Errorf("row %d plan %s: fault reports diverge across worker counts:\n%s\n%s",
+					i, serial[i][j].Plan, fa, fb)
+			}
+		}
+	}
+}
+
+// TestChaosRowKeyStability: fault specs extend a cell's identity (so
+// faulty and clean runs never share a seed) without touching the
+// historical fault-free key, which existing goldens pin.
+func TestChaosRowKeyStability(t *testing.T) {
+	row, err := LookupTableII(platform.FourA100Name, GEMM, prec.Double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := rowKey(row, SweepOptions{})
+	if strings.Contains(clean, "faults") {
+		t.Errorf("fault-free row key %q mentions faults", clean)
+	}
+	faulty := rowKey(row, SweepOptions{Faults: faults.Spec{TaskFail: 0.1}})
+	if faulty == clean {
+		t.Error("faulty and clean cells share a row key (and so a seed)")
+	}
+	if !strings.HasPrefix(faulty, clean) {
+		t.Errorf("faulty key %q does not extend the clean key %q", faulty, clean)
+	}
+}
+
+// TestChaosNumericIdentity: a faulted simulation (retries, a dead board,
+// evictions) must leave the numeric computation untouched — the Cholesky
+// factor computed after a chaotic virtual-time pass is bit-identical to
+// the factor from a fault-free run on the same input.
+func TestChaosNumericIdentity(t *testing.T) {
+	const n, nb = 64, 16
+	rng := rand.New(rand.NewSource(9))
+	spd := linalg.NewSPD[float64](n, rng)
+
+	factor := func(spec faults.Spec) *linalg.Mat[float64] {
+		t.Helper()
+		p, err := platform.New(platform.FourA100Spec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var inj *faults.Injector
+		cfg := starpu.Config{Scheduler: "dmdas", Seed: 5}
+		if !spec.Zero() {
+			inj = faults.NewInjector(spec, 5)
+			inj.BindLimits(p.GPUArch.MinPower, p.GPUArch.TDP)
+			p.InstallCapFaults(inj)
+			cfg.Observer = inj
+			cfg.Faults = inj
+		}
+		rt, err := starpu.New(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inj != nil {
+			inj.Bind(rt, p)
+		}
+		d, err := chameleon.NewDesc[float64](rt, n, nb, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Scatter(spd); err != nil {
+			t.Fatal(err)
+		}
+		if err := chameleon.Potrf(rt, d); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(); err != nil {
+			t.Fatalf("faulted sim pass (spec %s): %v", spec, err)
+		}
+		if !spec.Zero() && inj.Stats().Total() == 0 {
+			t.Fatalf("spec %s injected nothing", spec)
+		}
+		if err := rt.RunNumeric(4); err != nil {
+			t.Fatal(err)
+		}
+		l, err := d.Gather()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	clean := factor(faults.Spec{})
+	chaotic := factor(faults.Spec{CapFail: 0.2, CapClamp: 0.2, Throttles: 1, Dropouts: 1, TaskFail: 0.05, Retries: 3})
+	if diff := linalg.MaxAbsDiff(clean, chaotic); diff != 0 {
+		t.Fatalf("numeric factor differs after chaotic simulation: max |Δ| = %g", diff)
+	}
+	if r := linalg.CholeskyResidual(spd, chaotic); r > 1e-10 {
+		t.Fatalf("chaotic factor residual %g", r)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/chameleon"
+	"repro/internal/faults"
 	"repro/internal/linalg"
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
@@ -104,6 +105,13 @@ type Config struct {
 	// Result.Trace.  Traces are per-run objects, so parallel sweep cells
 	// never share a tracer.
 	Trace bool
+	// Faults injects a deterministic fault schedule into the measured
+	// pass (and cap writes): transient cap failures, clamping, thermal
+	// throttles, device dropout, task faults.  The injector's seed is
+	// CellSeed(Seed, cell identity), so every cell of a sweep draws its
+	// own schedule even when the sweep shares one root seed.  The zero
+	// value injects nothing and adds zero cost.
+	Faults faults.Spec
 }
 
 // Result is one measured run.
@@ -127,6 +135,38 @@ type Result struct {
 	Stats *trace.Stats
 	// Trace is the measured pass's span trace (nil unless Config.Trace).
 	Trace *spantrace.Trace
+	// Degraded, when set, reports the run completed on a reduced machine
+	// after worker eviction (graceful degradation, not an error).
+	Degraded *DegradedRun
+	// Faults, when set, summarises injected faults and recovery actions
+	// (nil unless Config.Faults injects something).
+	Faults *FaultReport
+}
+
+// DegradedRun describes a run that finished on a reduced machine: some
+// workers died mid-run and their work was requeued onto survivors.
+type DegradedRun struct {
+	// Plan is the surviving plan in the paper's notation with "_" for
+	// dead boards ("HHB_" = an HHBB machine that lost GPU 3).
+	Plan string
+	// Evictions lists the worker removals in virtual-time order.
+	Evictions []starpu.Eviction
+}
+
+// FaultReport summarises one run's injected faults and what recovering
+// from them cost.
+type FaultReport struct {
+	// Spec echoes the injected fault mix (canonical ParseSpec syntax).
+	Spec string
+	// Injected counts the faults the injector actually fired.
+	Injected faults.Stats
+	// CapRetries counts extra cap-write attempts the verified applicator
+	// needed; CapClamped counts writes whose read-back differed from the
+	// request.
+	CapRetries int
+	CapClamped int
+	// TaskRetries sums failed execution attempts over all tasks.
+	TaskRetries int
 }
 
 // Run executes one configuration: build platform, apply caps,
@@ -144,6 +184,20 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: plan %s does not match %d GPUs", cfg.Plan, cfg.Spec.GPUCount)
 	}
 	p.ClassIgnoresCap = cfg.StaleModels
+	// The fault injector must be installed before the first cap write so
+	// the verified applicator sees its failures/clamps from the start.
+	var inj *faults.Injector
+	if !cfg.Faults.Zero() {
+		// Seed by cell identity, not cfg.Seed alone: a sweep hands every
+		// cell the same root seed, and reusing it verbatim would replay
+		// one fault schedule (same draws, same doomed board) across the
+		// whole sweep.
+		injSeed := CellSeed(cfg.Seed, fmt.Sprintf("faults|%s|%s|%s|%s",
+			cfg.Spec.Name, cfg.Workload, cfg.Plan, cfg.Faults))
+		inj = faults.NewInjector(cfg.Faults, injSeed)
+		inj.BindLimits(cfg.Spec.GPUArch.MinPower, cfg.Spec.GPUArch.TDP)
+		p.InstallCapFaults(inj)
+	}
 	if !cfg.StaleModels {
 		// Paper protocol: caps first, calibrate under them.
 		if err := p.SetGPUCaps(cfg.Plan.Caps(cfg.Spec.GPUArch, cfg.BestFrac)); err != nil {
@@ -228,10 +282,21 @@ func Run(cfg Config) (*Result, error) {
 	if tracer != nil {
 		observers = append(observers, tracer)
 	}
+	if inj != nil {
+		// The injector rides the observer chain (completion-count
+		// triggers for throttles/dropouts) and the runtime's task-fault
+		// seam.  It only arms the measured pass: the calibration pass
+		// above ran fault-free, as a warm-up would.
+		observers = append(observers, inj)
+		rtCfg.Faults = inj
+	}
 	rtCfg.Observer = starpu.CombineObservers(observers...)
 	rt, err := starpu.New(p, rtCfg)
 	if err != nil {
 		return nil, err
+	}
+	if inj != nil {
+		inj.Bind(rt, p)
 	}
 	if err := submit(rt, cfg.Workload); err != nil {
 		return nil, err
@@ -280,6 +345,25 @@ func Run(cfg Config) (*Result, error) {
 	res.Rate = units.Rate(flops, makespan)
 	if res.Energy > 0 {
 		res.Efficiency = float64(flops) / float64(res.Energy) / units.Giga
+	}
+	if inj != nil {
+		rep := &FaultReport{Spec: cfg.Faults.String(), Injected: inj.Stats()}
+		capStats := p.CapStats()
+		rep.CapRetries = capStats.Retries
+		rep.CapClamped = capStats.Clamped
+		for _, t := range rt.Tasks() {
+			rep.TaskRetries += t.Retries
+		}
+		res.Faults = rep
+		if evs := rt.Evictions(); len(evs) > 0 {
+			res.Degraded = &DegradedRun{
+				Plan:      p.PlanString(),
+				Evictions: append([]starpu.Eviction(nil), evs...),
+			}
+		}
+		if cfg.Telemetry != nil {
+			cfg.Telemetry.ObserveFaults(rep.Injected, rep.CapRetries, len(rt.Evictions()))
+		}
 	}
 	if tracer != nil {
 		// Finalize against the same counter deltas the result reports, so

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/platform"
 	"repro/internal/powercap"
@@ -99,6 +100,10 @@ type SweepOptions struct {
 	// Trace records a span trace for every cell into its Result (see
 	// Config.Trace); TraceCellKey names each cell's artifacts.
 	Trace bool
+	// Faults injects deterministic hardware/software faults into every
+	// measured pass of the sweep (see Config.Faults).  The zero spec
+	// injects nothing and leaves cell seeds untouched.
+	Faults faults.Spec
 }
 
 // SweepPlans measures a workload under every canonical plan on a

@@ -184,6 +184,7 @@ func sweepCells(rows []TableIIRow, opts []SweepOptions, popt ParallelOptions) ([
 			Seed:      opt.Seed,
 			Telemetry: opt.Telemetry,
 			Trace:     opt.Trace,
+			Faults:    opt.Faults,
 		}
 		baselineAt[i] = len(cfgs)
 		cfgs = append(cfgs, base)
@@ -283,7 +284,14 @@ func rowKey(r TableIIRow, o SweepOptions) string {
 	if sched == "" {
 		sched = "dmdas"
 	}
-	return fmt.Sprintf("%s|%s|%d|%d|%s|%.4f|%s", r.Platform, r.Op, r.N, r.NB, r.Precision, r.BestFrac, sched)
+	key := fmt.Sprintf("%s|%s|%d|%d|%s|%.4f|%s", r.Platform, r.Op, r.N, r.NB, r.Precision, r.BestFrac, sched)
+	// Fault-free sweeps keep the historical key (and so their seeds and
+	// goldens) byte-for-byte; a fault spec extends the identity so faulty
+	// and clean runs of the same row never share a seed.
+	if !o.Faults.Zero() {
+		key += "|faults=" + o.Faults.String()
+	}
+	return key
 }
 
 // TraceCellKey is the stable identity of one sweep cell — the row key

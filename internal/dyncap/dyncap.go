@@ -13,6 +13,7 @@
 package dyncap
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/nvml"
@@ -48,6 +49,7 @@ type gpuState struct {
 	lastWork units.Flops
 	lastJ    units.Joules
 	moves    int
+	disabled bool // board fell off the bus; never touched again
 }
 
 // CapChange is one recorded controller move: at virtual time T, GPU's
@@ -71,6 +73,8 @@ type Controller struct {
 	OnCapChange func(CapChange)
 
 	ticks   int
+	skips   int
+	clamps  int
 	history []CapChange
 }
 
@@ -96,6 +100,29 @@ func New(plat *platform.Platform, cfg Config) (*Controller, error) {
 
 // Ticks reports how many control decisions have fired.
 func (c *Controller) Ticks() int { return c.ticks }
+
+// Skips reports per-GPU decisions abandoned because the cap write
+// failed: the controller holds its hill-climbing state and re-decides
+// next tick rather than attributing the coming interval to a cap that
+// was never applied.
+func (c *Controller) Skips() int { return c.skips }
+
+// Clamps reports applied moves whose read-back differed from the
+// request (driver clamping/drift); the controller adopts the device's
+// actual value as its climbing position.
+func (c *Controller) Clamps() int { return c.clamps }
+
+// Disabled reports how many boards the controller stopped driving
+// because they fell off the bus.
+func (c *Controller) Disabled() int {
+	n := 0
+	for i := range c.gpus {
+		if c.gpus[i].disabled {
+			n++
+		}
+	}
+	return n
+}
 
 // History reports every cap move the controller applied, in virtual-time
 // order (the final Caps() snapshot is the last move per GPU).
@@ -144,37 +171,65 @@ func (c *Controller) tick() {
 	energy := c.plat.DeviceEnergy()
 	for i := range c.gpus {
 		g := &c.gpus[i]
+		if g.disabled {
+			continue
+		}
 		dW := c.plat.GPUWorkDone(i) - g.lastWork
 		dJ := energy[fmt.Sprintf("GPU%d", i)] - g.lastJ
 		if dJ <= 0 || dW <= 0 {
 			continue // idle interval: no signal, hold the cap
 		}
 		eff := float64(dW) / float64(dJ)
+		// Tentative climb: committed to g only once the cap actually
+		// lands on the device, so a failed write skips the decision
+		// instead of hill-climbing on a cap that was never applied.
+		dir, step := g.dir, g.step
 		if g.lastEff > 0 && eff < g.lastEff {
 			// Efficiency got worse: reverse and refine.
-			g.dir = -g.dir
-			g.step /= 2
-			if g.step < c.cfg.MinStep {
-				g.step = c.cfg.MinStep
+			dir = -dir
+			step /= 2
+			if step < c.cfg.MinStep {
+				step = c.cfg.MinStep
 			}
 		}
-		g.lastEff = eff
 		arch := c.plat.GPUArch
-		next := g.cap + units.Watts(g.dir)*g.step
+		next := g.cap + units.Watts(dir)*step
 		next = units.Watts(units.Clamp(float64(next), float64(arch.MinPower), float64(arch.TDP)))
 		if next != g.cap {
 			h, ret := c.plat.NVML.DeviceGetHandleByIndex(i)
-			if ret.Error() != nil || h.SetPowerManagementLimit(uint32(float64(next)*1000)) != nvml.SUCCESS {
+			err := ret.Error()
+			if err == nil {
+				err = h.SetPowerManagementLimit(uint32(float64(next) * 1000)).Error()
+			}
+			if errors.Is(err, nvml.ErrNotFound) {
+				g.disabled = true // board fell off the bus: stop driving it
 				continue
 			}
-			change := CapChange{T: c.plat.Engine().Now(), GPU: i, Old: g.cap, New: next}
-			g.cap = next
-			g.moves++
-			c.history = append(c.history, change)
-			if c.OnCapChange != nil {
-				c.OnCapChange(change)
+			if err != nil {
+				c.skips++ // transient failure: re-decide next tick
+				continue
+			}
+			// Verify-after-set: adopt the value the driver actually kept
+			// (it may have clamped or drifted the request) as the new
+			// climbing position.
+			if got, vret := h.GetPowerManagementLimit(); vret == nvml.SUCCESS {
+				actual := units.Watts(float64(got) / 1000)
+				if actual != next {
+					c.clamps++
+					next = actual
+				}
+			}
+			if next != g.cap {
+				change := CapChange{T: c.plat.Engine().Now(), GPU: i, Old: g.cap, New: next}
+				g.cap = next
+				g.moves++
+				c.history = append(c.history, change)
+				if c.OnCapChange != nil {
+					c.OnCapChange(change)
+				}
 			}
 		}
+		g.dir, g.step, g.lastEff = dir, step, eff
 	}
 	c.snapshot()
 	c.plat.Engine().After(c.cfg.Interval, c.tick)

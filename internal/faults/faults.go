@@ -1,0 +1,360 @@
+// Package faults implements the deterministic, seeded fault injector
+// behind the chaos experiments: transient NVML cap-write failures and
+// clamping, GPU thermal-throttle windows, permanent device dropout and
+// task execution faults.
+//
+// Every random draw happens inside a cell's single-threaded simulation,
+// in virtual-time order, from one rand.Rand seeded by the cell seed —
+// so a fault schedule is a pure function of (spec, seed) and the
+// parallel-sweep determinism contract (byte-identical output at any
+// worker count) holds with faults enabled.  Hardware events (throttles,
+// dropouts) trigger at task-completion counts drawn as fractions of the
+// DAG, keeping schedules scale-free across workload sizes.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/nvml"
+	"repro/internal/platform"
+	"repro/internal/starpu"
+	"repro/internal/units"
+)
+
+// Spec declares a fault mix.  The zero value injects nothing.
+type Spec struct {
+	// CapFail is the probability a power-limit write fails with the
+	// EBUSY-style transient ERROR_UNKNOWN (retried by the applicator).
+	CapFail float64
+	// CapClamp is the probability the driver clamps/drifts a power-limit
+	// write to ClampFrac of the request (floored at the driver minimum).
+	CapClamp float64
+	// ClampFrac scales a clamped request (default 0.9).
+	ClampFrac float64
+	// Throttles is how many thermal-throttle windows open over the run.
+	Throttles int
+	// Dropouts is how many boards fall off the bus over the run.
+	Dropouts int
+	// TaskFail is the per-attempt probability a task execution faults
+	// mid-compute and is retried.
+	TaskFail float64
+	// Retries bounds failed attempts per task (default 3).
+	Retries int
+}
+
+// Zero reports whether the spec injects nothing.
+func (s Spec) Zero() bool {
+	return s.CapFail == 0 && s.CapClamp == 0 && s.Throttles == 0 &&
+		s.Dropouts == 0 && s.TaskFail == 0
+}
+
+// String renders the canonical spec syntax ParseSpec accepts.
+func (s Spec) String() string {
+	var parts []string
+	add := func(k string, v float64) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+		}
+	}
+	add("capfail", s.CapFail)
+	add("clamp", s.CapClamp)
+	if s.ClampFrac != 0 && s.ClampFrac != 0.9 {
+		add("clampfrac", s.ClampFrac)
+	}
+	add("throttle", float64(s.Throttles))
+	add("dropout", float64(s.Dropouts))
+	add("taskfail", s.TaskFail)
+	if s.Retries != 0 {
+		add("retries", float64(s.Retries))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses "capfail=0.3,clamp=0.1,throttle=1,dropout=1,
+// taskfail=0.02,retries=3".  Empty string and "none" mean no faults.
+func ParseSpec(s string) (Spec, error) {
+	var out Spec
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return out, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return out, fmt.Errorf("faults: %q is not key=value", kv)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return out, fmt.Errorf("faults: %s: %v", k, err)
+		}
+		switch k {
+		case "capfail":
+			out.CapFail = f
+		case "clamp":
+			out.CapClamp = f
+		case "clampfrac":
+			out.ClampFrac = f
+		case "throttle":
+			out.Throttles = int(f)
+		case "dropout":
+			out.Dropouts = int(f)
+		case "taskfail":
+			out.TaskFail = f
+		case "retries":
+			out.Retries = int(f)
+		default:
+			return out, fmt.Errorf("faults: unknown key %q (capfail, clamp, clampfrac, throttle, dropout, taskfail, retries)", k)
+		}
+	}
+	for _, p := range []float64{out.CapFail, out.CapClamp, out.TaskFail} {
+		if p < 0 || p > 1 {
+			return out, fmt.Errorf("faults: probability %v outside [0,1]", p)
+		}
+	}
+	if out.Throttles < 0 || out.Dropouts < 0 || out.Retries < 0 {
+		return out, fmt.Errorf("faults: negative count in %q", s)
+	}
+	return out, nil
+}
+
+// Stats counts what one injector actually injected.
+type Stats struct {
+	// CapFailures counts injected transient cap-write failures.
+	CapFailures int
+	// CapClamps counts injected clamped/drifted cap writes.
+	CapClamps int
+	// TaskFaults counts injected mid-compute task faults.
+	TaskFaults int
+	// Throttles counts thermal windows opened.
+	Throttles int
+	// Dropouts counts boards killed.
+	Dropouts int
+	// Evictions counts workers evicted after dropouts.
+	Evictions int
+	// Requeued counts tasks handed back to survivors by evictions.
+	Requeued int
+}
+
+// Total sums the injected fault events (not the recovery bookkeeping).
+func (s Stats) Total() int {
+	return s.CapFailures + s.CapClamps + s.TaskFaults + s.Throttles + s.Dropouts
+}
+
+// hwPlan is one pre-drawn hardware event: all randomness is consumed at
+// construction so the schedule is fixed before the simulation starts.
+type hwPlan struct {
+	throttle  bool    // else dropout
+	gpuDraw   float64 // → gpu index once the GPU count is known
+	atFrac    float64 // trigger at this fraction of completed tasks
+	endFrac   float64 // throttle window close (fraction)
+	levelFrac float64 // throttle depth within the lower half of the cap window
+}
+
+// hwEvent is a materialised trigger at an absolute completion count.
+type hwEvent struct {
+	at   int
+	fire func()
+}
+
+// Injector realises one Spec under one seed.  It plugs into three
+// seams: nvml.CapFaultPolicy (cap-write faults), starpu.FaultInjector
+// (task faults), and a starpu.Observer (completion-count triggers for
+// throttles and dropouts).  Use it for exactly one cell: it is
+// stateful and single-threaded, like the simulation that drives it.
+type Injector struct {
+	spec  Spec
+	rng   *rand.Rand
+	minW  units.Watts
+	maxW  units.Watts
+	plans []hwPlan
+
+	rt        *starpu.Runtime
+	plat      *platform.Platform
+	submitted int
+	completed int
+	armed     bool
+	events    []hwEvent
+	stats     Stats
+}
+
+// NewInjector draws the hardware-event schedule for spec under seed.
+func NewInjector(spec Spec, seed int64) *Injector {
+	inj := &Injector{spec: spec, rng: rand.New(rand.NewSource(seed))}
+	if inj.spec.ClampFrac == 0 {
+		inj.spec.ClampFrac = 0.9
+	}
+	if inj.spec.Retries == 0 {
+		inj.spec.Retries = 3
+	}
+	// Fixed draw order per event keeps schedules comparable across specs.
+	for i := 0; i < spec.Throttles; i++ {
+		at := 0.1 + 0.6*inj.rng.Float64()
+		inj.plans = append(inj.plans, hwPlan{
+			throttle:  true,
+			gpuDraw:   inj.rng.Float64(),
+			atFrac:    at,
+			endFrac:   at + 0.05 + 0.25*inj.rng.Float64(),
+			levelFrac: inj.rng.Float64(),
+		})
+	}
+	for i := 0; i < spec.Dropouts; i++ {
+		inj.plans = append(inj.plans, hwPlan{
+			gpuDraw: inj.rng.Float64(),
+			atFrac:  0.2 + 0.6*inj.rng.Float64(),
+		})
+	}
+	return inj
+}
+
+// BindLimits tells the injector the driver's cap window, which bounds
+// clamped writes and throttle depths.  Call before the first cap write.
+func (inj *Injector) BindLimits(min, max units.Watts) {
+	inj.minW, inj.maxW = min, max
+}
+
+// Bind attaches the injector to the measured run.  Call after the
+// runtime is built (the injector must also be in its Observer chain for
+// hardware events to trigger).
+func (inj *Injector) Bind(rt *starpu.Runtime, plat *platform.Platform) {
+	inj.rt = rt
+	inj.plat = plat
+}
+
+// Stats reports what was injected so far.
+func (inj *Injector) Stats() Stats { return inj.stats }
+
+// ---- nvml.CapFaultPolicy ----
+
+// OnSetPowerLimit injects transient failures and clamps on cap writes.
+func (inj *Injector) OnSetPowerLimit(index int, requestedMW uint32) (uint32, nvml.Return) {
+	if inj.spec.CapFail > 0 && inj.rng.Float64() < inj.spec.CapFail {
+		inj.stats.CapFailures++
+		return requestedMW, nvml.ERROR_UNKNOWN
+	}
+	if requestedMW > 0 && inj.spec.CapClamp > 0 && inj.rng.Float64() < inj.spec.CapClamp {
+		clamped := uint32(float64(requestedMW) * inj.spec.ClampFrac)
+		if minMW := uint32(float64(inj.minW) * 1000); clamped < minMW {
+			clamped = minMW
+		}
+		if clamped != requestedMW {
+			inj.stats.CapClamps++
+		}
+		return clamped, nvml.SUCCESS
+	}
+	return requestedMW, nvml.SUCCESS
+}
+
+var _ nvml.CapFaultPolicy = (*Injector)(nil)
+
+// ---- starpu.FaultInjector ----
+
+// TaskAttempt injects mid-compute execution faults.
+func (inj *Injector) TaskAttempt(t *starpu.Task, worker, attempt int) (bool, float64) {
+	if inj.spec.TaskFail <= 0 || inj.rng.Float64() >= inj.spec.TaskFail {
+		return false, 0
+	}
+	inj.stats.TaskFaults++
+	return true, inj.rng.Float64()
+}
+
+// MaxTaskRetries bounds failed attempts per task.
+func (inj *Injector) MaxTaskRetries() int { return inj.spec.Retries }
+
+var _ starpu.FaultInjector = (*Injector)(nil)
+
+// ---- starpu.Observer: completion-count triggers ----
+
+// TaskSubmitted counts the DAG so completion fractions can resolve to
+// absolute trigger counts.
+func (inj *Injector) TaskSubmitted(t *starpu.Task) { inj.submitted++ }
+
+// TaskStarted is a no-op.
+func (inj *Injector) TaskStarted(workerID int, t *starpu.Task) {}
+
+// SchedDecision is a no-op.
+func (inj *Injector) SchedDecision(d starpu.Decision) {}
+
+// TaskCompleted advances the trigger clock and fires due hardware
+// events.  Mutation of runtime/platform state is deferred with a
+// zero-delay engine event, honouring the Observer no-callback rule.
+func (inj *Injector) TaskCompleted(workerID int, t *starpu.Task) {
+	if inj.rt == nil {
+		return
+	}
+	if !inj.armed {
+		inj.arm()
+	}
+	inj.completed++
+	for len(inj.events) > 0 && inj.events[0].at <= inj.completed {
+		fire := inj.events[0].fire
+		inj.events = inj.events[1:]
+		inj.rt.Machine().Engine().After(0, fire)
+	}
+}
+
+var _ starpu.Observer = (*Injector)(nil)
+
+// arm materialises the pre-drawn plans into absolute completion counts,
+// once the submitted DAG size is known (first completion).
+func (inj *Injector) arm() {
+	inj.armed = true
+	total := inj.submitted
+	at := func(frac float64) int {
+		n := int(frac * float64(total))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	for _, p := range inj.plans {
+		p := p
+		gpu := int(p.gpuDraw * float64(len(inj.plat.GPUs())))
+		if gpu >= len(inj.plat.GPUs()) {
+			gpu = len(inj.plat.GPUs()) - 1
+		}
+		if p.throttle {
+			// Throttle into the lower half of the cap window: deep enough
+			// to change the device's power class.
+			level := inj.minW + units.Watts(p.levelFrac*0.5*float64(inj.maxW-inj.minW))
+			inj.events = append(inj.events, hwEvent{at: at(p.atFrac), fire: func() {
+				if !inj.plat.GPUAlive(gpu) {
+					return
+				}
+				inj.stats.Throttles++
+				inj.plat.ThrottleGPU(gpu, level)
+			}})
+			inj.events = append(inj.events, hwEvent{at: at(p.endFrac), fire: func() {
+				inj.plat.ClearGPUThrottle(gpu)
+			}})
+		} else {
+			inj.events = append(inj.events, hwEvent{at: at(p.atFrac), fire: func() {
+				inj.fireDropout(gpu)
+			}})
+		}
+	}
+	sort.SliceStable(inj.events, func(i, j int) bool { return inj.events[i].at < inj.events[j].at })
+}
+
+// fireDropout kills a board and evicts its worker, requeueing its work
+// onto survivors.
+func (inj *Injector) fireDropout(gpu int) {
+	if !inj.plat.GPUAlive(gpu) {
+		return // a previous dropout already took this board
+	}
+	inj.plat.KillGPU(gpu)
+	inj.stats.Dropouts++
+	for i := 0; i < inj.plat.NumWorkers(); i++ {
+		if inj.plat.WorkerGPU(i) == gpu {
+			ev := inj.rt.EvictWorker(i, "gpu-dropout")
+			inj.stats.Evictions++
+			inj.stats.Requeued += ev.Requeued
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/nvml"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"none",
+		"capfail=0.3,clamp=0.1,throttle=1,dropout=1,taskfail=0.02,retries=3",
+		"capfail=0.5",
+		"dropout=2",
+		"taskfail=0.1,retries=5",
+	}
+	for _, in := range cases {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		// The canonical rendering must parse back to the same spec.
+		s2, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q.String()=%q): %v", in, s.String(), err)
+		}
+		if s != s2 {
+			t.Errorf("round trip of %q: %+v != %+v", in, s, s2)
+		}
+	}
+}
+
+func TestParseSpecEmptyAndNone(t *testing.T) {
+	for _, in := range []string{"", "none", "  "} {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		if !s.Zero() {
+			t.Errorf("ParseSpec(%q) = %+v, want zero", in, s)
+		}
+	}
+	if !(Spec{}).Zero() {
+		t.Error("zero Spec not Zero()")
+	}
+	if got := (Spec{}).String(); got != "none" {
+		t.Errorf("zero Spec.String() = %q, want none", got)
+	}
+}
+
+func TestParseSpecRejectsBadInput(t *testing.T) {
+	bad := []string{
+		"capfail",          // not key=value
+		"capfail=x",        // not a number
+		"capfail=1.5",      // probability out of range
+		"taskfail=-0.1",    // negative probability
+		"dropout=-1",       // negative count
+		"warpdrive=1",      // unknown key
+		"capfail=0.2,zz=1", // unknown key after valid one
+	}
+	for _, in := range bad {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", in)
+		}
+	}
+}
+
+func TestInjectorScheduleIsSeedDeterministic(t *testing.T) {
+	spec := Spec{Throttles: 3, Dropouts: 2, CapFail: 0.5, TaskFail: 0.1}
+	a := NewInjector(spec, 42)
+	b := NewInjector(spec, 42)
+	if len(a.plans) != len(b.plans) {
+		t.Fatalf("plan counts differ: %d vs %d", len(a.plans), len(b.plans))
+	}
+	for i := range a.plans {
+		if a.plans[i] != b.plans[i] {
+			t.Errorf("plan %d differs under the same seed: %+v vs %+v", i, a.plans[i], b.plans[i])
+		}
+	}
+	c := NewInjector(spec, 43)
+	same := true
+	for i := range a.plans {
+		if a.plans[i] != c.plans[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds drew identical hardware schedules")
+	}
+}
+
+func TestOnSetPowerLimitFloorsClampAtMinimum(t *testing.T) {
+	// CapClamp=1 guarantees the clamp path; the request sits just above
+	// the driver minimum so the 0.5 clamp would land below it.
+	inj := NewInjector(Spec{CapClamp: 1, ClampFrac: 0.5}, 1)
+	inj.BindLimits(100, 400)
+	mw, ret := inj.OnSetPowerLimit(0, 110_000)
+	if ret != nvml.SUCCESS {
+		t.Fatalf("ret = %v", ret)
+	}
+	if mw != 100_000 {
+		t.Errorf("clamped request = %d mW, want floor 100000", mw)
+	}
+}
+
+func TestOnSetPowerLimitAlwaysFails(t *testing.T) {
+	inj := NewInjector(Spec{CapFail: 1}, 1)
+	for i := 0; i < 5; i++ {
+		if _, ret := inj.OnSetPowerLimit(0, 200_000); ret != nvml.ERROR_UNKNOWN {
+			t.Fatalf("call %d: ret = %v, want ERROR_UNKNOWN", i, ret)
+		}
+	}
+	if inj.Stats().CapFailures != 5 {
+		t.Errorf("CapFailures = %d, want 5", inj.Stats().CapFailures)
+	}
+}
+
+func TestZeroSpecInjectsNothing(t *testing.T) {
+	inj := NewInjector(Spec{}, 7)
+	if mw, ret := inj.OnSetPowerLimit(0, 250_000); mw != 250_000 || ret != nvml.SUCCESS {
+		t.Errorf("zero spec rewrote a cap write: %d, %v", mw, ret)
+	}
+	if fail, _ := inj.TaskAttempt(nil, 0, 0); fail {
+		t.Error("zero spec failed a task attempt")
+	}
+	if inj.Stats().Total() != 0 {
+		t.Errorf("zero spec recorded injections: %+v", inj.Stats())
+	}
+}

@@ -15,8 +15,10 @@ type Device struct {
 	arch  *Arch
 	index int
 
-	mu  sync.Mutex
-	cap units.Watts // 0 = uncapped
+	mu       sync.Mutex
+	cap      units.Watts // 0 = uncapped
+	throttle units.Watts // 0 = no thermal throttle active
+	dead     bool        // board fell off the bus
 }
 
 // NewDevice returns board #index of the given architecture, uncapped.
@@ -46,14 +48,74 @@ func (d *Device) SetPowerLimit(cap units.Watts) error {
 	return nil
 }
 
-// PowerLimit reports the active limit (TDP when uncapped).
+// PowerLimit reports the effective limit: the configured cap (TDP when
+// uncapped), further reduced by an active thermal-throttle window.  The
+// effective limit is what the DVFS curves, the power draw and the
+// worker-class strings all key off, so a throttle window degrades the
+// device's power class exactly like a (temporary) deeper cap.
 func (d *Device) PowerLimit() units.Watts {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	limit := d.cap
+	if limit == 0 {
+		limit = d.arch.TDP
+	}
+	if d.throttle > 0 && d.throttle < limit {
+		limit = d.throttle
+	}
+	return limit
+}
+
+// ConfiguredLimit reports the cap as set through the driver, ignoring
+// any thermal throttle (what GetEnforcedPowerLimit verifies against).
+func (d *Device) ConfiguredLimit() units.Watts {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.cap == 0 {
 		return d.arch.TDP
 	}
 	return d.cap
+}
+
+// SetThrottle starts a thermal-throttle window: the effective limit
+// drops to min(cap, limit) until ClearThrottle.  Values at or below zero
+// clamp to the driver minimum (the board never throttles below it).
+func (d *Device) SetThrottle(limit units.Watts) {
+	if limit < d.arch.MinPower {
+		limit = d.arch.MinPower
+	}
+	d.mu.Lock()
+	d.throttle = limit
+	d.mu.Unlock()
+}
+
+// ClearThrottle ends the thermal-throttle window.
+func (d *Device) ClearThrottle() {
+	d.mu.Lock()
+	d.throttle = 0
+	d.mu.Unlock()
+}
+
+// Throttled reports whether a thermal window is currently active.
+func (d *Device) Throttled() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.throttle > 0
+}
+
+// MarkDead drops the board off the bus: capping calls fail with
+// ERROR_NOT_FOUND from then on.  Irreversible, like the real failure.
+func (d *Device) MarkDead() {
+	d.mu.Lock()
+	d.dead = true
+	d.mu.Unlock()
+}
+
+// Alive reports whether the board still answers.
+func (d *Device) Alive() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.dead
 }
 
 // Uncapped reports whether the default limit is active.

@@ -1,0 +1,58 @@
+package gpu
+
+import "testing"
+
+func TestThrottleDegradesEffectiveLimit(t *testing.T) {
+	d := NewDevice(A100SXM4(), 0)
+	if err := d.SetPowerLimit(300); err != nil {
+		t.Fatal(err)
+	}
+	d.SetThrottle(220)
+	if !d.Throttled() {
+		t.Error("Throttled() = false during a window")
+	}
+	if got := d.PowerLimit(); got != 220 {
+		t.Errorf("PowerLimit under throttle = %v, want 220", got)
+	}
+	if got := d.ConfiguredLimit(); got != 300 {
+		t.Errorf("ConfiguredLimit under throttle = %v, want 300 (throttle-blind)", got)
+	}
+	// A throttle above the cap does not raise the limit.
+	d.SetThrottle(350)
+	if got := d.PowerLimit(); got != 300 {
+		t.Errorf("PowerLimit with throttle above cap = %v, want 300", got)
+	}
+	d.ClearThrottle()
+	if d.Throttled() {
+		t.Error("Throttled() = true after ClearThrottle")
+	}
+	if got := d.PowerLimit(); got != 300 {
+		t.Errorf("PowerLimit after clear = %v, want 300", got)
+	}
+}
+
+func TestThrottleClampsToDriverMinimum(t *testing.T) {
+	d := NewDevice(A100SXM4(), 0)
+	d.SetThrottle(1)
+	if got, want := d.PowerLimit(), d.Arch().MinPower; got != want {
+		t.Errorf("PowerLimit with tiny throttle = %v, want driver minimum %v", got, want)
+	}
+}
+
+func TestMarkDeadIsIrreversible(t *testing.T) {
+	d := NewDevice(A100SXM4(), 0)
+	if !d.Alive() {
+		t.Fatal("fresh device not alive")
+	}
+	d.MarkDead()
+	if d.Alive() {
+		t.Fatal("Alive() = true after MarkDead")
+	}
+	// The board state stays readable (hung-but-powered model): the cap
+	// query paths must not panic, and there is no resurrection API.
+	_ = d.PowerLimit()
+	_ = d.ConfiguredLimit()
+	if d.Alive() {
+		t.Fatal("device came back to life")
+	}
+}

@@ -9,6 +9,7 @@
 package nvml
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -50,13 +51,50 @@ func (r Return) String() string {
 	return "ERROR_UNKNOWN"
 }
 
+// Per-code sentinel errors.  Return.Error wraps these, so callers gate
+// retry logic with errors.Is(err, nvml.ErrUnknown) instead of matching
+// the message string.  ErrUnknown doubles as the driver's transient
+// EBUSY-style failure, the one worth retrying.
+var (
+	ErrUninitialized   = errors.New("ERROR_UNINITIALIZED")
+	ErrInvalidArgument = errors.New("ERROR_INVALID_ARGUMENT")
+	ErrNotSupported    = errors.New("ERROR_NOT_SUPPORTED")
+	ErrNoPermission    = errors.New("ERROR_NO_PERMISSION")
+	ErrNotFound        = errors.New("ERROR_NOT_FOUND")
+	ErrUnknown         = errors.New("ERROR_UNKNOWN")
+)
+
+// sentinel maps a non-SUCCESS Return to its sentinel error.
+func (r Return) sentinel() error {
+	switch r {
+	case ERROR_UNINITIALIZED:
+		return ErrUninitialized
+	case ERROR_INVALID_ARGUMENT:
+		return ErrInvalidArgument
+	case ERROR_NOT_SUPPORTED:
+		return ErrNotSupported
+	case ERROR_NO_PERMISSION:
+		return ErrNoPermission
+	case ERROR_NOT_FOUND:
+		return ErrNotFound
+	}
+	return ErrUnknown
+}
+
 // Error converts a non-SUCCESS Return into a Go error (nil on SUCCESS).
+// The error wraps the code's sentinel (errors.Is-able) and renders as
+// "nvml: <CODE>", the historical message format.
 func (r Return) Error() error {
 	if r == SUCCESS {
 		return nil
 	}
-	return fmt.Errorf("nvml: %s", r)
+	return fmt.Errorf("nvml: %w", r.sentinel())
 }
+
+// Transient reports whether the code is worth retrying: ERROR_UNKNOWN is
+// how the driver surfaces EBUSY-style contention on the power-management
+// interface (the failure mode the cap applicator's backoff absorbs).
+func (r Return) Transient() bool { return r == ERROR_UNKNOWN }
 
 // EnergySource lets the platform layer supply live power/energy readings
 // for a device (a power meter attached to the simulation clock).
@@ -76,11 +114,35 @@ type TraceSource interface {
 	Now() units.Seconds
 }
 
+// CapFaultPolicy intercepts power-limit writes before they reach the
+// device — the seam the fault injector plugs into.  It may rewrite the
+// requested milliwatts (driver-side clamping) or veto the call with a
+// non-SUCCESS code (EBUSY-style transient failures surface as
+// ERROR_UNKNOWN).  A nil policy passes every write through untouched.
+type CapFaultPolicy interface {
+	OnSetPowerLimit(index int, requestedMW uint32) (mw uint32, ret Return)
+}
+
 // API is one NVML library instance bound to a node's GPUs.
 type API struct {
-	mu      sync.Mutex
-	inited  bool
-	devices []*Device
+	mu       sync.Mutex
+	inited   bool
+	devices  []*Device
+	capFault CapFaultPolicy
+}
+
+// SetCapFaultPolicy installs (or clears, with nil) the power-limit write
+// interceptor.  Fault injection only; real NVML has no equivalent.
+func (a *API) SetCapFaultPolicy(p CapFaultPolicy) {
+	a.mu.Lock()
+	a.capFault = p
+	a.mu.Unlock()
+}
+
+func (a *API) capFaultPolicy() CapFaultPolicy {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.capFault
 }
 
 // Device is an NVML device handle.
@@ -157,12 +219,15 @@ func (d *Device) GetName() (string, Return) {
 	return d.dev.Arch().Name, SUCCESS
 }
 
-// GetPowerManagementLimit reports the active limit in milliwatts.
+// GetPowerManagementLimit reports the software cap in milliwatts — the
+// value SetPowerManagementLimit configured (TDP when uncapped), not
+// reduced by thermal throttling.  The verify-after-set applicator
+// compares against this.
 func (d *Device) GetPowerManagementLimit() (uint32, Return) {
 	if !d.api.ready() {
 		return 0, ERROR_UNINITIALIZED
 	}
-	return uint32(float64(d.dev.PowerLimit()) * 1000), SUCCESS
+	return uint32(float64(d.dev.ConfiguredLimit()) * 1000), SUCCESS
 }
 
 // GetPowerManagementLimitConstraints reports [min, max] in milliwatts.
@@ -181,15 +246,30 @@ func (d *Device) SetPowerManagementLimit(milliwatts uint32) Return {
 	if !d.api.ready() {
 		return ERROR_UNINITIALIZED
 	}
+	if !d.dev.Alive() {
+		return ERROR_NOT_FOUND // board fell off the bus
+	}
+	if p := d.api.capFaultPolicy(); p != nil {
+		mw, ret := p.OnSetPowerLimit(d.dev.Index(), milliwatts)
+		if ret != SUCCESS {
+			return ret
+		}
+		milliwatts = mw
+	}
 	if err := d.dev.SetPowerLimit(units.Watts(float64(milliwatts) / 1000)); err != nil {
 		return ERROR_INVALID_ARGUMENT
 	}
 	return SUCCESS
 }
 
-// GetEnforcedPowerLimit reports the limit actually enforced (mW).
+// GetEnforcedPowerLimit reports the limit actually enforced (mW): the
+// software cap further reduced by an active thermal-throttle window,
+// matching real NVML's min-of-all-limits semantics.
 func (d *Device) GetEnforcedPowerLimit() (uint32, Return) {
-	return d.GetPowerManagementLimit()
+	if !d.api.ready() {
+		return 0, ERROR_UNINITIALIZED
+	}
+	return uint32(float64(d.dev.PowerLimit()) * 1000), SUCCESS
 }
 
 // GetPowerUsage reports the instantaneous draw in milliwatts.

@@ -1,0 +1,148 @@
+package nvml
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+func TestSentinelErrors(t *testing.T) {
+	cases := []struct {
+		ret  Return
+		want error
+	}{
+		{ERROR_UNINITIALIZED, ErrUninitialized},
+		{ERROR_INVALID_ARGUMENT, ErrInvalidArgument},
+		{ERROR_NOT_SUPPORTED, ErrNotSupported},
+		{ERROR_NO_PERMISSION, ErrNoPermission},
+		{ERROR_NOT_FOUND, ErrNotFound},
+		{ERROR_UNKNOWN, ErrUnknown},
+	}
+	for _, c := range cases {
+		err := c.ret.Error()
+		if !errors.Is(err, c.want) {
+			t.Errorf("%v.Error() = %v, not errors.Is %v", c.ret, err, c.want)
+		}
+		// The historical message format must survive the wrapping.
+		if got, want := err.Error(), "nvml: "+c.ret.String(); got != want {
+			t.Errorf("%v.Error().Error() = %q, want %q", c.ret, got, want)
+		}
+	}
+	if err := SUCCESS.Error(); err != nil {
+		t.Errorf("SUCCESS.Error() = %v, want nil", err)
+	}
+	if errors.Is(ERROR_NOT_FOUND.Error(), ErrUnknown) {
+		t.Error("ERROR_NOT_FOUND must not match ErrUnknown")
+	}
+}
+
+func TestTransient(t *testing.T) {
+	for _, r := range []Return{SUCCESS, ERROR_UNINITIALIZED, ERROR_INVALID_ARGUMENT, ERROR_NOT_SUPPORTED, ERROR_NO_PERMISSION, ERROR_NOT_FOUND} {
+		if r.Transient() {
+			t.Errorf("%v.Transient() = true, want false", r)
+		}
+	}
+	if !ERROR_UNKNOWN.Transient() {
+		t.Error("ERROR_UNKNOWN.Transient() = false, want true")
+	}
+}
+
+// scriptedPolicy replays a fixed per-call script of (rewrite, code).
+type scriptedPolicy struct {
+	calls []struct {
+		mw  uint32
+		ret Return
+	}
+	n int
+}
+
+func (p *scriptedPolicy) OnSetPowerLimit(index int, requested uint32) (uint32, Return) {
+	if p.n >= len(p.calls) {
+		return requested, SUCCESS
+	}
+	c := p.calls[p.n]
+	p.n++
+	if c.mw == 0 {
+		c.mw = requested
+	}
+	return c.mw, c.ret
+}
+
+func TestCapFaultPolicyVetoAndClamp(t *testing.T) {
+	api, _ := newTestAPI(t, 1, false)
+	api.Init()
+	h, _ := api.DeviceGetHandleByIndex(0)
+
+	pol := &scriptedPolicy{}
+	pol.calls = append(pol.calls,
+		struct {
+			mw  uint32
+			ret Return
+		}{0, ERROR_UNKNOWN}, // transient veto
+		struct {
+			mw  uint32
+			ret Return
+		}{250_000, SUCCESS}, // clamp the request to 250 W
+	)
+	api.SetCapFaultPolicy(pol)
+
+	if ret := h.SetPowerManagementLimit(300_000); ret != ERROR_UNKNOWN {
+		t.Fatalf("vetoed set = %v, want ERROR_UNKNOWN", ret)
+	}
+	// A vetoed write must leave the device untouched.
+	tdpMW := uint32(float64(gpu.A100SXM4().TDP) * 1000)
+	if got, _ := h.GetPowerManagementLimit(); got != tdpMW {
+		t.Fatalf("limit after veto = %d mW, want default %d mW", got, tdpMW)
+	}
+
+	if ret := h.SetPowerManagementLimit(300_000); ret != SUCCESS {
+		t.Fatalf("clamped set = %v, want SUCCESS", ret)
+	}
+	if got, _ := h.GetPowerManagementLimit(); got != 250_000 {
+		t.Fatalf("limit after clamp = %d mW, want 250000 (the clamped value)", got)
+	}
+
+	// Clearing the policy restores pass-through.
+	api.SetCapFaultPolicy(nil)
+	if ret := h.SetPowerManagementLimit(300_000); ret != SUCCESS {
+		t.Fatalf("set after clearing policy = %v", ret)
+	}
+	if got, _ := h.GetPowerManagementLimit(); got != 300_000 {
+		t.Fatalf("limit = %d mW, want 300000", got)
+	}
+}
+
+func TestDeadDeviceCapping(t *testing.T) {
+	api, _ := newTestAPI(t, 1, false)
+	api.Init()
+	h, _ := api.DeviceGetHandleByIndex(0)
+	h.Underlying().MarkDead()
+	ret := h.SetPowerManagementLimit(300_000)
+	if ret != ERROR_NOT_FOUND {
+		t.Fatalf("set on dead board = %v, want ERROR_NOT_FOUND", ret)
+	}
+	if !errors.Is(ret.Error(), ErrNotFound) {
+		t.Fatalf("dead-board error %v must match ErrNotFound", ret.Error())
+	}
+}
+
+func TestEnforcedVsConfiguredLimit(t *testing.T) {
+	api, _ := newTestAPI(t, 1, false)
+	api.Init()
+	h, _ := api.DeviceGetHandleByIndex(0)
+	if ret := h.SetPowerManagementLimit(300_000); ret != SUCCESS {
+		t.Fatalf("set: %v", ret)
+	}
+	h.Underlying().SetThrottle(200)
+	if got, _ := h.GetPowerManagementLimit(); got != 300_000 {
+		t.Errorf("configured limit under throttle = %d mW, want 300000", got)
+	}
+	if got, _ := h.GetEnforcedPowerLimit(); got != 200_000 {
+		t.Errorf("enforced limit under throttle = %d mW, want 200000", got)
+	}
+	h.Underlying().ClearThrottle()
+	if got, _ := h.GetEnforcedPowerLimit(); got != 300_000 {
+		t.Errorf("enforced limit after clear = %d mW, want 300000", got)
+	}
+}

@@ -94,6 +94,11 @@ type Platform struct {
 	// gpuWork accumulates completed flops per GPU, the signal the
 	// dynamic capping controller optimises against.
 	gpuWork []units.Flops
+
+	// capRetry configures the verified cap applicator; capStats
+	// accumulates its retry/clamp counts (see resilience.go).
+	capRetry CapRetry
+	capStats CapApplyStats
 }
 
 // New builds a node from a spec: one CUDA worker per GPU (each with a
@@ -184,10 +189,11 @@ func (p *Platform) WorkerClass(i int) string {
 	return fmt.Sprintf("cpu%d@%.0fW", w.pkg, float64(p.packages[w.pkg].PowerLimit()))
 }
 
-// CanRun gates codelets by worker kind.
+// CanRun gates codelets by worker kind; a CUDA worker whose board fell
+// off the bus is never eligible.
 func (p *Platform) CanRun(i int, c *starpu.Codelet) bool {
-	if p.workers[i].gpu >= 0 {
-		return c.CanCUDA
+	if g := p.workers[i].gpu; g >= 0 {
+		return c.CanCUDA && p.gpus[g].Alive()
 	}
 	return c.CanCPU
 }
@@ -230,11 +236,20 @@ func (p *Platform) OnTaskStart(i int, t *starpu.Task) {
 	p.addedPower[i] = core
 }
 
-// OnTaskEnd lowers the meters by exactly what OnTaskStart added.
+// OnTaskEnd lowers the meters by exactly what OnTaskStart added and
+// credits the completed flops.
 func (p *Platform) OnTaskEnd(i int, t *starpu.Task) {
+	if w := p.workers[i]; w.gpu >= 0 {
+		p.gpuWork[w.gpu] += t.Work
+	}
+	p.removeTaskPower(i)
+}
+
+// removeTaskPower lowers the meters by exactly what OnTaskStart added
+// (shared by completion and abort paths).
+func (p *Platform) removeTaskPower(i int) {
 	w := p.workers[i]
 	if w.gpu >= 0 {
-		p.gpuWork[w.gpu] += t.Work
 		core := p.packages[w.pkg].BusyCorePower()
 		gpuPart := p.addedPower[i] - core
 		// Reconstruct the split: the core part was measured at start; if
@@ -349,8 +364,12 @@ func (p *Platform) SpanPower(i int, t *starpu.Task) (accel, host units.Watts) {
 	return accel, host
 }
 
-// GPULevel maps GPU g's active cap onto the paper's L/B/H notation.
+// GPULevel maps GPU g's effective limit onto the paper's L/B/H
+// notation; a dead board reads "_" (the degraded-plan notation).
 func (p *Platform) GPULevel(g int) string {
+	if !p.gpus[g].Alive() {
+		return "_"
+	}
 	limit := p.gpus[g].PowerLimit()
 	switch {
 	case limit <= p.GPUArch.MinPower:
@@ -382,26 +401,39 @@ func (p *Platform) GPUs() []*gpu.Device { return p.gpus }
 // Packages exposes the simulated sockets (tests and tools only).
 func (p *Platform) Packages() []*cpu.Package { return p.packages }
 
-// SetGPUCaps applies one cap per GPU through NVML (0 = uncapped).
+// SetGPUCaps applies one cap per GPU through NVML (0 = uncapped), each
+// via the verified applicator: set, read back, retry transient driver
+// failures with exponential virtual-time backoff (see resilience.go).
 func (p *Platform) SetGPUCaps(caps []units.Watts) error {
 	if len(caps) != len(p.gpus) {
 		return fmt.Errorf("platform: %d caps for %d GPUs", len(caps), len(p.gpus))
 	}
 	for i, c := range caps {
-		h, ret := p.NVML.DeviceGetHandleByIndex(i)
-		if err := ret.Error(); err != nil {
+		if err := p.applyGPUCap(i, c); err != nil {
 			return err
-		}
-		if ret := h.SetPowerManagementLimit(uint32(float64(c) * 1000)); ret != nvml.SUCCESS {
-			return fmt.Errorf("platform: GPU %d: cap %v rejected: %v", i, c, ret)
 		}
 	}
 	return nil
 }
 
-// SetCPUCap applies a RAPL cap on one socket (0 = uncapped).
+// SetCPUCap applies a RAPL cap on one socket (0 = uncapped) through the
+// same verified applicator as the GPU caps.  RAPL sysfs writes have no
+// transient failure mode today, so the retry arm never fires; the
+// read-back keeps the contract uniform.
 func (p *Platform) SetCPUCap(socket int, cap units.Watts) error {
-	return p.RAPL.SetPowerLimit(socket, cap)
+	if socket < 0 || socket >= len(p.packages) {
+		return p.RAPL.SetPowerLimit(socket, cap) // let RAPL report the range error
+	}
+	err := p.verifiedApply(
+		func() (bool, error) { return false, p.RAPL.SetPowerLimit(socket, cap) },
+		func() bool {
+			return cap == 0 || p.packages[socket].PowerLimit() == cap
+		},
+	)
+	if err != nil {
+		return fmt.Errorf("platform: socket %d: cap %v rejected: %w", socket, cap, err)
+	}
+	return nil
 }
 
 // DeviceEnergy reports per-device Joules since the last ResetMeters.

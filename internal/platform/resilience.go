@@ -1,0 +1,161 @@
+// Resilience: the verify-after-set cap applicator with bounded retry and
+// virtual-time exponential backoff, plus the degraded-hardware surface
+// (thermal throttles, dead boards, surviving-plan notation) the fault
+// injector drives.
+package platform
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/nvml"
+	"repro/internal/starpu"
+	"repro/internal/units"
+)
+
+// CapRetry configures the verified cap applicator.  Transient driver
+// failures (nvml.ErrUnknown, the EBUSY-style contention) are retried up
+// to MaxAttempts with exponential backoff in virtual time; anything
+// else fails immediately.
+type CapRetry struct {
+	// MaxAttempts bounds tries per device, first included (default 5).
+	MaxAttempts int
+	// Backoff is the delay before the first retry, doubled each retry
+	// (default 2 ms of virtual time).
+	Backoff units.Seconds
+}
+
+func (r CapRetry) withDefaults() CapRetry {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 5
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = 2e-3
+	}
+	return r
+}
+
+// CapApplyStats accumulates what applying caps took over the platform's
+// lifetime — the fault/retry summary capbench prints per cell.
+type CapApplyStats struct {
+	// Retries counts extra set attempts beyond the first, over all
+	// devices and calls.
+	Retries int
+	// Clamped counts verified reads that differed from the request
+	// (driver clamping or drift); the device's actual value wins.
+	Clamped int
+}
+
+// SetCapRetry overrides the applicator policy (zero fields keep
+// defaults).
+func (p *Platform) SetCapRetry(r CapRetry) { p.capRetry = r }
+
+// CapStats reports the cumulative applicator statistics.
+func (p *Platform) CapStats() CapApplyStats { return p.capStats }
+
+// verifiedApply is the shared verify-after-set applicator core: one
+// set/read-back cycle under the platform's retry policy.  set reports
+// whether its failure is transient (worth retrying); verify reports
+// whether the read-back matches the request — a mismatch means the
+// driver clamped or drifted the value, which is counted and adopted
+// rather than fought (the configured value on the device is what worker
+// classes and power draw already key off).  Backoff advances the engine
+// clock, so the applicator must not run inside a live simulation loop —
+// mid-run controllers (dyncap) use a single non-blocking attempt and
+// skip their tick instead.
+func (p *Platform) verifiedApply(set func() (transient bool, err error), verify func() bool) error {
+	retry := p.capRetry.withDefaults()
+	backoff := retry.Backoff
+	var lastErr error
+	for attempt := 0; attempt < retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			p.capStats.Retries++
+			p.engine.RunUntil(p.engine.Now() + backoff)
+			backoff *= 2
+		}
+		transient, err := set()
+		if err != nil {
+			if transient {
+				lastErr = err
+				continue
+			}
+			return err
+		}
+		if !verify() {
+			p.capStats.Clamped++
+		}
+		return nil
+	}
+	return fmt.Errorf("gave up after %d attempts: %w", retry.MaxAttempts, lastErr)
+}
+
+// applyGPUCap routes one board's cap through the verified applicator.
+func (p *Platform) applyGPUCap(g int, cap units.Watts) error {
+	h, ret := p.NVML.DeviceGetHandleByIndex(g)
+	if err := ret.Error(); err != nil {
+		return err
+	}
+	want := uint32(float64(cap) * 1000)
+	if cap == 0 {
+		want = uint32(float64(p.GPUArch.TDP) * 1000)
+	}
+	err := p.verifiedApply(
+		func() (bool, error) {
+			ret := h.SetPowerManagementLimit(uint32(float64(cap) * 1000))
+			return ret.Transient(), ret.Error()
+		},
+		func() bool {
+			got, vret := h.GetPowerManagementLimit()
+			return vret.Error() == nil && got == want
+		},
+	)
+	if err != nil {
+		return fmt.Errorf("platform: GPU %d: cap %v rejected: %w", g, cap, err)
+	}
+	return nil
+}
+
+// ---- degraded hardware ----
+
+// ThrottleGPU starts a thermal-throttle window on board g: its
+// effective limit (and so its worker class, DVFS point and L/B/H level)
+// degrades until ClearGPUThrottle.
+func (p *Platform) ThrottleGPU(g int, limit units.Watts) { p.gpus[g].SetThrottle(limit) }
+
+// ClearGPUThrottle ends board g's thermal-throttle window.
+func (p *Platform) ClearGPUThrottle(g int) { p.gpus[g].ClearThrottle() }
+
+// KillGPU drops board g off the bus, irreversibly: capping calls fail
+// with ERROR_NOT_FOUND and its CUDA worker stops being eligible for
+// work.  The board is modelled as hung-but-powered — its meter keeps
+// integrating idle draw and its energy counters stay readable — so
+// whole-node energy accounting still closes (see DESIGN §11).
+func (p *Platform) KillGPU(g int) { p.gpus[g].MarkDead() }
+
+// GPUAlive reports whether board g still answers.
+func (p *Platform) GPUAlive(g int) bool { return p.gpus[g].Alive() }
+
+// PlanString maps every board onto the paper's level notation, with "_"
+// for dead boards: an HHBB machine that lost GPU 3 reads "HHB_" — the
+// surviving plan a DegradedRun result carries.
+func (p *Platform) PlanString() string {
+	var b strings.Builder
+	for g := range p.gpus {
+		b.WriteString(p.GPULevel(g))
+	}
+	return b.String()
+}
+
+// OnTaskAbort lowers the meters by exactly what OnTaskStart added,
+// like OnTaskEnd, but credits no completed flops to the aborted
+// attempt — the dynamic capping controller must not reward work that
+// was thrown away.
+func (p *Platform) OnTaskAbort(i int, t *starpu.Task) { p.removeTaskPower(i) }
+
+var _ starpu.TaskAborter = (*Platform)(nil)
+
+// InstallCapFaults installs (or clears, with nil) the NVML-level cap
+// write interceptor the fault injector uses.
+func (p *Platform) InstallCapFaults(policy nvml.CapFaultPolicy) {
+	p.NVML.SetCapFaultPolicy(policy)
+}

@@ -122,9 +122,14 @@ func criticalPath(tr *Trace, makespan units.Seconds) CriticalPath {
 	if len(tr.Spans) == 0 {
 		return cp
 	}
+	// Aborted attempts are excluded: the chain is weighted by the spans
+	// that actually carried each task to completion.
 	byID := make(map[int]*Span, len(tr.Spans))
 	ids := make([]int, 0, len(tr.Spans))
 	for i := range tr.Spans {
+		if tr.Spans[i].Aborted {
+			continue
+		}
 		byID[tr.Spans[i].Task] = &tr.Spans[i]
 		ids = append(ids, tr.Spans[i].Task)
 	}

@@ -58,6 +58,11 @@ type Span struct {
 	// the span (0 for CPU workers); HostPowerW is the busy host core.
 	AccelPowerW units.Watts
 	HostPowerW  units.Watts
+	// Aborted marks an attempt killed by fault injection or worker
+	// eviction: EndT is the abort instant, the attributed energy is real
+	// (the meters integrated it), but no useful work completed — a later
+	// span under the same Task is the retry that did.
+	Aborted bool
 }
 
 // Duration reports the span's compute time.

@@ -100,6 +100,24 @@ func (tr *Tracer) TaskStarted(workerID int, t *starpu.Task) {
 	})
 }
 
+// TaskAborted implements starpu.AbortObserver, closing the span at the
+// abort instant.  The machine's meters integrated the span's recorded
+// power until exactly now, so keeping the truncated span attributed is
+// what makes the energy reconciliation close under faults; the retry
+// reopens a fresh span under the same task ID.  Attempts aborted during
+// staging never opened a span (the meters were never raised) and are
+// ignored.
+func (tr *Tracer) TaskAborted(workerID int, t *starpu.Task) {
+	i, ok := tr.open[t.ID]
+	if !ok {
+		return
+	}
+	delete(tr.open, t.ID)
+	s := &tr.spans[i]
+	s.EndT = tr.rt.Machine().Engine().Now()
+	s.Aborted = true
+}
+
 // TaskCompleted implements starpu.Observer, closing the span.
 func (tr *Tracer) TaskCompleted(workerID int, t *starpu.Task) {
 	i, ok := tr.open[t.ID]
@@ -128,14 +146,25 @@ func (tr *Tracer) Finalize(measured map[string]units.Joules) *Trace {
 	}
 
 	out.Spans = append(out.Spans, tr.spans...)
-	sort.Slice(out.Spans, func(i, j int) bool { return out.Spans[i].Task < out.Spans[j].Task })
+	// Retries duplicate task IDs (the aborted attempt plus the rerun), so
+	// the sort falls back to start time: attempts stay in execution order.
+	sort.Slice(out.Spans, func(i, j int) bool {
+		if out.Spans[i].Task != out.Spans[j].Task {
+			return out.Spans[i].Task < out.Spans[j].Task
+		}
+		return out.Spans[i].StartT < out.Spans[j].StartT
+	})
 
 	// Causal edges from the DAG: each task's recorded predecessors are
 	// already sorted by ID, and tasks are visited in ID order, so the
 	// edge list comes out ordered by (To, From) with no extra sort.
+	// Aborted attempts do not count as execution — only the span that
+	// actually completed carries the dependency.
 	executed := make(map[int]bool, len(out.Spans))
 	for i := range out.Spans {
-		executed[out.Spans[i].Task] = true
+		if !out.Spans[i].Aborted {
+			executed[out.Spans[i].Task] = true
+		}
 	}
 	for _, t := range tr.rt.Tasks() {
 		if !executed[t.ID] {

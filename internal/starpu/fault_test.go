@@ -1,0 +1,249 @@
+package starpu
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// scriptInjector fails the first failures[tag] attempts of each listed
+// task at the given fraction of its compute window.
+type scriptInjector struct {
+	failures map[string]int
+	frac     float64
+	retries  int
+}
+
+func (s *scriptInjector) TaskAttempt(t *Task, worker, attempt int) (bool, float64) {
+	if attempt < s.failures[t.Tag] {
+		return true, s.frac
+	}
+	return false, 0
+}
+
+func (s *scriptInjector) MaxTaskRetries() int { return s.retries }
+
+func submitN(t *testing.T, rt *Runtime, c *Codelet, n int) []*Task {
+	t.Helper()
+	var tasks []*Task
+	for i := 0; i < n; i++ {
+		tk := &Task{Codelet: c, Work: 1e8, Tag: fmt.Sprintf("t%d", i)}
+		if err := rt.Submit(tk); err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, tk)
+	}
+	return tasks
+}
+
+func TestInjectedFaultRetries(t *testing.T) {
+	m := newTestMachine()
+	inj := &scriptInjector{failures: map[string]int{"t2": 1}, frac: 0.5, retries: 3}
+	rt, err := New(m, Config{Scheduler: "eager", Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := submitN(t, rt, anyCodelet, 6)
+	if _, err := rt.Run(); err != nil {
+		t.Fatalf("run with one transient fault failed: %v", err)
+	}
+	for i, tk := range tasks {
+		if tk.EndT <= 0 {
+			t.Errorf("task %d never completed", i)
+		}
+		want := 0
+		if i == 2 {
+			want = 1
+		}
+		if tk.Retries != want {
+			t.Errorf("task %d Retries = %d, want %d", i, tk.Retries, want)
+		}
+	}
+	// The aborted attempt must unwind its power raise: every start is
+	// balanced by an end (the abort falls back to OnTaskEnd here).
+	if m.starts != m.ends {
+		t.Errorf("power raises %d != lowers %d after an abort", m.starts, m.ends)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	m := newTestMachine()
+	inj := &scriptInjector{failures: map[string]int{"t0": 99}, frac: 0.25, retries: 2}
+	rt, err := New(m, Config{Scheduler: "eager", Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := submitN(t, rt, anyCodelet, 4)
+	_, err = rt.Run()
+	var pf *PermanentFaultError
+	if !errors.As(err, &pf) {
+		t.Fatalf("run = %v, want *PermanentFaultError", err)
+	}
+	if len(pf.Failed) != 1 || pf.Failed[0] != tasks[0] {
+		t.Fatalf("Failed = %v, want exactly t0", pf.Failed)
+	}
+	if tasks[0].Retries != inj.retries+1 {
+		t.Errorf("t0 Retries = %d, want %d (budget+1)", tasks[0].Retries, inj.retries+1)
+	}
+	// The rest of the DAG keeps executing before Run reports the loss.
+	for _, tk := range tasks[1:] {
+		if tk.EndT <= 0 {
+			t.Errorf("independent task %q did not complete", tk.Tag)
+		}
+	}
+}
+
+func TestEvictWorkerMidRun(t *testing.T) {
+	for _, sched := range SchedulerNames() {
+		t.Run(sched, func(t *testing.T) {
+			m := newTestMachine()
+			rt, err := New(m, Config{Scheduler: sched, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tasks := submitN(t, rt, gpuOnly, 12)
+			m.engine.After(0.005, func() { rt.EvictWorker(3, "test") })
+			if _, err := rt.Run(); err != nil {
+				t.Fatalf("run after eviction failed: %v", err)
+			}
+			evs := rt.Evictions()
+			if len(evs) != 1 || evs[0].Worker != 3 || evs[0].Reason != "test" {
+				t.Fatalf("Evictions = %+v, want one record for worker 3", evs)
+			}
+			if !rt.Workers()[3].Dead() {
+				t.Error("worker 3 not marked dead")
+			}
+			for _, tk := range tasks {
+				if tk.EndT <= 0 {
+					t.Errorf("task %q never completed", tk.Tag)
+				}
+				if tk.WorkerID == 3 && tk.EndT > evs[0].T+1e-12 {
+					t.Errorf("task %q completed on the dead worker at %v (evicted %v)", tk.Tag, tk.EndT, evs[0].T)
+				}
+			}
+		})
+	}
+}
+
+func TestEvictionRequeuesBlockedSlot(t *testing.T) {
+	// Capacity for 3 tiles while every task pins 2: each CUDA worker runs
+	// one task and blocks on its second, so the eviction must hand both
+	// the aborted attempt and the blocked slot back to the scheduler.
+	rt, m := newCappedRT(t, 3)
+	var tasks []*Task
+	for i := 0; i < 6; i++ {
+		a := rt.Register(nil, 8, 64, 64)
+		b := rt.Register(nil, 8, 64, 64)
+		tk := &Task{Codelet: gpuOnly, Handles: []*Handle{a, b}, Modes: []AccessMode{R, R},
+			Work: 1e8, Tag: fmt.Sprintf("t%d", i)}
+		if err := rt.Submit(tk); err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, tk)
+	}
+	m.engine.After(0.002, func() { rt.EvictWorker(2, "test") })
+	if _, err := rt.Run(); err != nil {
+		t.Fatalf("run after eviction failed: %v", err)
+	}
+	evs := rt.Evictions()
+	if len(evs) != 1 {
+		t.Fatalf("Evictions = %+v, want one", evs)
+	}
+	if evs[0].Aborted != 1 {
+		t.Errorf("Aborted = %d, want 1 (the running attempt)", evs[0].Aborted)
+	}
+	if evs[0].Requeued != 2 {
+		t.Errorf("Requeued = %d, want 2 (aborted attempt + blocked slot)", evs[0].Requeued)
+	}
+	for _, tk := range tasks {
+		if tk.EndT <= 0 {
+			t.Errorf("task %q never completed", tk.Tag)
+		}
+		if tk.WorkerID == 2 {
+			t.Errorf("task %q reports completion on evicted worker", tk.Tag)
+		}
+	}
+}
+
+func TestEvictionStrandsGPUOnlyTasks(t *testing.T) {
+	m := newTestMachine()
+	rt, err := New(m, Config{Scheduler: "eager"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, rt, gpuOnly, 8)
+	m.engine.After(0.004, func() { rt.EvictWorker(2, "test") })
+	m.engine.After(0.005, func() { rt.EvictWorker(3, "test") })
+	_, err = rt.Run()
+	var pf *PermanentFaultError
+	if !errors.As(err, &pf) {
+		t.Fatalf("run = %v, want *PermanentFaultError after losing every CUDA worker", err)
+	}
+	if len(pf.Stranded) == 0 {
+		t.Error("no tasks reported stranded")
+	}
+	total := 0
+	for _, ev := range rt.Evictions() {
+		total += ev.Stranded
+	}
+	if total != len(pf.Stranded) {
+		t.Errorf("eviction records count %d stranded, error carries %d", total, len(pf.Stranded))
+	}
+}
+
+func TestSubmitRejectsWhenNoSurvivorCanRun(t *testing.T) {
+	m := newTestMachine()
+	rt, err := New(m, Config{Scheduler: "eager"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.EvictWorker(2, "test")
+	rt.EvictWorker(3, "test")
+	if err := rt.Submit(&Task{Codelet: gpuOnly, Work: 1e8}); err == nil {
+		t.Error("GPU-only task accepted with every CUDA worker dead")
+	}
+	if err := rt.Submit(&Task{Codelet: anyCodelet, Work: 1e8}); err != nil {
+		t.Errorf("CPU-runnable task rejected: %v", err)
+	}
+	if rt.CanRun(2, gpuOnly) {
+		t.Error("CanRun reports true for a dead worker")
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+}
+
+// TestFaultDeterminism: identical configuration, injector and eviction
+// schedule must reproduce the exact same execution, byte for byte.
+func TestFaultDeterminism(t *testing.T) {
+	run := func() ([]units.Seconds, []Eviction) {
+		m := newTestMachine()
+		inj := &scriptInjector{failures: map[string]int{"t1": 1, "t4": 2}, frac: 0.3, retries: 3}
+		rt, err := New(m, Config{Scheduler: "ws", Seed: 11, Faults: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks := submitN(t, rt, gpuOnly, 10)
+		m.engine.After(0.006, func() { rt.EvictWorker(3, "test") })
+		if _, err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var ends []units.Seconds
+		for _, tk := range tasks {
+			ends = append(ends, tk.EndT)
+		}
+		return ends, rt.Evictions()
+	}
+	e1, v1 := run()
+	e2, v2 := run()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("task %d EndT differs across identical runs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	if fmt.Sprint(v1) != fmt.Sprint(v2) {
+		t.Fatalf("eviction records differ: %v vs %v", v1, v2)
+	}
+}

@@ -23,6 +23,15 @@ type Observer interface {
 	SchedDecision(d Decision)
 }
 
+// AbortObserver is the optional Observer extension receiving aborted
+// execution attempts (fault injection, worker eviction).  When the
+// callback fires, t's timing fields still describe the aborted attempt
+// and t.Retries already counts it.  The same no-callback-into-runtime
+// rule as Observer applies.
+type AbortObserver interface {
+	TaskAborted(workerID int, t *Task)
+}
+
 // Candidate is one worker considered by a placement decision.
 type Candidate struct {
 	// Worker is the candidate's runtime index.
@@ -103,6 +112,15 @@ func (m multiObserver) TaskCompleted(workerID int, t *Task) {
 func (m multiObserver) SchedDecision(d Decision) {
 	for _, o := range m {
 		o.SchedDecision(d)
+	}
+}
+
+// TaskAborted forwards to the members that implement AbortObserver.
+func (m multiObserver) TaskAborted(workerID int, t *Task) {
+	for _, o := range m {
+		if ao, ok := o.(AbortObserver); ok {
+			ao.TaskAborted(workerID, t)
+		}
 	}
 }
 

@@ -29,6 +29,10 @@ type Worker struct {
 	// expEnd is the scheduler's expected-availability horizon, the
 	// "exp_end" of StarPU's dequeue-model schedulers.
 	expEnd units.Seconds
+	// running lists the in-flight attempts (for eviction); dead marks an
+	// evicted worker, which never receives work again.
+	running []*Task
+	dead    bool
 
 	// Statistics.
 	tasksRun int
@@ -69,6 +73,10 @@ type Config struct {
 	// Observer, when set, receives task lifecycle and scheduler decision
 	// events (telemetry).  Nil disables instrumentation.
 	Observer Observer
+	// Faults, when set, injects task execution faults: each attempt may
+	// be aborted mid-compute and retried within the injector's budget.
+	// Nil disables injection at zero cost (no draws, no extra events).
+	Faults FaultInjector
 	// TransferPenalty weights the data-transfer term in the dmda/dmdas
 	// completion-time estimates (StarPU's --sched-beta).  Values above 1
 	// make placement stickier, avoiding tile ping-pong between devices
@@ -101,6 +109,12 @@ type Runtime struct {
 	// lastWorker is the worker whose completion released the tasks
 	// currently being pushed (locality hint for work stealing).
 	lastWorker int
+
+	// Fault bookkeeping: evictions in order, tasks that exhausted their
+	// retry budget, tasks stranded with no surviving eligible worker.
+	evictions []Eviction
+	permanent []*Task
+	stranded  []*Task
 }
 
 // New builds a runtime over machine with the given configuration.
@@ -177,14 +191,7 @@ func (rt *Runtime) Submit(t *Task) error {
 	if len(t.Handles) != len(t.Modes) {
 		return fmt.Errorf("starpu: task %q has %d handles but %d modes", t.Tag, len(t.Handles), len(t.Modes))
 	}
-	runnable := false
-	for i := range rt.workers {
-		if rt.machine.CanRun(i, t.Codelet) {
-			runnable = true
-			break
-		}
-	}
-	if !runnable {
+	if !rt.anyCanRun(t.Codelet) {
 		return fmt.Errorf("starpu: no worker can run codelet %q", t.Codelet.Name)
 	}
 	t.ID = len(rt.tasks)
@@ -255,7 +262,7 @@ func (rt *Runtime) markReady(t *Task) {
 // loop).
 func (rt *Runtime) WakeWorker(i int) {
 	w := rt.workers[i]
-	if w.inflight >= w.pipelineDepth() {
+	if w.dead || w.inflight >= w.pipelineDepth() {
 		return
 	}
 	rt.machine.Engine().After(0, func() { rt.tryStart(w) })
@@ -264,7 +271,7 @@ func (rt *Runtime) WakeWorker(i int) {
 // WakeAll prompts every worker with pipeline room.
 func (rt *Runtime) WakeAll() {
 	for _, w := range rt.workers {
-		if w.inflight < w.pipelineDepth() {
+		if !w.dead && w.inflight < w.pipelineDepth() {
 			w := w
 			rt.machine.Engine().After(0, func() { rt.tryStart(w) })
 		}
@@ -277,7 +284,7 @@ func (rt *Runtime) WakeAll() {
 // set cannot be staged while running tasks pin the node's memory wait
 // in the worker's blocked slot and retry on the next completion.
 func (rt *Runtime) tryStart(w *Worker) {
-	for w.inflight < w.pipelineDepth() {
+	for !w.dead && w.inflight < w.pipelineDepth() {
 		var t *Task
 		if w.blocked != nil {
 			if !rt.canFit(w.blocked, w.Info.Node) {
@@ -302,6 +309,7 @@ func (rt *Runtime) tryStart(w *Worker) {
 // startTask commits t to w: memory staging, coherence, timing, power.
 func (rt *Runtime) startTask(w *Worker, t *Task) {
 	w.inflight++
+	w.running = append(w.running, t)
 	engine := rt.machine.Engine()
 	now := engine.Now()
 
@@ -371,7 +379,14 @@ func (rt *Runtime) startTask(w *Worker, t *Task) {
 	w.computeFree = t.EndT
 	w.xferTime += ready - now
 	w.busyTime += dur
+	// Events carry the attempt generation: an abort or eviction bumps
+	// t.attempt, turning this attempt's still-queued events into no-ops.
+	gen := t.attempt
 	engine.At(start, func() {
+		if t.attempt != gen {
+			return
+		}
+		t.powerOn = true
 		rt.machine.OnTaskStart(w.ID, t)
 		if rt.cfg.Observer != nil {
 			rt.cfg.Observer.TaskStarted(w.ID, t)
@@ -380,7 +395,24 @@ func (rt *Runtime) startTask(w *Worker, t *Task) {
 		// next task's data while this one runs.
 		rt.tryStart(w)
 	})
-	engine.At(t.EndT, func() { rt.complete(w, t) })
+	if rt.cfg.Faults != nil {
+		if fail, frac := rt.cfg.Faults.TaskAttempt(t, w.ID, t.attempt); fail {
+			failAt := abortTime(start, dur, frac)
+			engine.At(failAt, func() {
+				if t.attempt != gen {
+					return
+				}
+				rt.failAttempt(w, t)
+			})
+			return
+		}
+	}
+	engine.At(t.EndT, func() {
+		if t.attempt != gen {
+			return
+		}
+		rt.complete(w, t)
+	})
 }
 
 // pickSource chooses the node to copy h from: the valid node with the
@@ -402,6 +434,8 @@ func (rt *Runtime) pickSource(h *Handle, dst int) int {
 // complete finishes t on w: power bookkeeping, model recording,
 // dependency release.
 func (rt *Runtime) complete(w *Worker, t *Task) {
+	t.powerOn = false
+	rt.removeRunning(w, t)
 	rt.machine.OnTaskEnd(w.ID, t)
 	rt.unpinHandles(t, w.Info.Node)
 	t.done = true
@@ -445,6 +479,9 @@ func (rt *Runtime) Run() (units.Seconds, error) {
 	start := engine.Now()
 	rt.WakeAll()
 	engine.Run()
+	if len(rt.permanent) > 0 || len(rt.stranded) > 0 {
+		return 0, &PermanentFaultError{Failed: rt.permanent, Stranded: rt.stranded}
+	}
 	if rt.nPending > 0 {
 		return 0, fmt.Errorf("starpu: %d tasks never ran (scheduler %q stalled or dependency cycle)", rt.nPending, rt.sched.Name())
 	}

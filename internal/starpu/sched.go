@@ -68,7 +68,7 @@ func (s *eagerSched) Push(t *Task) {
 
 func (s *eagerSched) Pop(w *Worker) *Task {
 	for i, t := range s.queue {
-		if s.rt.machine.CanRun(w.ID, t.Codelet) {
+		if s.rt.CanRun(w.ID, t.Codelet) {
 			s.queue = append(s.queue[:i], s.queue[i+1:]...)
 			s.rt.observeDecision(Decision{Task: t, Scheduler: s.Name(), Chosen: w.ID, Reason: "eager-pop"})
 			return t
@@ -105,7 +105,7 @@ func (s *randomSched) Init(rt *Runtime) {
 func (s *randomSched) Push(t *Task) {
 	var eligible []int
 	for i := range s.queues {
-		if s.rt.machine.CanRun(i, t.Codelet) {
+		if s.rt.CanRun(i, t.Codelet) {
 			eligible = append(eligible, i)
 		}
 	}
@@ -128,6 +128,13 @@ func (s *randomSched) Pop(w *Worker) *Task {
 // QueueLen reports worker i's ready-queue depth.
 func (s *randomSched) QueueLen(worker int) int { return len(s.queues[worker]) }
 
+// DrainWorker reclaims a dead worker's queue for requeueing.
+func (s *randomSched) DrainWorker(worker int) []*Task {
+	q := s.queues[worker]
+	s.queues[worker] = nil
+	return q
+}
+
 // ------------------------------------------------------- work stealing
 
 // wsSched is a locality-aware work-stealing policy: tasks are pushed to
@@ -149,11 +156,11 @@ func (s *wsSched) Init(rt *Runtime) {
 func (s *wsSched) Push(t *Task) {
 	home := s.rt.lastWorker
 	reason := "locality-home"
-	if home < 0 || !s.rt.machine.CanRun(home, t.Codelet) {
+	if home < 0 || !s.rt.CanRun(home, t.Codelet) {
 		// Initial tasks (or ineligible home): spread over eligible workers.
 		var eligible []int
 		for i := 0; i < s.rt.machine.NumWorkers(); i++ {
-			if s.rt.machine.CanRun(i, t.Codelet) {
+			if s.rt.CanRun(i, t.Codelet) {
 				eligible = append(eligible, i)
 			}
 		}
@@ -169,7 +176,7 @@ func (s *wsSched) Pop(w *Worker) *Task {
 	// Local LIFO.
 	q := s.deques[w.ID]
 	for i := len(q) - 1; i >= 0; i-- {
-		if s.rt.machine.CanRun(w.ID, q[i].Codelet) {
+		if s.rt.CanRun(w.ID, q[i].Codelet) {
 			t := q[i]
 			s.deques[w.ID] = append(q[:i], q[i+1:]...)
 			return t
@@ -185,7 +192,7 @@ func (s *wsSched) Pop(w *Worker) *Task {
 		}
 		vq := s.deques[v]
 		for i, t := range vq {
-			if s.rt.machine.CanRun(w.ID, t.Codelet) {
+			if s.rt.CanRun(w.ID, t.Codelet) {
 				s.deques[v] = append(vq[:i], vq[i+1:]...)
 				s.rt.observeDecision(Decision{Task: t, Scheduler: s.Name(), Chosen: w.ID, Reason: "steal"})
 				return t
@@ -197,6 +204,13 @@ func (s *wsSched) Pop(w *Worker) *Task {
 
 // QueueLen reports worker i's deque depth.
 func (s *wsSched) QueueLen(worker int) int { return len(s.deques[worker]) }
+
+// DrainWorker reclaims a dead worker's deque for requeueing.
+func (s *wsSched) DrainWorker(worker int) []*Task {
+	q := s.deques[worker]
+	s.deques[worker] = nil
+	return q
+}
 
 // ------------------------------------------------- dequeue model family
 
@@ -233,7 +247,7 @@ func (s *dmSched) Push(t *Task) {
 	var bestECT units.Seconds
 	var cands []Candidate
 	for i := 0; i < s.rt.machine.NumWorkers(); i++ {
-		if !s.rt.machine.CanRun(i, t.Codelet) {
+		if !s.rt.CanRun(i, t.Codelet) {
 			continue
 		}
 		w := s.rt.workers[i]
@@ -282,6 +296,9 @@ func (s *dmSched) Pop(w *Worker) *Task {
 // QueueLen reports worker i's ready-queue depth.
 func (s *dmSched) QueueLen(worker int) int { return s.queues[worker].len() }
 
+// DrainWorker reclaims a dead worker's queue for requeueing.
+func (s *dmSched) DrainWorker(worker int) []*Task { return s.queues[worker].drainAll() }
+
 // ------------------------------------------------------------ calibrate
 
 // calibrateSched spreads every (codelet, footprint) class round-robin
@@ -310,7 +327,7 @@ func (s *calibrateSched) Push(t *Task) {
 	}
 	best, bestN := -1, math.MaxInt
 	for i := range c {
-		if !s.rt.machine.CanRun(i, t.Codelet) {
+		if !s.rt.CanRun(i, t.Codelet) {
 			continue
 		}
 		// Weight CPU workers down: one sample per class suffices and CPU
@@ -343,6 +360,13 @@ func (s *calibrateSched) Pop(w *Worker) *Task {
 // QueueLen reports worker i's ready-queue depth.
 func (s *calibrateSched) QueueLen(worker int) int { return len(s.queues[worker]) }
 
+// DrainWorker reclaims a dead worker's queue for requeueing.
+func (s *calibrateSched) DrainWorker(worker int) []*Task {
+	q := s.queues[worker]
+	s.queues[worker] = nil
+	return q
+}
+
 // ------------------------------------------------------------ taskQueue
 
 // taskQueue is FIFO by default; when sorted, it is a priority queue
@@ -368,6 +392,18 @@ func (q *taskQueue) push(t *Task) {
 		return
 	}
 	q.fifo = append(q.fifo, t)
+}
+
+// drainAll empties the queue, returning tasks in pop order.
+func (q *taskQueue) drainAll() []*Task {
+	var out []*Task
+	for {
+		t := q.pop()
+		if t == nil {
+			return out
+		}
+		out = append(out, t)
+	}
 }
 
 func (q *taskQueue) pop() *Task {

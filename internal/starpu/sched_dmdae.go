@@ -51,7 +51,7 @@ func (s *dmdaeSched) Push(t *Task) {
 	var bestECT units.Seconds
 	var cands []Candidate
 	for i := 0; i < s.rt.machine.NumWorkers(); i++ {
-		if !s.rt.machine.CanRun(i, t.Codelet) {
+		if !s.rt.CanRun(i, t.Codelet) {
 			continue
 		}
 		w := s.rt.workers[i]

@@ -91,6 +91,16 @@ type Task struct {
 	succs []*Task
 	preds []*Task
 
+	// Fault/recovery state (owned by the runtime).  attempt is the
+	// execution-attempt generation: every abort or eviction bumps it, and
+	// events scheduled for an earlier attempt no-op.  powerOn tracks
+	// whether the machine's meters are currently raised for this task.
+	attempt int
+	powerOn bool
+	// Retries counts failed execution attempts (fault injection or
+	// worker eviction mid-compute); 0 on a clean run.
+	Retries int
+
 	// Placement results (filled by the simulated run).
 	WorkerID      int
 	SubmitT       units.Seconds

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/dyncap"
+	"repro/internal/faults"
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
 	"repro/internal/starpu"
@@ -32,6 +33,9 @@ type Collector struct {
 	estimateErr    *HistogramVec
 	dyncapMoves    *CounterVec
 	traceSummary   *GaugeVec
+	faultsInjected *CounterVec
+	capRetries     *CounterVec
+	workersEvicted *CounterVec
 
 	mu      sync.Mutex
 	sampler *Sampler
@@ -57,6 +61,9 @@ func NewCollector() *Collector {
 		[]float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2})
 	c.dyncapMoves = reg.NewCounter("capsim_dyncap_cap_moves_total", "Cap moves applied by the dynamic controller.", "gpu")
 	c.traceSummary = reg.NewGauge("capsim_trace_summary", "Span-trace analyzer summary of the most recent traced run.", "stat")
+	c.faultsInjected = reg.NewCounter("capsim_faults_injected", "Faults injected by the deterministic injector.", "class")
+	c.capRetries = reg.NewCounter("capsim_cap_retries", "Extra cap-write attempts beyond the first.")
+	c.workersEvicted = reg.NewCounter("capsim_workers_evicted", "Workers evicted after permanent hardware faults.")
 	return c
 }
 
@@ -70,6 +77,28 @@ func (c *Collector) ObserveTraceSummary(critPathSeconds, critPathFraction, idleF
 	c.traceSummary.With("critical_path_fraction").Set(critPathFraction)
 	c.traceSummary.With("idle_fraction").Set(idleFraction)
 	c.traceSummary.With("parallelism").Set(parallelism)
+}
+
+// ObserveFaults publishes one run's fault-injection outcome: injected
+// faults by class, extra cap-write attempts, and workers evicted.
+// Counters accumulate across a sweep like the task counters do.
+func (c *Collector) ObserveFaults(st faults.Stats, capRetries, evicted int) {
+	add := func(class string, n int) {
+		if n > 0 {
+			c.faultsInjected.With(class).Add(float64(n))
+		}
+	}
+	add("cap_fail", st.CapFailures)
+	add("cap_clamp", st.CapClamps)
+	add("task", st.TaskFaults)
+	add("throttle", st.Throttles)
+	add("dropout", st.Dropouts)
+	if capRetries > 0 {
+		c.capRetries.With().Add(float64(capRetries))
+	}
+	if evicted > 0 {
+		c.workersEvicted.With().Add(float64(evicted))
+	}
 }
 
 // ---- starpu.Observer ----
