@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench fuzz-short chaos-short trace-demo clean
+.PHONY: all build vet test check bench fuzz-short chaos-short resume-short trace-demo clean
 
 # How long each fuzz target runs under fuzz-short (CI uses the default).
 FUZZTIME ?= 10s
@@ -43,6 +43,12 @@ fuzz-short:
 # closure and the parallel determinism contract with faults enabled.
 chaos-short:
 	$(GO) test -race -run 'Chaos' ./internal/core/ -chaos.schedules=$(CHAOS_SCHEDULES)
+
+# Kill-and-resume smoke: SIGKILL a checkpointed grid mid-sweep, resume
+# at a different -parallel, and diff against a clean run byte-for-byte
+# (the crash-safety contract of DESIGN §12).
+resume-short:
+	GO="$(GO)" bash scripts/resume_smoke.sh
 
 # Span-tracer smoke test: analyze a tiny POTRF under an unbalanced
 # plan and export a Chrome trace.  The analyze subcommand re-reads the

@@ -23,13 +23,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/telemetry"
@@ -43,6 +47,31 @@ func main() {
 	cmd, args := os.Args[1], os.Args[2:]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	opts := parseOpts(fs, args)
+
+	// SIGINT/SIGTERM cancel the pool context: in-flight cells finish and
+	// commit to the checkpoint journal, queued cells never start, and the
+	// interrupt path below reports what survived instead of discarding it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts.ctx = ctx
+
+	if opts.checkpoint != "" {
+		m := ckpt.Manifest{Identity: checkpointIdentity(cmd, opts), RootSeed: opts.seed}
+		var jerr error
+		if opts.resume {
+			opts.journal, jerr = ckpt.Resume(opts.checkpoint, m)
+		} else {
+			opts.journal, jerr = ckpt.Create(opts.checkpoint, m)
+		}
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "capbench: %v\n", jerr)
+			os.Exit(1)
+		}
+		if opts.resume {
+			fmt.Fprintf(os.Stderr, "capbench: resuming from %s: %d cell(s) already complete\n",
+				opts.checkpoint, opts.journal.Done())
+		}
+	}
 
 	var srv *telemetry.Server
 	if opts.metricsAddr != "" {
@@ -98,10 +127,37 @@ func main() {
 		}
 		srv.Close()
 	}
+	if opts.journal != nil {
+		// Every record was fsynced at commit; Close flushes the file and
+		// ends this process's writes before we report or exit.
+		if cerr := opts.journal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if ctx.Err() != nil {
+		if opts.journal != nil {
+			fmt.Fprintf(os.Stderr,
+				"capbench: interrupted — %d cell(s) checkpointed in %s; re-run with -resume to continue\n",
+				opts.journal.Done(), opts.checkpoint)
+		} else {
+			fmt.Fprintln(os.Stderr,
+				"capbench: interrupted — no -checkpoint directory, partial results discarded")
+		}
+		os.Exit(130)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "capbench %s: %v\n", cmd, err)
 		os.Exit(1)
 	}
+}
+
+// checkpointIdentity pins a checkpoint journal to everything about this
+// invocation that changes cell results.  -parallel is deliberately
+// absent: resuming at a different pool size is byte-identical by the
+// executor's determinism contract.
+func checkpointIdentity(cmd string, o *options) string {
+	return fmt.Sprintf("capbench|%s|platform=%s|scale=%d|scheduler=%s|seed=%d|faults=%s|trace=%v|budget=%v",
+		cmd, o.platform, o.scale, o.scheduler, o.seed, o.faults, o.traceDir != "", o.budget)
 }
 
 // telemetrySummary folds the sampler and decision log into the report
@@ -136,10 +192,17 @@ type options struct {
 	parallel    int
 	seed        int64
 	faults      faults.Spec
+	checkpoint  string
+	resume      bool
+	cellTimeout time.Duration
 
 	// telem is non-nil when -metrics-addr is set; every experiment
 	// threads it through core so the endpoint reflects the live run.
 	telem *telemetry.Collector
+	// ctx is cancelled by SIGINT/SIGTERM; journal is the open checkpoint
+	// when -checkpoint is set.  Both flow into the pool via popt.
+	ctx     context.Context
+	journal *ckpt.Journal
 }
 
 func parseOpts(fs *flag.FlagSet, args []string) *options {
@@ -159,6 +222,12 @@ func parseOpts(fs *flag.FlagSet, args []string) *options {
 	fs.IntVar(&o.parallel, "parallel", runtime.NumCPU(),
 		"worker-pool size for sweep cells (1 = serial; output is byte-identical at any value)")
 	fs.Int64Var(&o.seed, "seed", 0, "root seed for the grid experiment (per-cell seeds are derived from it)")
+	fs.StringVar(&o.checkpoint, "checkpoint", "",
+		"journal completed sweep cells into this directory so an interrupted run can be resumed")
+	fs.BoolVar(&o.resume, "resume", false,
+		"resume from the -checkpoint directory, skipping cells whose results are already journalled")
+	fs.DurationVar(&o.cellTimeout, "cell-timeout", 0,
+		"watchdog: abandon a sweep cell that completes no task for this much wall-clock time (0 = off)")
 	faultSpec := fs.String("faults", "",
 		"deterministic fault injection spec, e.g. capfail=0.3,clamp=0.1,throttle=1,dropout=1,taskfail=0.02,retries=3 (seeded from -seed)")
 	fs.Parse(args)
@@ -174,6 +243,10 @@ func parseOpts(fs *flag.FlagSet, args []string) *options {
 	if o.parallel < 1 {
 		o.parallel = 1
 	}
+	if o.resume && o.checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "capbench: -resume requires -checkpoint DIR")
+		os.Exit(2)
+	}
 	return o
 }
 
@@ -181,7 +254,12 @@ func parseOpts(fs *flag.FlagSet, args []string) *options {
 // fanning out, a progress line on stderr (stdout stays clean for the
 // tables, which render only after the pool drains).
 func (o *options) popt() core.ParallelOptions {
-	po := core.ParallelOptions{Workers: o.parallel}
+	po := core.ParallelOptions{
+		Workers:     o.parallel,
+		Context:     o.ctx,
+		Checkpoint:  o.journal,
+		CellTimeout: o.cellTimeout,
+	}
 	if o.parallel > 1 {
 		po.OnProgress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rcapbench: %d/%d cells", done, total)
@@ -198,7 +276,8 @@ func usage() {
 usage: capbench <experiment> [flags]
 experiments: fig1 table1 table2 fig3 fig4 fig5 fig6 fig7 grid autoplan ablation budget all
 flags: -platform <name|all> -csv -scale N -budget PCT -scheduler NAME -out DIR
-       -trace-dir DIR -parallel N -seed N -faults SPEC -metrics-addr HOST:PORT -hold DURATION`))
+       -trace-dir DIR -parallel N -seed N -faults SPEC -metrics-addr HOST:PORT -hold DURATION
+       -checkpoint DIR -resume -cell-timeout DURATION`))
 }
 
 func runAll(o *options) error {

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/fsutil"
 	"repro/internal/spantrace"
 )
 
@@ -16,6 +19,10 @@ import (
 // configuration, never of its index in the grid or the worker that ran
 // it — so reruns and different -parallel values produce byte-identical
 // trees.  root is the seed the experiment derived its cells from.
+//
+// Every file (including index.txt) commits via write-temp-fsync-rename,
+// so an interrupt mid-dump leaves whole artifacts from before the cut
+// and nothing half-written.
 func writeSweepTraces(o *options, rows []core.TableIIRow, opt core.SweepOptions, root int64, sweeps [][]core.PlanResult) error {
 	if o.traceDir == "" {
 		return nil
@@ -23,12 +30,13 @@ func writeSweepTraces(o *options, rows []core.TableIIRow, opt core.SweepOptions,
 	if err := os.MkdirAll(o.traceDir, 0o755); err != nil {
 		return err
 	}
-	index, err := os.OpenFile(filepath.Join(o.traceDir, "index.txt"),
-		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
+	indexPath := filepath.Join(o.traceDir, "index.txt")
+	index, err := os.ReadFile(indexPath)
+	if err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	defer index.Close()
+	var indexBuf bytes.Buffer
+	indexBuf.Write(index)
 
 	written := 0
 	seen := make(map[*spantrace.Trace]bool)
@@ -44,11 +52,12 @@ func writeSweepTraces(o *options, rows []core.TableIIRow, opt core.SweepOptions,
 			if err := writeCell(o.traceDir, stem, tr); err != nil {
 				return err
 			}
-			if _, err := fmt.Fprintf(index, "%s %s\n", stem, key); err != nil {
-				return err
-			}
+			fmt.Fprintf(&indexBuf, "%s %s\n", stem, key)
 			written++
 		}
+	}
+	if err := fsutil.WriteFileAtomic(indexPath, indexBuf.Bytes(), 0o644); err != nil {
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "capbench: %d cell traces written to %s\n", written, o.traceDir)
 	return nil
@@ -57,22 +66,18 @@ func writeSweepTraces(o *options, rows []core.TableIIRow, opt core.SweepOptions,
 func writeCell(dir, stem string, tr *spantrace.Trace) error {
 	outputs := []struct {
 		suffix string
-		write  func(*os.File) error
+		write  func(io.Writer) error
 	}{
-		{".chrome.json", func(f *os.File) error { return spantrace.WriteChrome(f, tr) }},
-		{".folded.txt", func(f *os.File) error { return spantrace.WriteFolded(f, tr) }},
-		{".report.txt", func(f *os.File) error { return spantrace.Analyze(tr, 10).Write(f) }},
+		{".chrome.json", func(w io.Writer) error { return spantrace.WriteChrome(w, tr) }},
+		{".folded.txt", func(w io.Writer) error { return spantrace.WriteFolded(w, tr) }},
+		{".report.txt", func(w io.Writer) error { return spantrace.Analyze(tr, 10).Write(w) }},
 	}
 	for _, out := range outputs {
-		f, err := os.Create(filepath.Join(dir, stem+out.suffix))
-		if err != nil {
+		var buf bytes.Buffer
+		if err := out.write(&buf); err != nil {
 			return err
 		}
-		if err := out.write(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := fsutil.WriteFileAtomic(filepath.Join(dir, stem+out.suffix), buf.Bytes(), 0o644); err != nil {
 			return err
 		}
 	}

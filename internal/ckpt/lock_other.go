@@ -1,0 +1,9 @@
+//go:build !unix
+
+package ckpt
+
+import "os"
+
+// lockFile is a no-op where flock(2) is unavailable; single-writer
+// discipline is then the caller's responsibility.
+func lockFile(*os.File) error { return nil }

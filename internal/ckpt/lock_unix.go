@@ -1,0 +1,20 @@
+//go:build unix
+
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive advisory flock on the open journal.  The
+// kernel releases it when the process dies — including SIGKILL — so a
+// crashed writer never wedges a later resume, while two live processes
+// can never interleave appends into one journal.
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("ckpt: journal %s is locked by another process: %w", f.Name(), err)
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+//go:build unix
+
+package ckpt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestJournalSingleWriter checks the flock: while one Journal holds a
+// checkpoint open, a second open of the same directory must fail — two
+// live writers interleaving appends would corrupt the latest-wins
+// replay.  (Each os.OpenFile creates its own file description, so the
+// exclusion is observable within one process too.)
+func TestJournalSingleWriter(t *testing.T) {
+	dir := t.TempDir()
+	m := Manifest{Identity: "locked"}
+	j, err := Create(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(dir, m); err == nil {
+		t.Fatal("second writer opened a journal that is already held")
+	} else if !strings.Contains(err.Error(), "locked") {
+		t.Errorf("lock error does not explain itself: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The lock dies with the file: after Close the journal resumes.
+	r, err := Resume(dir, m)
+	if err != nil {
+		t.Fatalf("resume after Close: %v", err)
+	}
+	r.Close()
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/platform"
+	"repro/internal/powercap"
+	"repro/internal/prec"
+)
+
+// TestRunBreakerRoutesIntoDegradedRun drives the cap-write breaker end
+// to end through core.Run: with every cap write failing and the
+// threshold at 1, both boards trip during setup and the run must finish
+// on the CPU workers as a DegradedRun — the same surface a bus dropout
+// produces — instead of failing hard.
+func TestRunBreakerRoutesIntoDegradedRun(t *testing.T) {
+	spec, err := platform.SpecByName(platform.TwoV100Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fspec, err := faults.ParseSpec("capfail=1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Spec:       spec,
+		Workload:   Workload{Op: GEMM, N: 2 * 2880, NB: 2880, Precision: prec.Double},
+		Plan:       powercap.MustParsePlan("BB"),
+		BestFrac:   0.62,
+		Seed:       5,
+		Faults:     fspec,
+		CapBreaker: 1,
+	})
+	if err != nil {
+		t.Fatalf("breaker-tripped run failed hard: %v", err)
+	}
+	if res.Degraded == nil {
+		t.Fatal("both boards tripped but Degraded is nil")
+	}
+	if res.Degraded.Plan != "__" {
+		t.Errorf("surviving plan = %q, want __ (both boards dead)", res.Degraded.Plan)
+	}
+	if res.Makespan <= 0 || res.Energy <= 0 {
+		t.Errorf("degraded run did not produce a measurement: makespan=%v energy=%v", res.Makespan, res.Energy)
+	}
+}

@@ -1,0 +1,81 @@
+// Checkpoint support for the sweep executor: a stable per-cell identity
+// key and a byte-exact result codec.  Together they let RunCells skip a
+// journalled cell on resume and hand back a Result indistinguishable
+// from re-running it — gob round-trips float64 bit-for-bit, and every
+// struct a Result reaches (trace.Stats, spantrace.Trace, DegradedRun,
+// FaultReport) carries only exported fields.
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// CheckpointKey is the stable identity of one cell in a checkpoint
+// journal: every Config field that changes the simulation's outcome is
+// folded in, and nothing else.  Telemetry and pool shape are excluded
+// (they do not affect the Result), as is Model — pre-trained-model
+// cells are not journalled at all (the model is process state a resume
+// cannot reconstruct).
+func (c Config) CheckpointKey() string {
+	plan := "H*"
+	if c.Plan != nil {
+		plan = c.Plan.String()
+	}
+	sched := c.Scheduler
+	if sched == "" {
+		sched = "dmdas"
+	}
+	key := fmt.Sprintf("%s|%s|%s|%.4f|%s|seed=%d", c.Spec.Name, c.Workload, plan, c.BestFrac, sched, c.Seed)
+	if len(c.CPUCaps) > 0 {
+		sockets := make([]int, 0, len(c.CPUCaps))
+		for s := range c.CPUCaps {
+			sockets = append(sockets, s)
+		}
+		sort.Ints(sockets)
+		for _, s := range sockets {
+			key += fmt.Sprintf("|cpu%d=%.1fW", s, float64(c.CPUCaps[s]))
+		}
+	}
+	if c.SkipCalibration {
+		key += "|nocal"
+	}
+	if c.StaleModels {
+		key += "|stale"
+	}
+	if c.Trace {
+		key += "|trace"
+	}
+	if !c.Faults.Zero() {
+		key += "|faults=" + c.Faults.String()
+	}
+	if c.CapBreaker != 0 {
+		key += fmt.Sprintf("|breaker=%d", c.CapBreaker)
+	}
+	return key
+}
+
+// checkpointable reports whether a cell's result can be journalled and
+// restored: pre-trained models are process state the journal cannot
+// carry, so those cells always re-run.
+func (c Config) checkpointable() bool { return c.Model == nil }
+
+// encodeResult serialises a Result for the checkpoint journal.
+func encodeResult(res *Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+		return nil, fmt.Errorf("core: encode checkpoint result: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeResult restores a journalled Result.
+func decodeResult(payload []byte) (*Result, error) {
+	res := new(Result)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(res); err != nil {
+		return nil, fmt.Errorf("core: decode checkpoint result: %w", err)
+	}
+	return res, nil
+}

@@ -112,6 +112,16 @@ type Config struct {
 	// own schedule even when the sweep shares one root seed.  The zero
 	// value injects nothing and adds zero cost.
 	Faults faults.Spec
+	// CapBreaker overrides the cap-write circuit breaker threshold: > 0
+	// trips a board after that many consecutive exhausted cap writes,
+	// < 0 disables the breaker, 0 keeps the platform default.
+	CapBreaker int
+
+	// heartbeat, when set by the sweep executor's watchdog, is pinged on
+	// every task completion of the measured pass.  It rides the observer
+	// chain, so it cannot change simulation outcomes — which is why it is
+	// excluded from CheckpointKey.
+	heartbeat func()
 }
 
 // Result is one measured run.
@@ -184,6 +194,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: plan %s does not match %d GPUs", cfg.Plan, cfg.Spec.GPUCount)
 	}
 	p.ClassIgnoresCap = cfg.StaleModels
+	p.SetCapBreaker(cfg.CapBreaker)
 	// The fault injector must be installed before the first cap write so
 	// the verified applicator sees its failures/clamps from the start.
 	var inj *faults.Injector
@@ -276,6 +287,9 @@ func Run(cfg Config) (*Result, error) {
 		tracer = spantrace.NewTracer(p)
 	}
 	var observers []starpu.Observer
+	if cfg.heartbeat != nil {
+		observers = append(observers, heartbeatObserver{fn: cfg.heartbeat})
+	}
 	if scope != nil {
 		observers = append(observers, scope)
 	}
@@ -363,6 +377,22 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if cfg.Telemetry != nil {
 			cfg.Telemetry.ObserveFaults(rep.Injected, rep.CapRetries, len(rt.Evictions()))
+		}
+	}
+	if trips := p.BreakerTrips(); len(trips) > 0 {
+		// A tripped cap-write breaker killed the board before or during
+		// the measured pass; the run finished on the survivors, which is
+		// the same degraded continuation a bus dropout produces.
+		if res.Degraded == nil {
+			res.Degraded = &DegradedRun{
+				Plan:      p.PlanString(),
+				Evictions: append([]starpu.Eviction(nil), rt.Evictions()...),
+			}
+		}
+		if cfg.Telemetry != nil {
+			for _, g := range trips {
+				cfg.Telemetry.ObserveBreakerTrip(g)
+			}
 		}
 	}
 	if tracer != nil {

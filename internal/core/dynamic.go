@@ -24,6 +24,7 @@ func RunDynamic(cfg Config, dyn dyncap.Config) (*Result, *dyncap.Controller, err
 	if err != nil {
 		return nil, nil, err
 	}
+	p.SetCapBreaker(cfg.CapBreaker)
 	for socket, cap := range cfg.CPUCaps {
 		if err := p.SetCPUCap(socket, cap); err != nil {
 			return nil, nil, err
@@ -84,6 +85,17 @@ func RunDynamic(cfg Config, dyn dyncap.Config) (*Result, *dyncap.Controller, err
 		return nil, nil, err
 	}
 	ctl.Done = func() bool { return rt.Pending() == 0 }
+	// A breaker trip mid-run leaves a dead board with live queue state;
+	// evicting its worker requeues that work onto survivors.  The seam
+	// fires from the controller's tick, an engine event, where calling
+	// back into the runtime is legal.
+	ctl.Evict = func(gpu int) {
+		for w := 0; w < p.NumWorkers(); w++ {
+			if p.WorkerGPU(w) == gpu {
+				rt.EvictWorker(w, "cap-breaker")
+			}
+		}
+	}
 	if scope != nil {
 		// Sampler first so the controller's cap moves land in its event
 		// series from the very first tick.
@@ -130,6 +142,17 @@ func RunDynamic(cfg Config, dyn dyncap.Config) (*Result, *dyncap.Controller, err
 	res.Rate = units.Rate(flops, res.Makespan)
 	if res.Energy > 0 {
 		res.Efficiency = float64(flops) / float64(res.Energy) / units.Giga
+	}
+	if trips := p.BreakerTrips(); len(trips) > 0 {
+		res.Degraded = &DegradedRun{
+			Plan:      p.PlanString(),
+			Evictions: append([]starpu.Eviction(nil), rt.Evictions()...),
+		}
+		if cfg.Telemetry != nil {
+			for _, g := range trips {
+				cfg.Telemetry.ObserveBreakerTrip(g)
+			}
+		}
 	}
 	return res, ctl, nil
 }

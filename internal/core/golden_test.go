@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/fsutil"
 	"repro/internal/platform"
 	"repro/internal/powercap"
 	"repro/internal/prec"
@@ -26,7 +27,7 @@ func checkGolden(t *testing.T, name string, got []byte) {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(path, got, 0o644); err != nil {
+		if err := fsutil.WriteFileAtomic(path, got, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		return

@@ -23,13 +23,16 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/platform"
 	"repro/internal/powercap"
 )
@@ -45,6 +48,16 @@ type ParallelOptions struct {
 	// number done and the total.  It may be called from multiple
 	// goroutines; keep it cheap and thread-safe.
 	OnProgress func(done, total int)
+	// Checkpoint, when set, journals every completed cell and skips
+	// cells the journal already holds, making the sweep resumable after
+	// a crash or interrupt.  Restored results are byte-identical to
+	// re-running the cell (see checkpoint.go), so resumed sweeps render
+	// the same reports and artifacts as uninterrupted ones.
+	Checkpoint *ckpt.Journal
+	// CellTimeout arms the per-cell watchdog: a cell that completes no
+	// task for this much wall-clock time is abandoned and reported hung
+	// instead of stalling the pool.  <= 0 disables the watchdog.
+	CellTimeout time.Duration
 }
 
 func (o ParallelOptions) workers() int {
@@ -80,10 +93,18 @@ func CellSeed(root int64, key string) int64 {
 }
 
 // RunCells executes independent configurations across a bounded worker
-// pool and returns their results in input order.  The first error
+// pool and returns their results in input order.  The first plain error
 // cancels the remaining cells and is returned (wrapped with the cell
 // index); cells already in flight run to completion but their results
 // are discarded alongside the error.
+//
+// Two failure classes are deliberately softer: a panicking cell is
+// recovered (CellPanicError, with the captured stack) and a cell the
+// watchdog declares hung is abandoned (CellHungError) — in both cases
+// the pool keeps draining the remaining cells and the accumulated
+// failures come back joined in one error after the sweep.  With a
+// Checkpoint journal attached, every finished cell commits before the
+// error returns, so a resume re-runs only the broken cells.
 func RunCells(cfgs []Config, opt ParallelOptions) ([]*Result, error) {
 	results := make([]*Result, len(cfgs))
 	if len(cfgs) == 0 {
@@ -102,6 +123,7 @@ func RunCells(cfgs []Config, opt ParallelOptions) ([]*Result, error) {
 	var done atomic.Int64
 	var errMu sync.Mutex
 	var firstErr error
+	var soft []error
 
 	fail := func(err error) {
 		errMu.Lock()
@@ -111,22 +133,83 @@ func RunCells(cfgs []Config, opt ParallelOptions) ([]*Result, error) {
 		}
 		errMu.Unlock()
 	}
+	addSoft := func(err error) {
+		errMu.Lock()
+		soft = append(soft, err)
+		errMu.Unlock()
+	}
+	progress := func() {
+		n := done.Add(1)
+		if opt.OnProgress != nil {
+			opt.OnProgress(int(n), len(cfgs))
+		}
+	}
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				res, err := Run(cfgs[i])
+				cfg := cfgs[i]
+				var key string
+				if opt.Checkpoint != nil && cfg.checkpointable() {
+					key = cfg.CheckpointKey()
+					if res, ok := restoreCell(opt.Checkpoint, key); ok {
+						results[i] = res
+						if cfg.Telemetry != nil {
+							cfg.Telemetry.ObserveCellResumed()
+						}
+						progress()
+						continue
+					}
+					// The running record makes the in-flight set visible in a
+					// post-crash journal; a checkpoint that cannot record is
+					// worse than none, so commit failures are fatal.
+					if err := opt.Checkpoint.Commit(ckpt.Record{Key: key, Status: ckpt.StatusRunning}); err != nil {
+						fail(fmt.Errorf("core: cell %d: checkpoint: %w", i, err))
+						continue
+					}
+				}
+				res, err := runGuarded(cfg, opt.CellTimeout)
 				if err != nil {
-					fail(fmt.Errorf("core: cell %d (%s plan %s): %w", i, cfgs[i].Workload, cfgs[i].Plan, err))
+					cellErr := fmt.Errorf("core: cell %d (%s plan %s): %w", i, cfg.Workload, cfg.Plan, err)
+					status := ckpt.StatusFailed
+					var panicErr *CellPanicError
+					var hungErr *CellHungError
+					switch {
+					case errors.As(err, &panicErr):
+						status = ckpt.StatusPanicked
+						if cfg.Telemetry != nil {
+							cfg.Telemetry.ObserveCellPanic()
+						}
+						addSoft(cellErr)
+					case errors.As(err, &hungErr):
+						status = ckpt.StatusHung
+						if cfg.Telemetry != nil {
+							cfg.Telemetry.ObserveCellHung()
+						}
+						addSoft(cellErr)
+					default:
+						fail(cellErr)
+					}
+					if key != "" {
+						// Best-effort: the failure itself is already reported.
+						opt.Checkpoint.Commit(ckpt.Record{Key: key, Status: status, Error: err.Error()})
+					}
 					continue
 				}
-				results[i] = res
-				n := done.Add(1)
-				if opt.OnProgress != nil {
-					opt.OnProgress(int(n), len(cfgs))
+				if key != "" {
+					payload, perr := encodeResult(res)
+					if perr == nil {
+						perr = opt.Checkpoint.Commit(ckpt.Record{Key: key, Status: ckpt.StatusDone, Payload: payload})
+					}
+					if perr != nil {
+						fail(fmt.Errorf("core: cell %d: checkpoint: %w", i, perr))
+						continue
+					}
 				}
+				results[i] = res
+				progress()
 			}
 		}()
 	}
@@ -144,6 +227,8 @@ feed:
 
 	errMu.Lock()
 	err := firstErr
+	nsoft := len(soft)
+	softErr := errors.Join(soft...)
 	errMu.Unlock()
 	if err != nil {
 		return nil, err
@@ -151,7 +236,25 @@ feed:
 	if ctxErr := opt.context().Err(); ctxErr != nil {
 		return nil, fmt.Errorf("core: sweep cancelled: %w", ctxErr)
 	}
+	if softErr != nil {
+		return nil, fmt.Errorf("core: %d cell(s) failed while the pool kept draining: %w", nsoft, softErr)
+	}
 	return results, nil
+}
+
+// restoreCell loads a completed cell from the journal; a record that
+// fails to decode counts as absent (the cell re-runs).
+func restoreCell(j *ckpt.Journal, key string) (*Result, bool) {
+	rec, ok := j.Lookup(key)
+	if !ok || rec.Status != ckpt.StatusDone {
+		return nil, false
+	}
+	res, err := decodeResult(rec.Payload)
+	if err != nil {
+		return nil, false
+	}
+	j.MarkResumed()
+	return res, true
 }
 
 // sweepCells flattens per-row plan sweeps into one cell list (per row:

@@ -1,0 +1,107 @@
+// Cell supervision for the sweep executor: panic containment and a
+// wall-clock watchdog.  Both exist so one bad cell — a panicking
+// codelet, a scheduler that stops making progress — costs exactly that
+// cell, never the pool.
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/starpu"
+)
+
+// CellPanicError is a panic captured inside a sweep worker, recorded as
+// the cell's failure instead of crashing the process.
+type CellPanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error renders the panic value with its stack.
+func (e *CellPanicError) Error() string {
+	return fmt.Sprintf("cell panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// CellHungError marks a cell the watchdog gave up on: no task completed
+// for the configured wall-clock window.
+type CellHungError struct {
+	// Idle is how long the cell went without a heartbeat.
+	Idle time.Duration
+}
+
+// Error renders the no-progress window.
+func (e *CellHungError) Error() string {
+	return fmt.Sprintf("cell hung: no progress for %v", e.Idle.Round(time.Millisecond))
+}
+
+// heartbeatObserver pings the watchdog from inside the simulation loop.
+// Only TaskCompleted counts as progress: submissions and placements can
+// spin without the schedule advancing, completions cannot.
+type heartbeatObserver struct{ fn func() }
+
+func (h heartbeatObserver) TaskSubmitted(*starpu.Task)        {}
+func (h heartbeatObserver) TaskStarted(int, *starpu.Task)     {}
+func (h heartbeatObserver) TaskCompleted(int, *starpu.Task)   { h.fn() }
+func (h heartbeatObserver) SchedDecision(starpu.Decision)     {}
+
+// runCell is the indirection the watchdog test hangs a cell through; it
+// is Run for every real caller.
+var runCell = func(cfg Config) (*Result, error) { return Run(cfg) }
+
+// safeRun executes one cell with panic containment.
+func safeRun(cfg Config) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &CellPanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return runCell(cfg)
+}
+
+// runGuarded executes one cell under the watchdog.  With no deadline it
+// is safeRun inline.  With one, the cell runs in a child goroutine and
+// a timer fires whenever the cell has gone `timeout` of wall-clock time
+// without completing a task; the cell is then abandoned (its goroutine
+// may keep running — it holds no shared simulation state, so the only
+// cost is memory until process exit) and reported as hung so the pool
+// worker moves on.
+func runGuarded(cfg Config, timeout time.Duration) (*Result, error) {
+	if timeout <= 0 {
+		return safeRun(cfg)
+	}
+	var last atomic.Int64
+	last.Store(time.Now().UnixNano())
+	cfg.heartbeat = func() { last.Store(time.Now().UnixNano()) }
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1) // buffered: an abandoned cell must not block sending
+	go func() {
+		res, err := safeRun(cfg)
+		ch <- outcome{res, err}
+	}()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case o := <-ch:
+			return o.res, o.err
+		case <-timer.C:
+			idle := time.Since(time.Unix(0, last.Load()))
+			if idle >= timeout {
+				return nil, &CellHungError{Idle: idle}
+			}
+			// A heartbeat landed since the timer was armed: re-arm for the
+			// remainder of the current quiet window.
+			timer.Reset(timeout - idle)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/telemetry"
+)
+
+// stubRunCell swaps the executor's cell entry point for the duration of
+// one test.  Tests using it must not run in parallel.
+func stubRunCell(t *testing.T, fn func(Config) (*Result, error)) {
+	t.Helper()
+	old := runCell
+	runCell = fn
+	t.Cleanup(func() { runCell = old })
+}
+
+// TestRunCellsPanicRecovery checks a panicking cell is contained: the
+// pool keeps draining, the panic comes back as a CellPanicError with
+// its stack, the journal records the cell as panicked and the telemetry
+// counter ticks.
+func TestRunCellsPanicRecovery(t *testing.T) {
+	cfgs := resumeCells(t)[:3]
+	telem := telemetry.NewCollector()
+	for i := range cfgs {
+		cfgs[i].Telemetry = telem
+	}
+	stubRunCell(t, func(cfg Config) (*Result, error) {
+		if cfg.Plan.String() == "HB" {
+			panic("kaboom")
+		}
+		return &Result{Plan: cfg.Plan.String()}, nil
+	})
+
+	j, err := ckpt.Create(t.TempDir(), ckpt.Manifest{Identity: "panic-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var progressed atomic.Int64
+	_, err = RunCells(cfgs, ParallelOptions{
+		Workers:    2,
+		Checkpoint: j,
+		OnProgress: func(done, total int) { progressed.Add(1) },
+	})
+	if err == nil {
+		t.Fatal("panicking cell returned no error")
+	}
+	var pe *CellPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is not a CellPanicError: %v", err)
+	}
+	if pe.Value != "kaboom" || !bytes.Contains(pe.Stack, []byte("goroutine")) {
+		t.Errorf("panic value %v / stack %d bytes; want kaboom with a captured stack", pe.Value, len(pe.Stack))
+	}
+	if !strings.Contains(err.Error(), "pool kept draining") {
+		t.Errorf("error does not mark the failure as soft: %v", err)
+	}
+	if n := progressed.Load(); n != 2 {
+		t.Errorf("progress callbacks = %d, want 2 (the healthy cells)", n)
+	}
+	if rec, ok := j.Lookup(cfgs[1].CheckpointKey()); !ok || rec.Status != ckpt.StatusPanicked {
+		t.Errorf("journal record = %+v, %v; want StatusPanicked", rec, ok)
+	}
+	var buf bytes.Buffer
+	if err := telem.Registry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "capsim_cells_panicked 1") {
+		t.Error("capsim_cells_panicked counter did not tick")
+	}
+}
+
+// TestRunCellsWatchdogAbandonsHungCell checks the wall-clock watchdog:
+// a cell that stops completing tasks is abandoned as CellHungError
+// while the rest of the sweep finishes.
+func TestRunCellsWatchdogAbandonsHungCell(t *testing.T) {
+	cfgs := resumeCells(t)[:3]
+	telem := telemetry.NewCollector()
+	for i := range cfgs {
+		cfgs[i].Telemetry = telem
+	}
+	release := make(chan struct{})
+	returned := make(chan struct{})
+	stubRunCell(t, func(cfg Config) (*Result, error) {
+		if cfg.Plan.String() == "BB" {
+			<-release // no heartbeat ever lands: the watchdog must fire
+			close(returned)
+			return nil, errors.New("abandoned cell returned late")
+		}
+		return &Result{Plan: cfg.Plan.String()}, nil
+	})
+	// Registered after stubRunCell so it runs first (LIFO): joining the
+	// abandoned goroutine before the stub is restored orders its read of
+	// runCell before the restore's write.
+	t.Cleanup(func() { close(release); <-returned })
+
+	j, err := ckpt.Create(t.TempDir(), ckpt.Manifest{Identity: "hang-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var progressed atomic.Int64
+	start := time.Now()
+	_, err = RunCells(cfgs, ParallelOptions{
+		Workers:     2,
+		CellTimeout: 100 * time.Millisecond,
+		Checkpoint:  j,
+		OnProgress:  func(done, total int) { progressed.Add(1) },
+	})
+	if err == nil {
+		t.Fatal("hung cell returned no error")
+	}
+	var he *CellHungError
+	if !errors.As(err, &he) {
+		t.Fatalf("error is not a CellHungError: %v", err)
+	}
+	if he.Idle < 100*time.Millisecond {
+		t.Errorf("reported idle %v below the 100ms deadline", he.Idle)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("pool took %v; the hung cell stalled it", elapsed)
+	}
+	if n := progressed.Load(); n != 2 {
+		t.Errorf("progress callbacks = %d, want 2 (the healthy cells)", n)
+	}
+	if rec, ok := j.Lookup(cfgs[2].CheckpointKey()); !ok || rec.Status != ckpt.StatusHung {
+		t.Errorf("journal record = %+v, %v; want StatusHung", rec, ok)
+	}
+	var buf bytes.Buffer
+	if err := telem.Registry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "capsim_cells_hung 1") {
+		t.Error("capsim_cells_hung counter did not tick")
+	}
+}
+
+// TestWatchdogHeartbeatKeepsSlowCellAlive checks the re-arm logic: a
+// cell whose total runtime exceeds the deadline but whose heartbeats
+// keep landing inside it must not be declared hung.
+func TestWatchdogHeartbeatKeepsSlowCellAlive(t *testing.T) {
+	stubRunCell(t, func(cfg Config) (*Result, error) {
+		for i := 0; i < 5; i++ {
+			time.Sleep(40 * time.Millisecond) // 200ms total, gaps of 40ms
+			if cfg.heartbeat != nil {
+				cfg.heartbeat()
+			}
+		}
+		return &Result{Plan: "slow"}, nil
+	})
+	cfgs := resumeCells(t)[:1]
+	results, err := RunCells(cfgs, ParallelOptions{Workers: 1, CellTimeout: 120 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("heartbeating cell was declared hung: %v", err)
+	}
+	if results[0] == nil || results[0].Plan != "slow" {
+		t.Errorf("result = %+v, want the slow cell's", results[0])
+	}
+}
+
+// TestRunCellsWatchdogRealRunHeartbeats runs one real (unstubbed) cell
+// under a generous watchdog: the observer-chain heartbeat must keep a
+// healthy simulation alive end to end.
+func TestRunCellsWatchdogRealRunHeartbeats(t *testing.T) {
+	cfgs := resumeCells(t)[:1]
+	results, err := RunCells(cfgs, ParallelOptions{Workers: 1, CellTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0] == nil {
+		t.Fatal("nil result from watched run")
+	}
+}

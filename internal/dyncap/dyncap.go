@@ -71,6 +71,12 @@ type Controller struct {
 	Done func() bool
 	// OnCapChange, when set, fires once per applied cap move (telemetry).
 	OnCapChange func(CapChange)
+	// Evict, when set, fires when the platform's cap-write circuit
+	// breaker trips on a GPU the controller was driving (the board is
+	// already marked dead by then).  It is called from tick — an engine
+	// event, not an observer callback — so it may legally call back into
+	// the runtime, e.g. to evict the board's worker.
+	Evict func(gpu int)
 
 	ticks   int
 	skips   int
@@ -207,8 +213,19 @@ func (c *Controller) tick() {
 			}
 			if err != nil {
 				c.skips++ // transient failure: re-decide next tick
+				// The breaker turns "skip every tick forever" into a
+				// bounded decision: enough consecutive failures and the
+				// board is declared dead, its worker evicted, and the run
+				// continues degraded on the survivors.
+				if c.plat.NoteCapWriteFailure(i) {
+					g.disabled = true
+					if c.Evict != nil {
+						c.Evict(i)
+					}
+				}
 				continue
 			}
+			c.plat.NoteCapWriteSuccess(i)
 			// Verify-after-set: adopt the value the driver actually kept
 			// (it may have clamped or drifted the request) as the new
 			// climbing position.

@@ -1,0 +1,68 @@
+// Package fsutil holds the crash-safe filesystem primitives the
+// experiment harness builds on: artifact files (goldens, trace trees,
+// checkpoint manifests) must never be observable half-written, because
+// a sweep interrupted between a write and its completion would leave
+// corrupt state that a later resume silently trusts.
+package fsutil
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that readers (including a
+// process resuming after a crash of this one) see either the old
+// content or the new content, never a mix or a truncation.
+//
+// The sequence is the standard journalling idiom: write to a temporary
+// file in the same directory (rename is only atomic within one
+// filesystem), fsync the file so the bytes are durable before the name
+// changes, rename over the target, then fsync the directory so the
+// rename itself survives a power cut.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	// Any failure from here on removes the temp file: the target is
+	// untouched until the rename, which is the commit point.
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making recent renames and creations in it
+// durable.  Filesystems that refuse directory fsync (some network and
+// overlay mounts) report an error we deliberately swallow: the rename
+// already happened, and losing durability-of-the-name on such mounts is
+// strictly better than failing the write.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

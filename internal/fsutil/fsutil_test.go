@@ -1,0 +1,94 @@
+package fsutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteFileAtomicCreatesAndReplaces checks both the create and the
+// overwrite path land the exact bytes with the requested permissions.
+func TestWriteFileAtomicCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.txt")
+
+	if err := WriteFileAtomic(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first" {
+		t.Fatalf("got %q, want %q", got, "first")
+	}
+
+	if err := WriteFileAtomic(path, []byte("second, longer content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second, longer content" {
+		t.Fatalf("got %q after replace", got)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Errorf("mode = %v, want 0644", info.Mode().Perm())
+	}
+}
+
+// TestWriteFileAtomicLeavesNoTemps checks no temporary files survive a
+// successful write (the crash-window temp is renamed away) nor a failed
+// one (unwritable directory component).
+func TestWriteFileAtomicLeavesNoTemps(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFileAtomic(filepath.Join(dir, "a"), []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %q", e.Name())
+		}
+	}
+	if err := WriteFileAtomic(filepath.Join(dir, "missing", "b"), []byte("x"), 0o600); err == nil {
+		t.Error("write into a missing directory succeeded")
+	}
+}
+
+// TestWriteFileAtomicKeepsOldOnFailure checks the target is untouched
+// when the temp file cannot even be created — the atomicity contract's
+// failure half.
+func TestWriteFileAtomicKeepsOldOnFailure(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("directory permissions do not bind for root")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keep.txt")
+	if err := WriteFileAtomic(path, []byte("survivor"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if err := WriteFileAtomic(path, []byte("clobber"), 0o644); err == nil {
+		t.Fatal("write into a read-only directory succeeded")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "survivor" {
+		t.Fatalf("old content lost: %q", got)
+	}
+}

@@ -99,6 +99,12 @@ type Platform struct {
 	// accumulates its retry/clamp counts (see resilience.go).
 	capRetry CapRetry
 	capStats CapApplyStats
+
+	// Cap-write circuit breaker (see resilience.go): consecutive
+	// exhausted writes per GPU, and which breakers have tripped.
+	breakerThreshold int
+	breakerFails     []int
+	breakerOpen      []bool
 }
 
 // New builds a node from a spec: one CUDA worker per GPU (each with a
@@ -146,6 +152,8 @@ func New(spec Spec) (*Platform, error) {
 	}
 	p.addedPower = make([]units.Watts, len(p.workers))
 	p.gpuWork = make([]units.Flops, spec.GPUCount)
+	p.breakerFails = make([]int, spec.GPUCount)
+	p.breakerOpen = make([]bool, spec.GPUCount)
 
 	sources := make([]nvml.EnergySource, len(p.gpuMeters))
 	for i, m := range p.gpuMeters {

@@ -89,8 +89,14 @@ func (p *Platform) verifiedApply(set func() (transient bool, err error), verify 
 	return fmt.Errorf("gave up after %d attempts: %w", retry.MaxAttempts, lastErr)
 }
 
-// applyGPUCap routes one board's cap through the verified applicator.
+// applyGPUCap routes one board's cap through the verified applicator,
+// guarded by the board's circuit breaker: an open breaker short-circuits
+// the write (the board has already been declared dead), and the write
+// that trips it converts a hard failure into a degraded continuation.
 func (p *Platform) applyGPUCap(g int, cap units.Watts) error {
+	if p.breakerOpen[g] {
+		return nil
+	}
 	h, ret := p.NVML.DeviceGetHandleByIndex(g)
 	if err := ret.Error(); err != nil {
 		return err
@@ -110,9 +116,80 @@ func (p *Platform) applyGPUCap(g int, cap units.Watts) error {
 		},
 	)
 	if err != nil {
+		if p.NoteCapWriteFailure(g) {
+			return nil // breaker tripped: run degrades instead of failing
+		}
 		return fmt.Errorf("platform: GPU %d: cap %v rejected: %w", g, cap, err)
 	}
+	p.NoteCapWriteSuccess(g)
 	return nil
+}
+
+// ---- cap-write circuit breaker ----
+
+// DefaultBreakerThreshold is the consecutive exhausted-write count that
+// trips a board's cap-write breaker.  Each count is itself a fully
+// exhausted applicator call (MaxAttempts set/verify cycles) or a dyncap
+// single-shot failure, so the default demands persistent, not flaky,
+// misbehaviour before declaring a board dead.
+const DefaultBreakerThreshold = 3
+
+// SetCapBreaker overrides the breaker threshold: n > 0 trips after n
+// consecutive exhausted cap writes on one board, n < 0 disables the
+// breaker, n == 0 keeps DefaultBreakerThreshold.
+func (p *Platform) SetCapBreaker(n int) { p.breakerThreshold = n }
+
+func (p *Platform) breakerLimit() int {
+	switch {
+	case p.breakerThreshold < 0:
+		return 0
+	case p.breakerThreshold == 0:
+		return DefaultBreakerThreshold
+	}
+	return p.breakerThreshold
+}
+
+// BreakerOpen reports whether board g's cap-write breaker has tripped.
+func (p *Platform) BreakerOpen(g int) bool { return p.breakerOpen[g] }
+
+// BreakerTrips lists the boards whose breaker tripped, ascending.
+func (p *Platform) BreakerTrips() []int {
+	var out []int
+	for g, open := range p.breakerOpen {
+		if open {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// NoteCapWriteFailure records one exhausted cap write on board g and
+// reports whether it tripped the breaker.  Tripping declares the board
+// dead (exactly like a bus dropout): its worker stops being eligible,
+// PlanString shows "_", and the run continues on the survivors through
+// the DegradedRun path instead of retrying a broken board forever.
+// Mid-run controllers (dyncap) call this for their single-shot write
+// failures; the verified applicator calls it on retry exhaustion.
+func (p *Platform) NoteCapWriteFailure(g int) bool {
+	limit := p.breakerLimit()
+	if limit == 0 || p.breakerOpen[g] {
+		return false
+	}
+	p.breakerFails[g]++
+	if p.breakerFails[g] < limit {
+		return false
+	}
+	p.breakerOpen[g] = true
+	p.gpus[g].MarkDead()
+	return true
+}
+
+// NoteCapWriteSuccess resets board g's consecutive-failure count: only
+// uninterrupted failure runs trip the breaker.
+func (p *Platform) NoteCapWriteSuccess(g int) {
+	if g >= 0 && g < len(p.breakerFails) {
+		p.breakerFails[g] = 0
+	}
 }
 
 // ---- degraded hardware ----

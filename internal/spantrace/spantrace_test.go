@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fsutil"
 	"repro/internal/platform"
 	"repro/internal/powercap"
 	"repro/internal/prec"
@@ -241,7 +242,7 @@ func TestGoldenReport(t *testing.T) {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(golden, got, 0o644); err != nil {
+		if err := fsutil.WriteFileAtomic(golden, got, 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -416,11 +416,14 @@ func (rt *Runtime) startTask(w *Worker, t *Task) {
 }
 
 // pickSource chooses the node to copy h from: the valid node with the
-// cheapest path to dst.
+// cheapest path to dst, lowest node index on ties.  Scanning node
+// indices instead of ranging over the valid map keeps tie-breaks
+// deterministic; map order would pick a different source (and reserve a
+// different link) from run to run.
 func (rt *Runtime) pickSource(h *Handle, dst int) int {
 	best, bestT := 0, units.Seconds(math.Inf(1))
-	for n, ok := range h.valid {
-		if !ok {
+	for n := 0; n < rt.machine.NumNodes(); n++ {
+		if !h.valid[n] {
 			continue
 		}
 		tt := rt.machine.TransferTime(n, dst, h.bytes)

@@ -36,6 +36,10 @@ type Collector struct {
 	faultsInjected *CounterVec
 	capRetries     *CounterVec
 	workersEvicted *CounterVec
+	cellsPanicked  *CounterVec
+	cellsHung      *CounterVec
+	cellsResumed   *CounterVec
+	breakerTrips   *CounterVec
 
 	mu      sync.Mutex
 	sampler *Sampler
@@ -64,7 +68,25 @@ func NewCollector() *Collector {
 	c.faultsInjected = reg.NewCounter("capsim_faults_injected", "Faults injected by the deterministic injector.", "class")
 	c.capRetries = reg.NewCounter("capsim_cap_retries", "Extra cap-write attempts beyond the first.")
 	c.workersEvicted = reg.NewCounter("capsim_workers_evicted", "Workers evicted after permanent hardware faults.")
+	c.cellsPanicked = reg.NewCounter("capsim_cells_panicked", "Sweep cells that panicked and were recovered by the pool.")
+	c.cellsHung = reg.NewCounter("capsim_cells_hung", "Sweep cells the watchdog abandoned for lack of progress.")
+	c.cellsResumed = reg.NewCounter("capsim_cells_resumed", "Sweep cells skipped because a checkpoint journal already held their result.")
+	c.breakerTrips = reg.NewCounter("capsim_cap_breaker_tripped", "Cap-write circuit breakers tripped (device declared dead after consecutive write failures).", "gpu")
 	return c
+}
+
+// ObserveCellPanic counts one sweep cell recovered from a panic.
+func (c *Collector) ObserveCellPanic() { c.cellsPanicked.With().Inc() }
+
+// ObserveCellHung counts one sweep cell the watchdog abandoned.
+func (c *Collector) ObserveCellHung() { c.cellsHung.With().Inc() }
+
+// ObserveCellResumed counts one sweep cell restored from a checkpoint.
+func (c *Collector) ObserveCellResumed() { c.cellsResumed.With().Inc() }
+
+// ObserveBreakerTrip counts one cap-write circuit breaker trip on a GPU.
+func (c *Collector) ObserveBreakerTrip(gpu int) {
+	c.breakerTrips.With(fmt.Sprintf("%d", gpu)).Inc()
 }
 
 // ObserveTraceSummary publishes the span-trace analyzer's headline

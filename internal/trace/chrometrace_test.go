@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/eventsim"
+	"repro/internal/fsutil"
 	"repro/internal/starpu"
 	"repro/internal/units"
 )
@@ -93,7 +94,7 @@ func TestWriteChromeTraceGoldenShape(t *testing.T) {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(golden, shape, 0o644); err != nil {
+		if err := fsutil.WriteFileAtomic(golden, shape, 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test: SIGKILL a checkpointed grid mid-sweep,
+# resume it at a different -parallel, and require the resumed stdout to
+# be byte-identical to an uninterrupted run.  This is the executable
+# form of the determinism-under-crash contract (DESIGN §12).
+#
+# The kill lands at a wall-clock offset, so on a fast machine the sweep
+# may finish first; that run still exercises the full-journal resume
+# path (every cell restored) and the diff still gates.
+set -euo pipefail
+
+GO=${GO:-go}
+ARGS=(grid -platform 24-Intel-2-V100 -scale 2 -seed 7)
+KILL_AFTER=${KILL_AFTER:-0.7}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+$GO build -o "$work/capbench" ./cmd/capbench
+
+echo "resume-smoke: clean run" >&2
+"$work/capbench" "${ARGS[@]}" -parallel 4 > "$work/clean.txt"
+
+echo "resume-smoke: checkpointed run, SIGKILL after ${KILL_AFTER}s" >&2
+"$work/capbench" "${ARGS[@]}" -parallel 4 -checkpoint "$work/ck" \
+    > "$work/partial.txt" 2> "$work/partial.err" &
+pid=$!
+sleep "$KILL_AFTER"
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+done_cells=$(grep -c '"status":"done"' "$work/ck/journal.jsonl" || true)
+echo "resume-smoke: journal holds $done_cells completed cell(s)" >&2
+
+echo "resume-smoke: resuming at -parallel 2" >&2
+"$work/capbench" "${ARGS[@]}" -parallel 2 -checkpoint "$work/ck" -resume \
+    > "$work/resumed.txt" 2> "$work/resumed.err"
+grep 'resuming from' "$work/resumed.err" >&2 || true
+
+if ! cmp -s "$work/clean.txt" "$work/resumed.txt"; then
+    echo "resume-smoke: FAIL — resumed output differs from the clean run" >&2
+    diff "$work/clean.txt" "$work/resumed.txt" | head -40 >&2
+    exit 1
+fi
+echo "resume-smoke: OK — resumed output byte-identical to the clean run" >&2
