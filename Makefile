@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench fuzz-short chaos-short resume-short trace-demo clean
+.PHONY: all build vet test check bench bench-json fuzz-short chaos-short resume-short agg-short trace-demo clean
 
 # How long each fuzz target runs under fuzz-short (CI uses the default).
 FUZZTIME ?= 10s
@@ -31,6 +31,16 @@ check:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
+# Machine-readable sweep baseline: run the parallel-executor benchmark
+# and extract its "BENCH {...}" JSON line into BENCH_sweep.json.  The
+# committed file is the reference point; CI regenerates it as a build
+# artifact so regressions are diffable across runs.
+bench-json:
+	$(GO) test -bench 'BenchmarkParallelSpeedup' -benchtime 1x -run '^$$' . \
+	    | sed -n 's/^BENCH //p' > BENCH_sweep.json
+	@test -s BENCH_sweep.json || { echo "bench-json: no BENCH line captured" >&2; exit 1; }
+	@cat BENCH_sweep.json
+
 # Short coverage-guided fuzz pass over both fuzz targets: the plan
 # parser (input validation) and the event engine (ordering/determinism
 # under adversarial schedules).  Go runs one fuzz target per invocation.
@@ -49,6 +59,11 @@ chaos-short:
 # (the crash-safety contract of DESIGN §12).
 resume-short:
 	GO="$(GO)" bash scripts/resume_smoke.sh
+
+# Aggregation smoke: the rollup surface must be byte-identical across
+# worker counts and across a SIGKILL + -resume (DESIGN §13).
+agg-short:
+	GO="$(GO)" bash scripts/agg_smoke.sh
 
 # Span-tracer smoke test: analyze a tiny POTRF under an unbalanced
 # plan and export a Chrome trace.  The analyze subcommand re-reads the

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/agg"
 )
 
 func main() {
@@ -82,7 +84,29 @@ func main() {
 			fmt.Fprintf(os.Stderr, "capbench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /timeseries.json and /decisions.json on http://%s\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /timeseries.json, /decisions.json and /surface on http://%s\n", srv.Addr())
+	}
+
+	if opts.aggDir != "" {
+		if aerr := os.MkdirAll(opts.aggDir, 0o755); aerr != nil {
+			fmt.Fprintf(os.Stderr, "capbench: -agg-dir: %v\n", aerr)
+			os.Exit(1)
+		}
+		sink, aerr := agg.NewJSONLSink(filepath.Join(opts.aggDir, agg.StreamFile))
+		if aerr != nil {
+			fmt.Fprintf(os.Stderr, "capbench: -agg-dir: %v\n", aerr)
+			os.Exit(1)
+		}
+		cfg := agg.ExporterConfig{BatchSize: opts.aggFlush}
+		if opts.telem != nil {
+			cfg.OnDrop = opts.telem.ObserveDroppedRollups
+		}
+		opts.agg = agg.New(sink, cfg)
+		if opts.telem != nil {
+			// /surface answers mid-sweep: the surface merges cells as pool
+			// workers complete them.
+			opts.telem.SetSurface(opts.agg.Surface())
+		}
 	}
 
 	var err error
@@ -119,6 +143,19 @@ func main() {
 	}
 	if err == nil && opts.telem != nil {
 		err = telemetrySummary(opts)
+	}
+	if opts.agg != nil {
+		// Flush the stream sink and write the canonical artifacts even on
+		// interrupt: the surface of the cells that did complete is exactly
+		// what a resume continues from.
+		if aerr := opts.agg.Close(); aerr != nil && err == nil {
+			err = aerr
+		}
+		if aerr := opts.agg.WriteArtifacts(opts.aggDir); aerr != nil && err == nil {
+			err = aerr
+		}
+		fmt.Fprintf(os.Stderr, "agg: %d cell(s) aggregated into %s (%d rollup(s) dropped by the exporter)\n",
+			opts.agg.Surface().Cells(), opts.aggDir, opts.agg.Dropped())
 	}
 	if srv != nil {
 		if opts.hold > 0 {
@@ -195,6 +232,8 @@ type options struct {
 	checkpoint  string
 	resume      bool
 	cellTimeout time.Duration
+	aggDir      string
+	aggFlush    int
 
 	// telem is non-nil when -metrics-addr is set; every experiment
 	// threads it through core so the endpoint reflects the live run.
@@ -203,6 +242,10 @@ type options struct {
 	// when -checkpoint is set.  Both flow into the pool via popt.
 	ctx     context.Context
 	journal *ckpt.Journal
+	// agg is the aggregation tier when -agg-dir is set: every completed
+	// cell rolls up into its surface (served at /surface) and streams
+	// through the batching exporter into <agg-dir>/stream.jsonl.
+	agg *agg.Aggregator
 }
 
 func parseOpts(fs *flag.FlagSet, args []string) *options {
@@ -228,6 +271,10 @@ func parseOpts(fs *flag.FlagSet, args []string) *options {
 		"resume from the -checkpoint directory, skipping cells whose results are already journalled")
 	fs.DurationVar(&o.cellTimeout, "cell-timeout", 0,
 		"watchdog: abandon a sweep cell that completes no task for this much wall-clock time (0 = off)")
+	fs.StringVar(&o.aggDir, "agg-dir", "",
+		"aggregate completed cells into this directory (surface.json, rollups.jsonl, stream.jsonl) and serve /surface when -metrics-addr is set")
+	fs.IntVar(&o.aggFlush, "agg-flush", 0,
+		"aggregation exporter batch size: flush the export stream every N cell rollups (0 = default 64)")
 	faultSpec := fs.String("faults", "",
 		"deterministic fault injection spec, e.g. capfail=0.3,clamp=0.1,throttle=1,dropout=1,taskfail=0.02,retries=3 (seeded from -seed)")
 	fs.Parse(args)
@@ -260,6 +307,11 @@ func (o *options) popt() core.ParallelOptions {
 		Checkpoint:  o.journal,
 		CellTimeout: o.cellTimeout,
 	}
+	if o.agg != nil {
+		// Guarded assignment: a typed-nil *Aggregator in the interface
+		// field would defeat the executor's nil check.
+		po.Rollups = o.agg
+	}
 	if o.parallel > 1 {
 		po.OnProgress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rcapbench: %d/%d cells", done, total)
@@ -277,7 +329,7 @@ usage: capbench <experiment> [flags]
 experiments: fig1 table1 table2 fig3 fig4 fig5 fig6 fig7 grid autoplan ablation budget all
 flags: -platform <name|all> -csv -scale N -budget PCT -scheduler NAME -out DIR
        -trace-dir DIR -parallel N -seed N -faults SPEC -metrics-addr HOST:PORT -hold DURATION
-       -checkpoint DIR -resume -cell-timeout DURATION`))
+       -checkpoint DIR -resume -cell-timeout DURATION -agg-dir DIR -agg-flush N`))
 }
 
 func runAll(o *options) error {

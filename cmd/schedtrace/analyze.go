@@ -12,6 +12,7 @@ import (
 	"repro/internal/powercap"
 	"repro/internal/prec"
 	"repro/internal/spantrace"
+	"repro/internal/telemetry/agg"
 	"repro/internal/trace"
 )
 
@@ -35,6 +36,8 @@ func runAnalyze(args []string) error {
 	chromePath := fs.String("chrome", "", "write the Chrome trace (with causal flow arrows) to this path")
 	foldedPath := fs.String("folded", "", "write folded energy stacks (flamegraph input) to this path")
 	seed := fs.Int64("seed", 0, "seed for randomised schedulers")
+	rollupPath := fs.String("rollup", "",
+		"write the run's cell rollup (scalars + task-level quantile sketches) as one JSON line to this path")
 	faultSpec := fs.String("faults", "",
 		"deterministic fault injection spec, e.g. capfail=0.3,dropout=1 (seeded from -seed)")
 	fs.Parse(args)
@@ -139,6 +142,23 @@ func runAnalyze(args []string) error {
 			return err
 		}
 		fmt.Printf("folded stacks written to %s\n", *foldedPath)
+	}
+	if *rollupPath != "" {
+		// The single-cell counterpart of capbench's -agg-dir stream:
+		// deliver the one rollup through the same sink the sweep uses, so
+		// the line format matches and downstream mergers need one parser.
+		sink, err := agg.NewJSONLSink(*rollupPath)
+		if err != nil {
+			return err
+		}
+		err = sink.Emit([]agg.CellRollup{core.BuildRollup(cfg, res)})
+		if cerr := sink.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cell rollup written to %s\n", *rollupPath)
 	}
 	return nil
 }

@@ -19,7 +19,18 @@ import (
 // (they do not affect the Result), as is Model — pre-trained-model
 // cells are not journalled at all (the model is process state a resume
 // cannot reconstruct).
-func (c Config) CheckpointKey() string {
+func (c Config) CheckpointKey() string { return c.identityKey(true) }
+
+// GroupKey is the cell's identity with the seed stripped: the grid
+// coordinate the aggregation tier merges over, so repeated seeds or
+// measurements of one (platform, workload, plan, ...) point fold into
+// one efficiency-surface group.  Byte-compatible with CheckpointKey
+// minus its "|seed=N" segment.
+func (c Config) GroupKey() string { return c.identityKey(false) }
+
+// identityKey renders the cell identity, with or without the seed
+// segment.
+func (c Config) identityKey(withSeed bool) string {
 	plan := "H*"
 	if c.Plan != nil {
 		plan = c.Plan.String()
@@ -28,7 +39,10 @@ func (c Config) CheckpointKey() string {
 	if sched == "" {
 		sched = "dmdas"
 	}
-	key := fmt.Sprintf("%s|%s|%s|%.4f|%s|seed=%d", c.Spec.Name, c.Workload, plan, c.BestFrac, sched, c.Seed)
+	key := fmt.Sprintf("%s|%s|%s|%.4f|%s", c.Spec.Name, c.Workload, plan, c.BestFrac, sched)
+	if withSeed {
+		key += fmt.Sprintf("|seed=%d", c.Seed)
+	}
 	if len(c.CPUCaps) > 0 {
 		sockets := make([]int, 0, len(c.CPUCaps))
 		for s := range c.CPUCaps {

@@ -35,6 +35,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/platform"
 	"repro/internal/powercap"
+	"repro/internal/telemetry/agg"
 )
 
 // ParallelOptions tunes the worker-pool executor.
@@ -58,6 +59,18 @@ type ParallelOptions struct {
 	// task for this much wall-clock time is abandoned and reported hung
 	// instead of stalling the pool.  <= 0 disables the watchdog.
 	CellTimeout time.Duration
+	// Rollups, when set, receives every completed cell's rollup — fresh
+	// runs and checkpoint-restored cells alike, so a resumed sweep
+	// rebuilds the same efficiency surface an uninterrupted one streams.
+	// The observer is called from pool goroutines and must be
+	// thread-safe (*agg.Aggregator is).
+	Rollups RollupObserver
+}
+
+// RollupObserver receives completed-cell rollups; *agg.Aggregator
+// satisfies it.
+type RollupObserver interface {
+	ObserveCell(agg.CellRollup)
 }
 
 func (o ParallelOptions) workers() int {
@@ -159,6 +172,12 @@ func RunCells(cfgs []Config, opt ParallelOptions) ([]*Result, error) {
 						if cfg.Telemetry != nil {
 							cfg.Telemetry.ObserveCellResumed()
 						}
+						if opt.Rollups != nil {
+							// The restored Result is byte-identical to re-running
+							// the cell, so its rollup is too: the surface survives
+							// the crash with no journal-side aggregation state.
+							opt.Rollups.ObserveCell(BuildRollup(cfg, res))
+						}
 						progress()
 						continue
 					}
@@ -209,6 +228,9 @@ func RunCells(cfgs []Config, opt ParallelOptions) ([]*Result, error) {
 					}
 				}
 				results[i] = res
+				if opt.Rollups != nil {
+					opt.Rollups.ObserveCell(BuildRollup(cfg, res))
+				}
 				progress()
 			}
 		}()

@@ -44,10 +44,10 @@ func (e *CellHungError) Error() string {
 // spin without the schedule advancing, completions cannot.
 type heartbeatObserver struct{ fn func() }
 
-func (h heartbeatObserver) TaskSubmitted(*starpu.Task)        {}
-func (h heartbeatObserver) TaskStarted(int, *starpu.Task)     {}
-func (h heartbeatObserver) TaskCompleted(int, *starpu.Task)   { h.fn() }
-func (h heartbeatObserver) SchedDecision(starpu.Decision)     {}
+func (h heartbeatObserver) TaskSubmitted(*starpu.Task)      {}
+func (h heartbeatObserver) TaskStarted(int, *starpu.Task)   {}
+func (h heartbeatObserver) TaskCompleted(int, *starpu.Task) { h.fn() }
+func (h heartbeatObserver) SchedDecision(starpu.Decision)   {}
 
 // runCell is the indirection the watchdog test hangs a cell through; it
 // is Run for every real caller.

@@ -1,0 +1,336 @@
+package agg
+
+import (
+	"sort"
+)
+
+// Sketch names every CellRollup may carry.  Task-level sketches
+// (duration, queue wait, span energy, GPU power) are populated only
+// when the cell ran with span tracing; the surface's cross-cell
+// sketches (efficiency, EDP, ED2P, energy, makespan) are always
+// populated from the cell scalars.
+const (
+	SketchTaskDuration = "task_duration_s"
+	SketchQueueWait    = "queue_wait_s"
+	SketchSpanEnergy   = "span_energy_j"
+	SketchGPUPower     = "gpu_power_w"
+)
+
+// Cross-cell sketch names maintained by the group merge.
+const (
+	SketchCellEfficiency = "cell_gflops_per_w"
+	SketchCellEDP        = "cell_edp"
+	SketchCellED2P       = "cell_ed2p"
+	SketchCellEnergy     = "cell_energy_j"
+	SketchCellMakespan   = "cell_makespan_s"
+)
+
+// Metric names the surface answers best-plan queries for.
+const (
+	MetricEfficiency = "gflops_per_w" // higher is better
+	MetricEDP        = "edp"          // energy x delay, lower is better
+	MetricED2P       = "ed2p"         // energy x delay^2, lower is better
+)
+
+// Metrics lists the queryable metrics in canonical order.
+var Metrics = []string{MetricEfficiency, MetricEDP, MetricED2P}
+
+// CellRollup is one completed sweep cell, rolled up: the cell's
+// identity (its CheckpointKey and grid coordinates), its scalar
+// outcome, and its task-level quantile sketches.  A rollup is a pure
+// function of the cell's Config and Result, so a cell restored from a
+// checkpoint journal produces the identical rollup to the run that
+// journalled it — that is what lets the surface survive a crash.
+type CellRollup struct {
+	// Key is the cell's stable identity (core.CheckpointKey); GroupKey
+	// is the same identity with the per-cell seed stripped, the unit the
+	// surface merges over (repeated seeds/measurements of one grid
+	// coordinate fold into one group).
+	Key      string `json:"key"`
+	GroupKey string `json:"group"`
+
+	// Grid coordinates, denormalised for querying.
+	Platform  string `json:"platform"`
+	Workload  string `json:"workload"`
+	Plan      string `json:"plan"`
+	Scheduler string `json:"scheduler"`
+	Seed      int64  `json:"seed"`
+
+	// Degraded marks a cell that finished on a reduced machine (worker
+	// eviction or breaker trip); DegradedPlan is the survivor notation
+	// ("HHB_").  Degraded cells are annotated by the surface, never
+	// silently merged into a group's headline metrics.
+	Degraded     bool   `json:"degraded,omitempty"`
+	DegradedPlan string `json:"degraded_plan,omitempty"`
+
+	// Scalar outcome of the measured pass.
+	MakespanS     float64 `json:"makespan_s"`
+	EnergyJ       float64 `json:"energy_j"`
+	GFlops        float64 `json:"gflops"`
+	GFlopsPerWatt float64 `json:"gflops_per_w"`
+	// EDP and ED2P are the energy-delay products (J*s, J*s^2): the
+	// alternative objective metrics under which the optimal cap plan
+	// moves ("Power-Capping Metric Evaluation").
+	EDP  float64 `json:"edp"`
+	ED2P float64 `json:"ed2p"`
+
+	// DeviceEnergyJ splits EnergyJ per device ("CPU0", "GPU1", ...).
+	DeviceEnergyJ map[string]float64 `json:"device_energy_j,omitempty"`
+
+	// Task counters.
+	Tasks         int64 `json:"tasks"`
+	AbortedSpans  int64 `json:"aborted_spans,omitempty"`
+	TaskRetries   int64 `json:"task_retries,omitempty"`
+	CapRetries    int64 `json:"cap_retries,omitempty"`
+	TransferBytes int64 `json:"transfer_bytes"`
+
+	// Sketches holds the task-level quantile sketches (may be empty when
+	// the cell ran without span tracing).
+	Sketches map[string]*Sketch `json:"-"`
+
+	// SketchDocs is the wire form of Sketches; filled by Doc() for
+	// export and consumed instead of Sketches when decoding.
+	SketchDocs map[string]SketchDoc `json:"sketches,omitempty"`
+}
+
+// Doc returns a copy with SketchDocs populated for JSON export.
+func (c CellRollup) Doc() CellRollup {
+	if len(c.Sketches) > 0 {
+		c.SketchDocs = make(map[string]SketchDoc, len(c.Sketches))
+		for name, s := range c.Sketches {
+			if s != nil && s.Count() > 0 {
+				c.SketchDocs[name] = s.Doc()
+			}
+		}
+	}
+	return c
+}
+
+// Group is the merged state of every cell sharing one GroupKey — one
+// coordinate of the efficiency surface.  All accumulation is integer
+// (fixed-point micro-units and sketch bucket counts), so the merged
+// state is independent of cell completion order.
+//
+// Headline sums cover only non-degraded cells: a degraded cell ran on a
+// different (reduced) machine than its plan claims, so folding it into
+// the plan's mean would misattribute the loss.  Degraded cells are
+// counted and their survivor plans listed instead.
+type Group struct {
+	Key       string
+	Platform  string
+	Workload  string
+	Plan      string
+	Scheduler string
+
+	Cells         int
+	DegradedCells int
+	// DegradedPlans is the bounded set of survivor plans seen (sorted);
+	// past maxDegradedPlans distinct values only the count grows.
+	DegradedPlans []string
+
+	// Fixed-point sums over non-degraded cells.
+	makespanMicros int64
+	energyMicros   int64
+	gflopsMicros   int64
+	effMicros      int64
+
+	// Counters over non-degraded cells.
+	Tasks         int64
+	TaskRetries   int64
+	CapRetries    int64
+	TransferBytes int64
+
+	// Sketches: merged task-level sketches plus the cross-cell scalar
+	// sketches (SketchCell*).
+	Sketches map[string]*Sketch
+
+	alpha float64
+}
+
+// maxDegradedPlans bounds the survivor-plan annotation set per group.
+const maxDegradedPlans = 8
+
+func newGroup(c CellRollup, alpha float64) *Group {
+	return &Group{
+		Key:       c.GroupKey,
+		Platform:  c.Platform,
+		Workload:  c.Workload,
+		Plan:      c.Plan,
+		Scheduler: c.Scheduler,
+		Sketches:  make(map[string]*Sketch),
+		alpha:     alpha,
+	}
+}
+
+// sketch finds or creates a named group sketch.
+func (g *Group) sketch(name string) *Sketch {
+	s, ok := g.Sketches[name]
+	if !ok {
+		s = NewSketch(g.alpha)
+		g.Sketches[name] = s
+	}
+	return s
+}
+
+// add merges one cell into the group.
+func (g *Group) add(c CellRollup) {
+	g.Cells++
+	if c.Degraded {
+		g.DegradedCells++
+		plan := c.DegradedPlan
+		if plan == "" {
+			plan = "?"
+		}
+		i := sort.SearchStrings(g.DegradedPlans, plan)
+		if i == len(g.DegradedPlans) || g.DegradedPlans[i] != plan {
+			if len(g.DegradedPlans) < maxDegradedPlans {
+				g.DegradedPlans = append(g.DegradedPlans, "")
+				copy(g.DegradedPlans[i+1:], g.DegradedPlans[i:])
+				g.DegradedPlans[i] = plan
+			}
+		}
+		return
+	}
+	g.makespanMicros += micros(c.MakespanS)
+	g.energyMicros += micros(c.EnergyJ)
+	g.gflopsMicros += micros(c.GFlops)
+	g.effMicros += micros(c.GFlopsPerWatt)
+	g.Tasks += c.Tasks
+	g.TaskRetries += c.TaskRetries
+	g.CapRetries += c.CapRetries
+	g.TransferBytes += c.TransferBytes
+
+	g.sketch(SketchCellEfficiency).Observe(c.GFlopsPerWatt)
+	g.sketch(SketchCellEDP).Observe(c.EDP)
+	g.sketch(SketchCellED2P).Observe(c.ED2P)
+	g.sketch(SketchCellEnergy).Observe(c.EnergyJ)
+	g.sketch(SketchCellMakespan).Observe(c.MakespanS)
+	for name, s := range c.Sketches {
+		if s != nil && s.Count() > 0 {
+			g.sketch(name).Merge(s)
+		}
+	}
+}
+
+// merged reports how many cells contribute to the headline metrics.
+func (g *Group) merged() int { return g.Cells - g.DegradedCells }
+
+// MeanMakespanS, MeanEnergyJ, MeanGFlops and MeanEfficiency report the
+// group means over non-degraded cells (0 when none).
+func (g *Group) MeanMakespanS() float64 { return g.mean(g.makespanMicros) }
+
+// MeanEnergyJ reports the mean node energy per cell.
+func (g *Group) MeanEnergyJ() float64 { return g.mean(g.energyMicros) }
+
+// MeanGFlops reports the mean achieved rate.
+func (g *Group) MeanGFlops() float64 { return g.mean(g.gflopsMicros) }
+
+// MeanEfficiency reports the mean Gflop/s/W.
+func (g *Group) MeanEfficiency() float64 { return g.mean(g.effMicros) }
+
+func (g *Group) mean(sum int64) float64 {
+	if n := g.merged(); n > 0 {
+		return unmicros(sum) / float64(n)
+	}
+	return 0
+}
+
+// Metric reports the group's value for a queryable metric, and whether
+// the group has any merged (non-degraded) cell to report it from.  EDP
+// and ED2P derive from the mean energy and mean makespan, so the value
+// stays order-free.
+func (g *Group) Metric(metric string) (float64, bool) {
+	if g.merged() == 0 {
+		return 0, false
+	}
+	e, t := g.MeanEnergyJ(), g.MeanMakespanS()
+	switch metric {
+	case MetricEfficiency:
+		return g.MeanEfficiency(), true
+	case MetricEDP:
+		return e * t, true
+	case MetricED2P:
+		return e * t * t, true
+	}
+	return 0, false
+}
+
+// GroupDoc is a group's JSON form: identity, headline means, degraded
+// annotations and compact quantile summaries.  RollupLine is the
+// full-fidelity variant (sketch bins instead of quantiles) exported to
+// rollups.jsonl for remote re-merging.
+type GroupDoc struct {
+	Key           string                 `json:"key"`
+	Platform      string                 `json:"platform"`
+	Workload      string                 `json:"workload"`
+	Plan          string                 `json:"plan"`
+	Scheduler     string                 `json:"scheduler"`
+	Cells         int                    `json:"cells"`
+	DegradedCells int                    `json:"degraded_cells,omitempty"`
+	DegradedPlans []string               `json:"degraded_plans,omitempty"`
+	GFlopsPerWatt float64                `json:"gflops_per_w"`
+	EDP           float64                `json:"edp"`
+	ED2P          float64                `json:"ed2p"`
+	MeanEnergyJ   float64                `json:"mean_energy_j"`
+	MeanMakespanS float64                `json:"mean_makespan_s"`
+	MeanGFlops    float64                `json:"mean_gflops"`
+	Tasks         int64                  `json:"tasks"`
+	TaskRetries   int64                  `json:"task_retries,omitempty"`
+	CapRetries    int64                  `json:"cap_retries,omitempty"`
+	TransferBytes int64                  `json:"transfer_bytes"`
+	Quantiles     map[string]QuantileDoc `json:"quantiles,omitempty"`
+}
+
+// Doc renders the compact group document.
+func (g *Group) Doc() GroupDoc {
+	d := GroupDoc{
+		Key:           g.Key,
+		Platform:      g.Platform,
+		Workload:      g.Workload,
+		Plan:          g.Plan,
+		Scheduler:     g.Scheduler,
+		Cells:         g.Cells,
+		DegradedCells: g.DegradedCells,
+		DegradedPlans: append([]string(nil), g.DegradedPlans...),
+		MeanEnergyJ:   g.MeanEnergyJ(),
+		MeanMakespanS: g.MeanMakespanS(),
+		MeanGFlops:    g.MeanGFlops(),
+		Tasks:         g.Tasks,
+		TaskRetries:   g.TaskRetries,
+		CapRetries:    g.CapRetries,
+		TransferBytes: g.TransferBytes,
+	}
+	d.GFlopsPerWatt, _ = g.Metric(MetricEfficiency)
+	d.EDP, _ = g.Metric(MetricEDP)
+	d.ED2P, _ = g.Metric(MetricED2P)
+	if len(g.Sketches) > 0 {
+		d.Quantiles = make(map[string]QuantileDoc, len(g.Sketches))
+		for name, s := range g.Sketches {
+			if s.Count() > 0 {
+				d.Quantiles[name] = s.Quantiles()
+			}
+		}
+	}
+	return d
+}
+
+// RollupLine is a group's full-fidelity wire form — everything a
+// downstream aggregator (the future capserved) needs to keep merging.
+type RollupLine struct {
+	GroupDoc
+	Sketches map[string]SketchDoc `json:"sketches,omitempty"`
+}
+
+// Line renders the full-fidelity wire form.
+func (g *Group) Line() RollupLine {
+	l := RollupLine{GroupDoc: g.Doc()}
+	if len(g.Sketches) > 0 {
+		l.Sketches = make(map[string]SketchDoc, len(g.Sketches))
+		for name, s := range g.Sketches {
+			if s.Count() > 0 {
+				l.Sketches[name] = s.Doc()
+			}
+		}
+	}
+	return l
+}

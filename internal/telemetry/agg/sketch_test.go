@@ -1,0 +1,171 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSketchQuantileErrorBound is the accuracy half of the acceptance
+// criterion: on several distributions, every reported quantile must be
+// within the configured relative-error bound of the exact sample
+// quantile.
+func TestSketchQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func() float64{
+		"uniform":   func() float64 { return 1 + 99*rng.Float64() },
+		"exp":       func() float64 { return rng.ExpFloat64() * 0.01 },
+		"lognormal": func() float64 { return math.Exp(rng.NormFloat64() * 2) },
+		"powerlike": func() float64 { return 250 + 50*rng.NormFloat64() },
+	}
+	quantiles := []float64{0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1}
+
+	for name, draw := range dists {
+		s := NewSketch(DefaultAlpha)
+		samples := make([]float64, 20000)
+		for i := range samples {
+			v := math.Abs(draw())
+			samples[i] = v
+			s.Observe(v)
+		}
+		sort.Float64s(samples)
+		for _, q := range quantiles {
+			exact := samples[int(q*float64(len(samples)-1))]
+			got := s.Quantile(q)
+			if exact <= sketchMinValue {
+				continue // zero-bucket values report 0, by contract
+			}
+			rel := math.Abs(got-exact) / exact
+			// 2*alpha headroom: the exact rank can sit at a bucket edge
+			// where the discrete rank-to-bucket mapping picks a neighbour.
+			if rel > 2*DefaultAlpha {
+				t.Errorf("%s q=%v: got %v want %v (rel err %.4f > %.4f)", name, q, got, exact, rel, 2*DefaultAlpha)
+			}
+		}
+	}
+}
+
+// TestSketchMergeOrderIndependence merges the same samples in different
+// partitions/orders and requires bit-identical state.
+func TestSketchMergeOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]float64, 5000)
+	for i := range samples {
+		samples[i] = math.Exp(rng.NormFloat64() * 3)
+	}
+
+	whole := NewSketch(DefaultAlpha)
+	for _, v := range samples {
+		whole.Observe(v)
+	}
+
+	// Partition into 7 shards, merge in a scrambled order.
+	shards := make([]*Sketch, 7)
+	for i := range shards {
+		shards[i] = NewSketch(DefaultAlpha)
+	}
+	for i, v := range samples {
+		shards[i%len(shards)].Observe(v)
+	}
+	merged := NewSketch(DefaultAlpha)
+	for _, i := range []int{3, 0, 6, 2, 5, 1, 4} {
+		if err := merged.Merge(shards[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if merged.Count() != whole.Count() || merged.sumMicros != whole.sumMicros ||
+		merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged scalars differ: count %d/%d sum %d/%d", merged.Count(), whole.Count(), merged.sumMicros, whole.sumMicros)
+	}
+	if len(merged.bins) != len(whole.bins) {
+		t.Fatalf("bin sets differ: %d vs %d", len(merged.bins), len(whole.bins))
+	}
+	for i, n := range whole.bins {
+		if merged.bins[i] != n {
+			t.Fatalf("bin %d differs: %d vs %d", i, merged.bins[i], n)
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%v differs after merge: %v vs %v", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+// TestSketchMergeAlphaMismatch rejects merging incompatible sketches.
+func TestSketchMergeAlphaMismatch(t *testing.T) {
+	a, b := NewSketch(0.01), NewSketch(0.02)
+	b.Observe(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("want error merging sketches with different alpha")
+	}
+	// An empty other is a no-op regardless of alpha.
+	if err := a.Merge(NewSketch(0.02)); err != nil {
+		t.Fatalf("empty merge should be a no-op, got %v", err)
+	}
+}
+
+// TestSketchDocRoundTrip checks FromDoc(Doc()) preserves everything a
+// downstream merger needs.
+func TestSketchDocRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewSketch(DefaultAlpha)
+	for i := 0; i < 3000; i++ {
+		s.Observe(rng.ExpFloat64() * 7)
+	}
+	s.Observe(0)    // zero bucket
+	s.Observe(1e15) // clamped
+
+	r := FromDoc(s.Doc())
+	if r.Count() != s.Count() || r.zero != s.zero || r.Min() != s.Min() || r.Max() != s.Max() {
+		t.Fatalf("round-trip scalars differ")
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if r.Quantile(q) != s.Quantile(q) {
+			t.Errorf("q=%v differs after round-trip: %v vs %v", q, r.Quantile(q), s.Quantile(q))
+		}
+	}
+}
+
+// TestSketchEdgeCases covers the domain clamps and empty behaviour.
+func TestSketchEdgeCases(t *testing.T) {
+	s := NewSketch(DefaultAlpha)
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sketch should report zeros")
+	}
+	s.Observe(math.NaN())
+	if s.Count() != 0 {
+		t.Fatal("NaN must be ignored")
+	}
+	s.Observe(-5)
+	s.Observe(0)
+	if s.zero != 2 || s.Count() != 2 {
+		t.Fatalf("non-positive samples belong in the zero bucket: zero=%d count=%d", s.zero, s.Count())
+	}
+	if got := s.Quantile(0.99); got != 0 {
+		t.Fatalf("all-zero-bucket quantile = %v, want 0", got)
+	}
+	// Clamped huge values keep their count and the exact max.
+	s.Observe(5e14)
+	if s.Max() != 5e14 {
+		t.Fatalf("max lost under clamping: %v", s.Max())
+	}
+}
+
+// TestSketchMemoryBound proves the structural bound: no matter how many
+// samples land, the bucket count never exceeds the indexable range.
+func TestSketchMemoryBound(t *testing.T) {
+	s := NewSketch(DefaultAlpha)
+	maxBins := s.index(sketchMaxValue) - s.index(sketchMinValue) + 2
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		// Spray across 30 orders of magnitude, far past the clamp range.
+		s.Observe(math.Pow(10, -15+30*rng.Float64()))
+	}
+	if len(s.bins) > maxBins {
+		t.Fatalf("sketch grew to %d bins, structural bound is %d", len(s.bins), maxBins)
+	}
+	t.Logf("bins used: %d (bound %d)", len(s.bins), maxBins)
+}

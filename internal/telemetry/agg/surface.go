@@ -1,0 +1,268 @@
+package agg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Surface is the live, mergeable efficiency surface of an in-flight
+// sweep: every completed cell's rollup is folded into its group (one
+// group per seed-less grid coordinate), and queries answer "which plan
+// is best so far" per (platform, workload) under each objective metric.
+//
+// Memory is bounded by the grid's coordinate count plus one small
+// dedup entry per cell — never by sample count: all per-sample data
+// lives in fixed-size sketches.  Add is idempotent per cell key, so
+// re-observing a cell (a resumed sweep, overlapping experiments in one
+// process) cannot double-count.
+//
+// Safe for concurrent use; the sweep pool's workers add cells while
+// HTTP handlers query.
+type Surface struct {
+	mu     sync.Mutex
+	alpha  float64
+	seen   map[string]struct{}
+	groups map[string]*Group
+
+	cells      int
+	degraded   int
+	duplicates int
+}
+
+// NewSurface builds an empty surface with the given sketch
+// relative-error bound (<= 0 means DefaultAlpha).
+func NewSurface(alpha float64) *Surface {
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	return &Surface{
+		alpha:  alpha,
+		seen:   make(map[string]struct{}),
+		groups: make(map[string]*Group),
+	}
+}
+
+// Add merges one cell rollup into the surface.  It reports whether the
+// cell was fresh; a cell key already observed is ignored (idempotence).
+func (s *Surface) Add(c CellRollup) bool {
+	if c.Key == "" {
+		return false
+	}
+	if c.GroupKey == "" {
+		c.GroupKey = c.Key
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.seen[c.Key]; dup {
+		s.duplicates++
+		return false
+	}
+	s.seen[c.Key] = struct{}{}
+	g, ok := s.groups[c.GroupKey]
+	if !ok {
+		g = newGroup(c, s.alpha)
+		s.groups[c.GroupKey] = g
+	}
+	g.add(c)
+	s.cells++
+	if c.Degraded {
+		s.degraded++
+	}
+	return true
+}
+
+// Cells reports how many distinct cells have been merged.
+func (s *Surface) Cells() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cells
+}
+
+// BestPlan is one answer to a best-plan query: the winning plan for a
+// (platform, workload) pair under one metric, with annotations for the
+// cells the answer could not include.
+type BestPlan struct {
+	Platform string  `json:"platform"`
+	Workload string  `json:"workload"`
+	Plan     string  `json:"plan"`
+	Value    float64 `json:"value"`
+	// Cells is how many merged cells back the winning group's value.
+	Cells int `json:"cells"`
+	// DegradedCells counts cells across the whole (platform, workload)
+	// row that were excluded from every candidate as degraded.
+	DegradedCells int `json:"degraded_cells,omitempty"`
+}
+
+// SurfaceDoc is the /surface response: per-metric best plans plus the
+// full per-group detail, both in deterministic order.
+type SurfaceDoc struct {
+	Alpha         float64               `json:"alpha"`
+	Cells         int                   `json:"cells"`
+	DegradedCells int                   `json:"degraded_cells,omitempty"`
+	Duplicates    int                   `json:"duplicates,omitempty"`
+	Best          map[string][]BestPlan `json:"best"`
+	Groups        []GroupDoc            `json:"groups"`
+}
+
+// ValidMetric reports whether the surface can answer a best-plan query
+// for the metric ("" means all metrics).
+func (s *Surface) ValidMetric(metric string) bool {
+	if metric == "" {
+		return true
+	}
+	for _, m := range Metrics {
+		if m == metric {
+			return true
+		}
+	}
+	return false
+}
+
+// Doc renders the surface.  metric narrows the best-plan section to one
+// objective ("" keeps all).  Groups are sorted by key and best plans by
+// (platform, workload), so the document is byte-stable for a given set
+// of merged cells regardless of merge order.
+func (s *Surface) Doc(metric string) (SurfaceDoc, error) {
+	if !s.ValidMetric(metric) {
+		return SurfaceDoc{}, fmt.Errorf("agg: unknown metric %q (want one of %v)", metric, Metrics)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	doc := SurfaceDoc{
+		Alpha:         s.alpha,
+		Cells:         s.cells,
+		DegradedCells: s.degraded,
+		Duplicates:    s.duplicates,
+		Best:          make(map[string][]BestPlan),
+	}
+	keys := make([]string, 0, len(s.groups))
+	for k := range s.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		doc.Groups = append(doc.Groups, s.groups[k].Doc())
+	}
+
+	metrics := Metrics
+	if metric != "" {
+		metrics = []string{metric}
+	}
+	for _, m := range metrics {
+		doc.Best[m] = s.bestLocked(m, keys)
+	}
+	return doc, nil
+}
+
+// bestLocked computes the best plan per (platform, workload) row for
+// one metric.  Efficiency maximises; EDP/ED2P minimise.  Ties break on
+// the lexicographically smaller plan so the answer is deterministic.
+func (s *Surface) bestLocked(metric string, sortedKeys []string) []BestPlan {
+	type rowKey struct{ platform, workload string }
+	best := make(map[rowKey]*BestPlan)
+	degraded := make(map[rowKey]int)
+	var rows []rowKey
+	higherBetter := metric == MetricEfficiency
+
+	for _, k := range sortedKeys {
+		g := s.groups[k]
+		rk := rowKey{g.Platform, g.Workload}
+		if _, ok := best[rk]; !ok {
+			if _, seen := degraded[rk]; !seen {
+				rows = append(rows, rk)
+			}
+		}
+		degraded[rk] += g.DegradedCells
+		v, ok := g.Metric(metric)
+		if !ok {
+			continue // all cells degraded: annotated, never a candidate
+		}
+		cand := &BestPlan{
+			Platform: g.Platform, Workload: g.Workload,
+			Plan: g.Plan, Value: v, Cells: g.merged(),
+		}
+		cur, ok := best[rk]
+		switch {
+		case !ok:
+			best[rk] = cand
+		case higherBetter && (v > cur.Value || (v == cur.Value && cand.Plan < cur.Plan)):
+			best[rk] = cand
+		case !higherBetter && (v < cur.Value || (v == cur.Value && cand.Plan < cur.Plan)):
+			best[rk] = cand
+		}
+	}
+
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].platform != rows[j].platform {
+			return rows[i].platform < rows[j].platform
+		}
+		return rows[i].workload < rows[j].workload
+	})
+	out := make([]BestPlan, 0, len(rows))
+	for _, rk := range rows {
+		b, ok := best[rk]
+		if !ok {
+			// Every group of the row is fully degraded; annotate the row
+			// with an explicit no-answer entry rather than dropping it.
+			b = &BestPlan{Platform: rk.platform, Workload: rk.workload, Plan: "-"}
+		}
+		b.DegradedCells = degraded[rk]
+		out = append(out, *b)
+	}
+	return out
+}
+
+// WriteSurfaceJSON renders the surface document as indented JSON; the
+// telemetry server's /surface endpoint calls this.
+func (s *Surface) WriteSurfaceJSON(w io.Writer, metric string) error {
+	doc, err := s.Doc(metric)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// MarshalRollups renders every group's full-fidelity wire form as JSON
+// lines, sorted by group key — the mergeable rollup export a downstream
+// aggregator consumes, and the artifact the determinism contract covers
+// (byte-identical at any worker count and across kill+resume).
+func (s *Surface) MarshalRollups() ([]byte, error) {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.groups))
+	for k := range s.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]RollupLine, 0, len(keys))
+	for _, k := range keys {
+		lines = append(lines, s.groups[k].Line())
+	}
+	s.mu.Unlock()
+
+	var buf []byte
+	for _, l := range lines {
+		b, err := json.Marshal(l)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
+	}
+	return buf, nil
+}
+
+// MarshalSurface renders the full surface document (all metrics) as
+// indented JSON — the surface.json artifact.
+func (s *Surface) MarshalSurface() ([]byte, error) {
+	doc, err := s.Doc("")
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

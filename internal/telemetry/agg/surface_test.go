@@ -1,0 +1,250 @@
+package agg
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// synthCell fabricates a deterministic rollup for grid coordinate
+// (plat, wl, plan) and seed.  Scalars are pure functions of the inputs
+// so different tests agree on the same cells.
+func synthCell(plat, wl, plan string, seed int64) CellRollup {
+	base := float64(len(plan)) + float64(seed%7)
+	mk := 10 + base
+	en := 1000 + 37*base
+	c := CellRollup{
+		Key:           fmt.Sprintf("%s|%s|%s|seed=%d", plat, wl, plan, seed),
+		GroupKey:      fmt.Sprintf("%s|%s|%s", plat, wl, plan),
+		Platform:      plat,
+		Workload:      wl,
+		Plan:          plan,
+		Scheduler:     "dmdas",
+		Seed:          seed,
+		MakespanS:     mk,
+		EnergyJ:       en,
+		GFlops:        5000 / mk,
+		GFlopsPerWatt: 5000 / en,
+		EDP:           en * mk,
+		ED2P:          en * mk * mk,
+		Tasks:         100,
+		TransferBytes: 1 << 20,
+	}
+	sk := NewSketch(DefaultAlpha)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 50; i++ {
+		sk.Observe(rng.ExpFloat64() * 0.01)
+	}
+	c.Sketches = map[string]*Sketch{SketchTaskDuration: sk}
+	return c
+}
+
+// synthGrid enumerates a small grid's cells deterministically.
+func synthGrid() []CellRollup {
+	var cells []CellRollup
+	for _, plat := range []string{"nodeA", "nodeB"} {
+		for _, wl := range []string{"DGEMM", "DPOTRF"} {
+			for _, plan := range []string{"HH", "HB", "BB"} {
+				for seed := int64(0); seed < 3; seed++ {
+					cells = append(cells, synthCell(plat, wl, plan, seed))
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// TestSurfaceMergeOrderIndependence is the determinism criterion at the
+// surface level: any permutation of cell arrival produces byte-identical
+// artifacts.
+func TestSurfaceMergeOrderIndependence(t *testing.T) {
+	cells := synthGrid()
+
+	render := func(order []int) ([]byte, []byte) {
+		s := NewSurface(0)
+		for _, i := range order {
+			s.Add(cells[i])
+		}
+		surf, err := s.MarshalSurface()
+		if err != nil {
+			t.Fatal(err)
+		}
+		roll, err := s.MarshalRollups()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return surf, roll
+	}
+
+	fwd := make([]int, len(cells))
+	for i := range fwd {
+		fwd[i] = i
+	}
+	wantSurf, wantRoll := render(fwd)
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		perm := rng.Perm(len(cells))
+		gotSurf, gotRoll := render(perm)
+		if !bytes.Equal(gotSurf, wantSurf) {
+			t.Fatalf("trial %d: surface.json differs under permutation", trial)
+		}
+		if !bytes.Equal(gotRoll, wantRoll) {
+			t.Fatalf("trial %d: rollups.jsonl differs under permutation", trial)
+		}
+	}
+}
+
+// TestSurfaceDedup re-adds cells (the resume path) and requires
+// idempotence.
+func TestSurfaceDedup(t *testing.T) {
+	s := NewSurface(0)
+	c := synthCell("nodeA", "DGEMM", "HB", 1)
+	if !s.Add(c) {
+		t.Fatal("first add should be fresh")
+	}
+	if s.Add(c) {
+		t.Fatal("second add of the same key should be a duplicate")
+	}
+	if s.Cells() != 1 {
+		t.Fatalf("cells = %d, want 1", s.Cells())
+	}
+	doc, err := s.Doc("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Duplicates != 1 {
+		t.Fatalf("duplicates = %d, want 1", doc.Duplicates)
+	}
+	if len(doc.Groups) != 1 || doc.Groups[0].Cells != 1 {
+		t.Fatalf("group should hold exactly one merged cell: %+v", doc.Groups)
+	}
+}
+
+// TestSurfaceBestPlan checks the per-metric winners: efficiency
+// maximises, EDP/ED2P minimise, and the answers are per (platform,
+// workload) row.
+func TestSurfaceBestPlan(t *testing.T) {
+	s := NewSurface(0)
+	mk := func(plan string, makespan, energy float64) CellRollup {
+		return CellRollup{
+			Key: "p|w|" + plan, GroupKey: "p|w|" + plan,
+			Platform: "p", Workload: "w", Plan: plan,
+			MakespanS: makespan, EnergyJ: energy,
+			GFlopsPerWatt: 1000 / energy,
+		}
+	}
+	// HB: least energy (best efficiency). BB: slow but tiny energy·delay?
+	// Construct so the EDP winner differs from the efficiency winner.
+	s.Add(mk("HH", 10, 500)) // EDP 5000
+	s.Add(mk("HB", 25, 300)) // EDP 7500, best efficiency
+	s.Add(mk("BB", 12, 400)) // EDP 4800, best EDP/ED2P? ED2P: HH 50000, BB 57600 -> HH
+	doc, err := s.Doc("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		MetricEfficiency: "HB",
+		MetricEDP:        "BB",
+		MetricED2P:       "HH",
+	}
+	for metric, plan := range want {
+		best := doc.Best[metric]
+		if len(best) != 1 {
+			t.Fatalf("%s: want one row, got %d", metric, len(best))
+		}
+		if best[0].Plan != plan {
+			t.Errorf("%s winner = %s, want %s", metric, best[0].Plan, plan)
+		}
+	}
+
+	// Narrowed query keeps only the requested metric.
+	doc1, err := s.Doc(MetricEDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc1.Best) != 1 || doc1.Best[MetricEDP] == nil {
+		t.Fatalf("narrowed doc should hold only %s: %v", MetricEDP, doc1.Best)
+	}
+	if _, err := s.Doc("bogus"); err == nil {
+		t.Fatal("unknown metric must error")
+	}
+	if s.ValidMetric("bogus") || !s.ValidMetric("") || !s.ValidMetric(MetricED2P) {
+		t.Fatal("ValidMetric misclassifies")
+	}
+}
+
+// TestSurfaceDegradedAnnotation: degraded cells (HHB_) are annotated,
+// excluded from headline metrics, and a fully-degraded row still shows
+// up with an explicit no-answer entry.
+func TestSurfaceDegradedAnnotation(t *testing.T) {
+	s := NewSurface(0)
+	good := synthCell("nodeA", "DGEMM", "HHBB", 0)
+	s.Add(good)
+	bad := synthCell("nodeA", "DGEMM", "HHBB", 1)
+	bad.Degraded = true
+	bad.DegradedPlan = "HHB_"
+	bad.EnergyJ = 1 // absurd value that must NOT leak into the mean
+	s.Add(bad)
+
+	doc, err := s.Doc("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := doc.Groups[0]
+	if g.Cells != 2 || g.DegradedCells != 1 {
+		t.Fatalf("cells/degraded = %d/%d, want 2/1", g.Cells, g.DegradedCells)
+	}
+	if len(g.DegradedPlans) != 1 || g.DegradedPlans[0] != "HHB_" {
+		t.Fatalf("degraded plans = %v, want [HHB_]", g.DegradedPlans)
+	}
+	if g.MeanEnergyJ != good.EnergyJ {
+		t.Fatalf("degraded cell leaked into the mean: %v vs %v", g.MeanEnergyJ, good.EnergyJ)
+	}
+	best := doc.Best[MetricEfficiency]
+	if len(best) != 1 || best[0].DegradedCells != 1 {
+		t.Fatalf("best plan should annotate 1 degraded cell: %+v", best)
+	}
+
+	// A row where every cell is degraded: annotated, never a winner.
+	s2 := NewSurface(0)
+	only := synthCell("nodeB", "DPOTRF", "HB", 0)
+	only.Degraded = true
+	only.DegradedPlan = "H_"
+	s2.Add(only)
+	doc2, err := s2.Doc("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	best2 := doc2.Best[MetricEfficiency]
+	if len(best2) != 1 {
+		t.Fatalf("fully-degraded row must still appear: %+v", best2)
+	}
+	if best2[0].Plan != "-" || best2[0].DegradedCells != 1 {
+		t.Fatalf("fully-degraded row should carry no winner and the annotation: %+v", best2[0])
+	}
+}
+
+// TestGroupDegradedPlanBound checks the survivor-plan set stays bounded.
+func TestGroupDegradedPlanBound(t *testing.T) {
+	s := NewSurface(0)
+	for i := 0; i < 3*maxDegradedPlans; i++ {
+		c := synthCell("p", "w", "HHHH", int64(i))
+		c.Key = fmt.Sprintf("p|w|HHHH|seed=%d", i)
+		c.Degraded = true
+		c.DegradedPlan = fmt.Sprintf("HH%02d_", i)
+		s.Add(c)
+	}
+	doc, err := s.Doc("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := doc.Groups[0]
+	if len(g.DegradedPlans) > maxDegradedPlans {
+		t.Fatalf("degraded plan set grew to %d, bound is %d", len(g.DegradedPlans), maxDegradedPlans)
+	}
+	if g.DegradedCells != 3*maxDegradedPlans {
+		t.Fatalf("count must keep growing past the set bound: %d", g.DegradedCells)
+	}
+}

@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
+	"runtime"
 	"sync"
 
 	"repro/internal/dyncap"
@@ -11,6 +13,20 @@ import (
 	"repro/internal/starpu"
 	"repro/internal/units"
 )
+
+// Version is the build identity capsim_build_info exposes.  Release
+// automation may override it at link time (-ldflags -X).
+var Version = "dev"
+
+// SurfaceSource is the aggregation tier seen from the telemetry server:
+// something that can validate a metric name and render the merged
+// efficiency surface.  *agg.Surface satisfies it; the indirection keeps
+// the server decoupled from the aggregation tier (telemetry/agg builds
+// on telemetry, not the other way around).
+type SurfaceSource interface {
+	ValidMetric(metric string) bool
+	WriteSurfaceJSON(w io.Writer, metric string) error
+}
 
 // Collector bundles the registry, the decision log and the per-run
 // sampler behind the starpu.Observer interface — the one object
@@ -40,9 +56,12 @@ type Collector struct {
 	cellsHung      *CounterVec
 	cellsResumed   *CounterVec
 	breakerTrips   *CounterVec
+	droppedRollups *CounterVec
+	buildInfo      *GaugeVec
 
 	mu      sync.Mutex
 	sampler *Sampler
+	surface SurfaceSource
 }
 
 // NewCollector builds a collector with a fresh registry and a bounded
@@ -72,7 +91,34 @@ func NewCollector() *Collector {
 	c.cellsHung = reg.NewCounter("capsim_cells_hung", "Sweep cells the watchdog abandoned for lack of progress.")
 	c.cellsResumed = reg.NewCounter("capsim_cells_resumed", "Sweep cells skipped because a checkpoint journal already held their result.")
 	c.breakerTrips = reg.NewCounter("capsim_cap_breaker_tripped", "Cap-write circuit breakers tripped (device declared dead after consecutive write failures).", "gpu")
+	c.droppedRollups = reg.NewCounter("capsim_telemetry_dropped_total", "Cell rollups dropped by the aggregation exporter under backpressure or after exhausting delivery retries.")
+	c.droppedRollups.With() // pre-create: a scrape shows 0, not absence
+	c.buildInfo = reg.NewGauge("capsim_build_info", "Build identity; the value is always 1, the labels carry the information.", "version", "goversion")
+	c.buildInfo.With(Version, runtime.Version()).Set(1)
 	return c
+}
+
+// ObserveDroppedRollups counts cell rollups the aggregation exporter
+// dropped (queue overflow or exhausted delivery retries).
+func (c *Collector) ObserveDroppedRollups(n int) {
+	if n > 0 {
+		c.droppedRollups.With().Add(float64(n))
+	}
+}
+
+// SetSurface attaches the aggregation tier's surface so the server's
+// /surface endpoint can query it; nil detaches.
+func (c *Collector) SetSurface(s SurfaceSource) {
+	c.mu.Lock()
+	c.surface = s
+	c.mu.Unlock()
+}
+
+// Surface reports the attached surface (nil before SetSurface).
+func (c *Collector) Surface() SurfaceSource {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.surface
 }
 
 // ObserveCellPanic counts one sweep cell recovered from a panic.

@@ -35,15 +35,18 @@ type DecisionRecord struct {
 	Candidates []CandidateRecord `json:"candidates,omitempty"`
 }
 
-// DecisionLog is a bounded in-memory log of scheduler decisions.  When
-// full it drops the oldest entries (keeping the tail), counting what it
-// dropped.  Safe for concurrent use.
+// DecisionLog is a bounded in-memory log of scheduler decisions: a
+// true ring buffer that retains exactly the most recent max records.
+// Memory is bounded by max (the ring never reallocates once full), each
+// overwrite drops exactly the single oldest record, and exports are
+// chronological — oldest first — even after the ring has wrapped.
+// Safe for concurrent use.
 type DecisionLog struct {
-	mu      sync.Mutex
-	max     int
-	records []DecisionRecord
-	total   int
-	dropped int
+	mu    sync.Mutex
+	max   int
+	buf   []DecisionRecord // ring storage; len(buf) <= max
+	head  int              // index of the oldest record once wrapped
+	total int
 }
 
 // DefaultDecisionCapacity bounds the log unless configured otherwise.
@@ -88,21 +91,30 @@ func (l *DecisionLog) Record(d starpu.Decision) {
 	}
 	l.mu.Lock()
 	l.total++
-	if len(l.records) >= l.max {
-		// Drop the oldest half in one move so appends stay amortised O(1).
-		half := len(l.records) / 2
-		l.dropped += half
-		l.records = append(l.records[:0], l.records[half:]...)
+	if len(l.buf) < l.max {
+		l.buf = append(l.buf, rec)
+	} else {
+		// Full: overwrite the oldest slot and advance the ring head.
+		l.buf[l.head] = rec
+		l.head = (l.head + 1) % l.max
 	}
-	l.records = append(l.records, rec)
 	l.mu.Unlock()
 }
 
-// Decisions reports the retained records, oldest first.
+// Decisions reports the retained records, oldest first — chronological
+// even after the ring has wrapped.
 func (l *DecisionLog) Decisions() []DecisionRecord {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]DecisionRecord(nil), l.records...)
+	return l.chronological()
+}
+
+// chronological unrolls the ring into oldest-first order (caller holds
+// the lock).
+func (l *DecisionLog) chronological() []DecisionRecord {
+	out := make([]DecisionRecord, 0, len(l.buf))
+	out = append(out, l.buf[l.head:]...)
+	return append(out, l.buf[:l.head]...)
 }
 
 // Total reports how many decisions were ever recorded (including
@@ -113,19 +125,19 @@ func (l *DecisionLog) Total() int {
 	return l.total
 }
 
-// Dropped reports how many old decisions were evicted by the bound.
+// Dropped reports how many old decisions the ring has overwritten.
 func (l *DecisionLog) Dropped() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.dropped
+	return l.total - len(l.buf)
 }
 
 // Reset clears the log (between runs of a sweep).
 func (l *DecisionLog) Reset() {
 	l.mu.Lock()
-	l.records = l.records[:0]
+	l.buf = l.buf[:0]
+	l.head = 0
 	l.total = 0
-	l.dropped = 0
 	l.mu.Unlock()
 }
 
@@ -136,11 +148,12 @@ type decisionExport struct {
 	Decisions []DecisionRecord `json:"decisions"`
 }
 
-// WriteJSON renders the log as one JSON document.
+// WriteJSON renders the log as one JSON document, decisions oldest
+// first.
 func (l *DecisionLog) WriteJSON(w io.Writer) error {
 	l.mu.Lock()
-	doc := decisionExport{Total: l.total, Dropped: l.dropped,
-		Decisions: append([]DecisionRecord(nil), l.records...)}
+	doc := decisionExport{Total: l.total, Dropped: l.total - len(l.buf),
+		Decisions: l.chronological()}
 	l.mu.Unlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

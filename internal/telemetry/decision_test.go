@@ -115,3 +115,85 @@ func TestDecisionLogReset(t *testing.T) {
 		t.Errorf("reset left state: total=%d dropped=%d len=%d", l.Total(), l.Dropped(), len(l.Decisions()))
 	}
 }
+
+// TestDecisionLogWraparoundChronological: after the ring wraps (several
+// times over), exports are still strictly chronological — oldest first —
+// and hold exactly the newest max records.
+func TestDecisionLogWraparoundChronological(t *testing.T) {
+	const capacity = 7
+	l := NewDecisionLog(capacity)
+	const total = 3*capacity + 4 // wraps three times, lands mid-ring
+	for i := 0; i < total; i++ {
+		l.Record(mkDecision(i, "dmda", "min-completion-time"))
+	}
+	recs := l.Decisions()
+	if len(recs) != capacity {
+		t.Fatalf("retained %d, want %d", len(recs), capacity)
+	}
+	if l.Dropped() != total-capacity {
+		t.Fatalf("dropped = %d, want %d", l.Dropped(), total-capacity)
+	}
+	// Exactly the newest `capacity` tasks, in recording order.
+	for i, r := range recs {
+		want := total - capacity + i
+		if r.Task != want {
+			t.Fatalf("recs[%d].Task = %d, want %d (not chronological after wrap)", i, r.Task, want)
+		}
+		if i > 0 && r.T <= recs[i-1].T {
+			t.Fatalf("timestamps not increasing at %d: %v <= %v", i, r.T, recs[i-1].T)
+		}
+	}
+	// WriteJSON agrees with Decisions.
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Total     int              `json:"total"`
+		Dropped   int              `json:"dropped"`
+		Decisions []DecisionRecord `json:"decisions"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Total != total || doc.Dropped != total-capacity || len(doc.Decisions) != capacity {
+		t.Fatalf("doc = total %d dropped %d len %d", doc.Total, doc.Dropped, len(doc.Decisions))
+	}
+	if doc.Decisions[0].Task != recs[0].Task || doc.Decisions[capacity-1].Task != recs[capacity-1].Task {
+		t.Fatal("WriteJSON order disagrees with Decisions")
+	}
+
+	// A reset ring wraps correctly again.
+	l.Reset()
+	for i := 0; i < capacity+2; i++ {
+		l.Record(mkDecision(100+i, "dmda", "min-completion-time"))
+	}
+	recs = l.Decisions()
+	if recs[0].Task != 102 || recs[len(recs)-1].Task != 100+capacity+1 {
+		t.Fatalf("post-reset wrap wrong: first %d last %d", recs[0].Task, recs[len(recs)-1].Task)
+	}
+}
+
+// TestDecisionLogExactCapacityBoundary: the off-by-one cases around a
+// full-but-unwrapped ring.
+func TestDecisionLogExactCapacityBoundary(t *testing.T) {
+	l := NewDecisionLog(5)
+	for i := 0; i < 5; i++ {
+		l.Record(mkDecision(i, "ws", "spread"))
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("exactly-full ring dropped %d", l.Dropped())
+	}
+	recs := l.Decisions()
+	for i, r := range recs {
+		if r.Task != i {
+			t.Fatalf("recs[%d].Task = %d before any wrap", i, r.Task)
+		}
+	}
+	// One more record drops exactly the oldest.
+	l.Record(mkDecision(5, "ws", "spread"))
+	recs = l.Decisions()
+	if l.Dropped() != 1 || recs[0].Task != 1 || recs[4].Task != 5 {
+		t.Fatalf("single-overwrite wrong: dropped=%d first=%d last=%d", l.Dropped(), recs[0].Task, recs[4].Task)
+	}
+}

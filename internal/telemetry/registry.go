@@ -76,10 +76,10 @@ type metric struct {
 	labels []string
 
 	mu    sync.Mutex
-	value float64   // counter / gauge
-	obs   []uint64  // histogram per-bucket counts (len(buckets))
-	sum   float64   // histogram sum
-	count uint64    // histogram count
+	value float64  // counter / gauge
+	obs   []uint64 // histogram per-bucket counts (len(buckets))
+	sum   float64  // histogram sum
+	count uint64   // histogram count
 }
 
 // register creates or returns the family, enforcing a consistent schema.
@@ -268,7 +268,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RUnlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
+	// The exposition format requires HELP/TYPE at most once per family
+	// name; the registry already dedupes registrations, and this guard
+	// keeps the invariant even if two family records ever share a name.
+	seen := make(map[string]bool, len(fams))
 	for _, f := range fams {
+		if seen[f.name] {
+			continue
+		}
+		seen[f.name] = true
 		f.mu.Lock()
 		keys := append([]string(nil), f.order...)
 		children := make([]*metric, len(keys))
@@ -338,20 +346,30 @@ func labelString(names, values []string, extraName, extraValue string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		// %q escapes \, " and newlines exactly as the exposition
-		// format requires.
-		fmt.Fprintf(&b, "%s=%q", n, values[i])
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
 	}
 	if extraName != "" {
 		if len(names) > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", extraName, extraValue)
+		fmt.Fprintf(&b, `%s="%s"`, extraName, escapeLabel(extraValue))
 	}
 	b.WriteByte('}')
 	return b.String()
 }
 
+// escapeLabel escapes a label value per the exposition format: exactly
+// backslash, double quote and newline — nothing else.  (%q would also
+// escape tabs, control bytes and non-ASCII runes, which Prometheus
+// expects verbatim.)
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeHelp escapes HELP text: only backslash and newline (quotes stay
+// verbatim in HELP lines).
 func escapeHelp(s string) string {
 	s = strings.ReplaceAll(s, `\`, `\\`)
 	return strings.ReplaceAll(s, "\n", `\n`)

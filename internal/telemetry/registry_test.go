@@ -192,3 +192,80 @@ func TestRegistryConcurrency(t *testing.T) {
 		t.Errorf("total ops = %v, want %d", total, workers*iters)
 	}
 }
+
+// TestLabelEscaping pins the exposition-format escaping contract: label
+// values escape exactly backslash, double quote and newline; tabs and
+// non-ASCII runes pass through verbatim (%q-style escaping would corrupt
+// them for Prometheus).
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("esc_total", "E.", "v")
+	cases := map[string]string{
+		`back\slash`:      `back\\slash`,
+		`qu"ote`:          `qu\"ote`,
+		"new\nline":       `new\nline`,
+		"tab\there":       "tab\there",  // verbatim
+		"unicode-μs":      "unicode-μs", // verbatim
+		`mix\"all` + "\n": `mix\\\"all\n`,
+	}
+	for in := range cases {
+		c.With(in).Inc()
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for in, esc := range cases {
+		want := `esc_total{v="` + esc + `"} 1`
+		if !strings.Contains(out, want) {
+			t.Errorf("label %q: exposition missing %q:\n%s", in, want, out)
+		}
+	}
+	// Raw newlines inside a sample line would break line-oriented parsing.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "esc_total{") && !strings.HasSuffix(line, "} 1") {
+			t.Errorf("sample line split by unescaped newline: %q", line)
+		}
+	}
+}
+
+// TestHelpEscaping: HELP text escapes backslash and newline only; double
+// quotes stay verbatim in HELP lines.
+func TestHelpEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("h_total", "Help with \"quotes\", a \\ and a\nnewline.")
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP h_total Help with "quotes", a \\ and a\nnewline.`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("HELP escaping wrong:\n%s", buf.String())
+	}
+}
+
+// TestTypeHelpExactlyOnce: the exposition format allows at most one
+// TYPE and one HELP line per family name, no matter how many times the
+// family was registered or how many series it carries.
+func TestTypeHelpExactlyOnce(t *testing.T) {
+	reg := NewRegistry()
+	// Registering the same family repeatedly must not duplicate headers.
+	for i := 0; i < 3; i++ {
+		c := reg.NewCounter("once_total", "Once.", "k")
+		c.With(string(rune('a' + i))).Inc()
+	}
+	reg.NewHistogram("once_seconds", "H.", []float64{1}).With().Observe(0.5)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, header := range []string{
+		"# TYPE once_total counter", "# HELP once_total Once.",
+		"# TYPE once_seconds histogram", "# HELP once_seconds H.",
+	} {
+		if got := strings.Count(buf.String(), header+"\n"); got != 1 {
+			t.Errorf("%q appears %d times, want exactly 1:\n%s", header, got, buf.String())
+		}
+	}
+}

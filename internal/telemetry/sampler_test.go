@@ -11,16 +11,13 @@ import (
 )
 
 // newRun builds a small instrumented platform+runtime pair with n
-// independent GEMM-sized CUDA tasks submitted.
-func newRun(t *testing.T, c *Collector, sched string, n int) (*platform.Platform, *starpu.Runtime) {
+// independent GEMM-sized CUDA tasks submitted.  The observer is usually
+// a *Collector; concurrent-run tests pass a *RunScope instead.
+func newRun(t *testing.T, obs starpu.Observer, sched string, n int) (*platform.Platform, *starpu.Runtime) {
 	t.Helper()
 	plat, err := platform.New(platform.TwoV100Spec())
 	if err != nil {
 		t.Fatal(err)
-	}
-	var obs starpu.Observer
-	if c != nil {
-		obs = c
 	}
 	rt, err := starpu.New(plat, starpu.Config{Scheduler: sched, Observer: obs})
 	if err != nil {

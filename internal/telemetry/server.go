@@ -12,6 +12,7 @@ import (
 //	/metrics.json     registry snapshot as JSON
 //	/timeseries.json  the sampler's power/cap/energy and worker series
 //	/decisions.json   the scheduler decision log
+//	/surface          the merged efficiency surface so far (?metric=)
 //	/                 a plain-text index
 //
 // All endpoints are read-only and safe while a run mutates the data.
@@ -38,6 +39,20 @@ func Handler(c *Collector) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		c.Decisions.WriteJSON(w)
 	})
+	mux.HandleFunc("/surface", func(w http.ResponseWriter, r *http.Request) {
+		s := c.Surface()
+		if s == nil {
+			http.Error(w, "no aggregation surface attached (run with -agg-dir)", http.StatusServiceUnavailable)
+			return
+		}
+		metric := r.URL.Query().Get("metric")
+		if !s.ValidMetric(metric) {
+			http.Error(w, fmt.Sprintf("unknown metric %q", metric), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		s.WriteSurfaceJSON(w, metric)
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -49,6 +64,7 @@ func Handler(c *Collector) http.Handler {
 		fmt.Fprintln(w, "  /metrics.json     registry snapshot")
 		fmt.Fprintln(w, "  /timeseries.json  per-GPU power/cap/energy + per-worker series")
 		fmt.Fprintln(w, "  /decisions.json   scheduler decision log")
+		fmt.Fprintln(w, "  /surface          merged efficiency surface so far (?metric=gflops_per_w|edp|ed2p)")
 	})
 	return mux
 }

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSnapshotImmutableUnderWrites: a snapshot is a deep copy — values
+// captured at snapshot time must not change when the live registry keeps
+// mutating underneath it.
+func TestSnapshotImmutableUnderWrites(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("mut_total", "M.", "k")
+	h := reg.NewHistogram("mut_seconds", "M.", []float64{1, 10}, "k")
+	c.With("a").Add(5)
+	h.With("a").Observe(0.5)
+
+	snap := reg.Snapshot()
+
+	// Mutate heavily after the snapshot was taken.
+	for i := 0; i < 1000; i++ {
+		c.With("a").Inc()
+		h.With("a").Observe(float64(i))
+	}
+
+	for _, fam := range snap {
+		switch fam.Name {
+		case "mut_total":
+			if got := fam.Series[0].Value; got != 5 {
+				t.Errorf("snapshot counter mutated: %v, want 5", got)
+			}
+		case "mut_seconds":
+			s := fam.Series[0]
+			if s.Count != 1 || s.Sum != 0.5 {
+				t.Errorf("snapshot histogram mutated: count=%d sum=%v", s.Count, s.Sum)
+			}
+			if len(s.Buckets) != 3 || s.Buckets[0].Count != 1 || s.Buckets[2].Count != 1 {
+				t.Errorf("snapshot buckets mutated: %+v", s.Buckets)
+			}
+		}
+	}
+}
+
+// TestSnapshotConsistentUnderConcurrentWrites takes snapshots while
+// writers hammer the registry: every snapshot must be internally
+// consistent (histogram bucket counts monotone in le, +Inf equals the
+// series count) and sorted.  Meaningful under -race.
+func TestSnapshotConsistentUnderConcurrentWrites(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("conc_seconds", "C.", []float64{0.1, 1, 10}, "g")
+	g := reg.NewGauge("conc_val", "C.", "g")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			label := string(rune('a' + id))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.With(label).Observe(float64(i%20) / 2)
+				g.With(label).Set(float64(i))
+			}
+		}(w)
+	}
+
+	for iter := 0; iter < 50; iter++ {
+		snap := reg.Snapshot()
+		for fi, fam := range snap {
+			if fi > 0 && snap[fi-1].Name > fam.Name {
+				t.Fatalf("families not sorted: %s > %s", snap[fi-1].Name, fam.Name)
+			}
+			for _, s := range fam.Series {
+				var prev uint64
+				for _, b := range s.Buckets {
+					if b.Count < prev {
+						t.Fatalf("%s: bucket counts not cumulative: %+v", fam.Name, s.Buckets)
+					}
+					prev = b.Count
+				}
+				if n := len(s.Buckets); n > 0 && s.Buckets[n-1].Count != s.Count {
+					t.Fatalf("%s: +Inf bucket %d != count %d", fam.Name, s.Buckets[n-1].Count, s.Count)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSnapshotSeriesSorted: series within a family are sorted by label
+// values regardless of first-use order, so exports are deterministic.
+func TestSnapshotSeriesSorted(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("s_total", "S.", "k")
+	for _, k := range []string{"z", "m", "a", "q"} {
+		c.With(k).Inc()
+	}
+	snap := reg.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("families = %d", len(snap))
+	}
+	var got []string
+	for _, s := range snap[0].Series {
+		got = append(got, s.Labels["k"])
+	}
+	want := []string{"a", "m", "q", "z"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series order = %v, want %v", got, want)
+		}
+	}
+}

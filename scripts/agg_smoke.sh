@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Aggregation smoke test: the telemetry rollup surface must be a pure
+# function of the grid, independent of worker count and of crashes.
+#
+#   1. Run a checkpointed grid with -agg-dir at -parallel 4 (clean).
+#   2. Re-run at -parallel 1 and require surface.json and rollups.jsonl
+#      to be byte-identical (merge-order independence).
+#   3. Run again with a SIGKILL mid-sweep, resume from the journal, and
+#      require the resumed artifacts to be byte-identical too
+#      (crash-survival: restored cells rebuild the same rollups).
+#
+# stream.jsonl is deliberately NOT compared: it is the completion-order
+# export stream and is documented as non-canonical.
+#
+# On a fast machine the kill may land after the sweep finished; that run
+# still exercises the full-journal resume path and the diff still gates.
+set -euo pipefail
+
+GO=${GO:-go}
+ARGS=(grid -platform 24-Intel-2-V100 -scale 2 -seed 7)
+KILL_AFTER=${KILL_AFTER:-0.7}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+$GO build -o "$work/capbench" ./cmd/capbench
+
+echo "agg-smoke: clean run, -parallel 4" >&2
+"$work/capbench" "${ARGS[@]}" -parallel 4 -agg-dir "$work/agg4" \
+    > "$work/out4.txt" 2> "$work/err4.txt"
+
+echo "agg-smoke: clean run, -parallel 1" >&2
+"$work/capbench" "${ARGS[@]}" -parallel 1 -agg-dir "$work/agg1" \
+    > "$work/out1.txt" 2> "$work/err1.txt"
+
+for f in surface.json rollups.jsonl; do
+    if ! cmp -s "$work/agg4/$f" "$work/agg1/$f"; then
+        echo "agg-smoke: FAIL — $f differs between -parallel 4 and -parallel 1" >&2
+        diff "$work/agg4/$f" "$work/agg1/$f" | head -20 >&2
+        exit 1
+    fi
+done
+echo "agg-smoke: OK — artifacts identical across worker counts" >&2
+
+echo "agg-smoke: checkpointed run, SIGKILL after ${KILL_AFTER}s" >&2
+"$work/capbench" "${ARGS[@]}" -parallel 4 -agg-dir "$work/aggk" \
+    -checkpoint "$work/ck" > /dev/null 2> "$work/errk.txt" &
+pid=$!
+sleep "$KILL_AFTER"
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+done_cells=$(grep -c '"status":"done"' "$work/ck/journal.jsonl" || true)
+echo "agg-smoke: journal holds $done_cells completed cell(s)" >&2
+
+echo "agg-smoke: resuming at -parallel 2" >&2
+rm -rf "$work/aggk"
+"$work/capbench" "${ARGS[@]}" -parallel 2 -agg-dir "$work/aggk" \
+    -checkpoint "$work/ck" -resume > "$work/outk.txt" 2> "$work/errk2.txt"
+grep 'agg:' "$work/errk2.txt" >&2 || true
+
+for f in surface.json rollups.jsonl; do
+    if ! cmp -s "$work/agg4/$f" "$work/aggk/$f"; then
+        echo "agg-smoke: FAIL — $f differs after kill+resume" >&2
+        diff "$work/agg4/$f" "$work/aggk/$f" | head -20 >&2
+        exit 1
+    fi
+done
+if ! cmp -s "$work/out4.txt" "$work/outk.txt"; then
+    echo "agg-smoke: FAIL — resumed stdout differs from the clean run" >&2
+    exit 1
+fi
+echo "agg-smoke: OK — merged surface byte-identical after kill+resume" >&2
