@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench bench-json fuzz-short chaos-short resume-short agg-short trace-demo clean
+.PHONY: all build vet test check bench bench-json bench-gate fuzz-short chaos-short resume-short agg-short trace-demo clean
 
 # How long each fuzz target runs under fuzz-short (CI uses the default).
 FUZZTIME ?= 10s
@@ -31,15 +31,39 @@ check:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# Machine-readable sweep baseline: run the parallel-executor benchmark
-# and extract its "BENCH {...}" JSON line into BENCH_sweep.json.  The
-# committed file is the reference point; CI regenerates it as a build
-# artifact so regressions are diffable across runs.
+# Provenance stamped into the benchmark trajectories.  Overridable so
+# CI (or a reproducer) can pin them; BENCH_PASS labels which
+# optimization pass a BENCH_hotpath.json entry belongs to.
+GIT_SHA ?= $(shell git rev-parse --short HEAD)
+BENCH_DATE ?= $(shell date -u +%F)
+BENCH_PASS ?= $(GIT_SHA)
+
+# Machine-readable benchmark trajectories: run the parallel-executor
+# benchmark and the serial hot-path benchmark, then append their BENCH
+# JSON lines — stamped with git SHA, date and pass label — to the
+# committed JSONL trajectories (BENCH_sweep.json, BENCH_hotpath.json).
+# Appending (not overwriting) keeps the perf history reviewable in
+# every PR's diff; benchgate replaces the last entry when re-run at the
+# same commit, so the target is idempotent.
 bench-json:
 	$(GO) test -bench 'BenchmarkParallelSpeedup' -benchtime 1x -run '^$$' . \
-	    | sed -n 's/^BENCH //p' > BENCH_sweep.json
-	@test -s BENCH_sweep.json || { echo "bench-json: no BENCH line captured" >&2; exit 1; }
-	@cat BENCH_sweep.json
+	    | sed -n 's/^BENCH //p' > /tmp/bench_sweep_line.json
+	@test -s /tmp/bench_sweep_line.json || { echo "bench-json: no BENCH line captured" >&2; exit 1; }
+	$(GO) run ./scripts/benchgate -mode append -file BENCH_sweep.json \
+	    -measured /tmp/bench_sweep_line.json -sha $(GIT_SHA) -date $(BENCH_DATE)
+	$(GO) test -bench 'BenchmarkHotpathCells' -benchtime 1x -run '^$$' ./internal/benchcheck \
+	    | sed -n 's/^BENCH_HOTPATH //p' > /tmp/bench_hotpath_line.json
+	@test -s /tmp/bench_hotpath_line.json || { echo "bench-json: no BENCH_HOTPATH line captured" >&2; exit 1; }
+	$(GO) run ./scripts/benchgate -mode append -file BENCH_hotpath.json \
+	    -measured /tmp/bench_hotpath_line.json -sha $(GIT_SHA) -date $(BENCH_DATE) -pass "$(BENCH_PASS)"
+
+# Hot-path regression gate (the CI bench-gate job): warmup + measured
+# run of the reduced Fig. 4 benchmark, compared against the newest
+# committed BENCH_hotpath.json entry.  Noise-tolerant on wall clock
+# (BENCH_GATE_TOLERANCE), strict on allocations; drops pprof profiles
+# in bench-artifacts/ when it fails.
+bench-gate:
+	GO="$(GO)" bash scripts/bench_gate.sh
 
 # Short coverage-guided fuzz pass over both fuzz targets: the plan
 # parser (input validation) and the event engine (ordering/determinism

@@ -1,0 +1,88 @@
+package benchcheck
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/prec"
+)
+
+// fig4Rows is the reduced Fig. 4 grid the hot-path trajectory is
+// measured on: every single-precision Table II row at the same
+// reduction the top-level Fig. 4 benchmarks use (GEMM at full order,
+// POTRF at half order, tile sizes untouched).  At these sizes a cell
+// pushes hundreds to thousands of tasks through eventsim and dmdas, so
+// the measurement is dominated by the hot path, not per-cell setup.
+func fig4Rows(tb testing.TB) []core.TableIIRow {
+	var rows []core.TableIIRow
+	for _, r := range core.TableII {
+		if r.Precision != prec.Single {
+			continue
+		}
+		scale := 1
+		if r.Op == core.POTRF {
+			scale = 2
+		}
+		nt := r.N / r.NB / scale
+		if nt < 4 {
+			nt = 4
+		}
+		r.N = nt * r.NB
+		rows = append(rows, r)
+	}
+	if len(rows) != 6 {
+		tb.Fatalf("expected 6 single-precision Table II rows, got %d", len(rows))
+	}
+	return rows
+}
+
+// BenchmarkHotpathCells is the speed side of the optimization gate: it
+// sweeps the reduced Fig. 4 grid serially (Workers: 1, so the number is
+// the single-cell hot path, not the executor's parallelism) and prints
+// a machine-readable "BENCH_HOTPATH {...}" line with cells/sec,
+// ns/cell, allocs/cell and bytes/cell.  `make bench-json` appends the
+// line (plus git SHA and date) to BENCH_hotpath.json; scripts/
+// bench_gate.sh compares a fresh measurement against the committed
+// trajectory and fails CI on regression.
+//
+// Allocation counts are measured over the whole sweep with
+// runtime.ReadMemStats rather than b.ReportAllocs so they land in the
+// same JSON line as the timing; the sweep is serial, so the delta is
+// exact up to background runtime noise.
+func BenchmarkHotpathCells(b *testing.B) {
+	rows := fig4Rows(b)
+	opt := core.SweepOptions{Seed: 1}
+
+	var elapsed time.Duration
+	var mallocs, bytes uint64
+	cells := 0
+	for i := 0; i < b.N; i++ {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		res, err := core.ParallelSweep(rows, opt, core.ParallelOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed = time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		mallocs = m1.Mallocs - m0.Mallocs
+		bytes = m1.TotalAlloc - m0.TotalAlloc
+		cells = 0
+		for _, row := range res {
+			cells += len(row)
+		}
+	}
+
+	cellsPerSec := float64(cells) / elapsed.Seconds()
+	nsPerCell := float64(elapsed.Nanoseconds()) / float64(cells)
+	allocsPerCell := float64(mallocs) / float64(cells)
+	bytesPerCell := float64(bytes) / float64(cells)
+	b.ReportMetric(cellsPerSec, "cells/s")
+	b.ReportMetric(allocsPerCell, "allocs/cell")
+	fmt.Printf("BENCH_HOTPATH {\"name\":\"hotpath_fig4_reduced\",\"cells\":%d,\"gomaxprocs\":%d,\"cells_per_sec\":%.2f,\"ns_per_cell\":%.0f,\"allocs_per_cell\":%.0f,\"bytes_per_cell\":%.0f}\n",
+		cells, runtime.GOMAXPROCS(0), cellsPerSec, nsPerCell, allocsPerCell, bytesPerCell)
+}
