@@ -34,7 +34,11 @@ bench:
 # Provenance stamped into the benchmark trajectories.  Overridable so
 # CI (or a reproducer) can pin them; BENCH_PASS labels which
 # optimization pass a BENCH_hotpath.json entry belongs to.
-GIT_SHA ?= $(shell git rev-parse --short HEAD)
+# `describe --always --dirty` marks entries measured with uncommitted
+# changes: a pass's entry is measured and committed together, so it
+# reads "<parent sha>-dirty" — the code is the parent plus the diff of
+# the very commit carrying the entry.  The pass label is the stable key.
+GIT_SHA ?= $(shell git describe --always --dirty 2>/dev/null || git rev-parse --short HEAD)
 BENCH_DATE ?= $(shell date -u +%F)
 BENCH_PASS ?= $(GIT_SHA)
 

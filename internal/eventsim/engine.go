@@ -9,39 +9,106 @@
 package eventsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/units"
 )
 
-// Event is a callback scheduled to fire at a virtual timestamp.
-type Event struct {
+// event is a callback scheduled to fire at a virtual timestamp.  It is
+// stored by value in the queue: scheduling allocates nothing per event,
+// only (rarely) to grow the backing array.
+type event struct {
 	at  units.Seconds
 	seq uint64
 	fn  func()
 }
 
-// eventHeap orders events by (time, insertion sequence).
-type eventHeap []*Event
+// eventQueue is a slice-backed binary min-heap ordered by (time,
+// insertion sequence).  That key is a strict total order — no two
+// events compare equal — so the pop sequence is a pure function of the
+// pushed set and the internal heap layout can never affect simulation
+// order (the replayability contract of the package).
+type eventQueue []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (q eventQueue) less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
 	}
-	return h[i].seq < h[j].seq
+	return q[i].seq < q[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (q eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (q eventQueue) siftDown(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+}
+
+// poolingEnabled gates the backing-array pools (here and in spantrace).
+// It exists for the pooled-vs-unpooled property test: disabling pools
+// must not change a single output bit.
+var poolingEnabled atomic.Bool
+
+func init() { poolingEnabled.Store(true) }
+
+// SetPooling toggles backing-array recycling; it returns the previous
+// setting.  Test-only: flipping it mid-simulation is safe (the queue
+// just stops/starts recycling) but it is global, so tests that disable
+// pooling must not run in parallel with tests that assume it.
+func SetPooling(enabled bool) bool { return poolingEnabled.Swap(enabled) }
+
+// PoolingEnabled reports whether backing-array recycling is on.
+func PoolingEnabled() bool { return poolingEnabled.Load() }
+
+// queuePool recycles event-queue backing arrays across engines (one
+// engine per simulated cell, so a sweep would otherwise regrow the
+// array once per cell).  Ownership rule: an array enters the pool only
+// via Engine recycling a fully drained queue — length zero, so no fn
+// references survive — and leaves it zero-length via At.
+var queuePool sync.Pool // holds *eventQueue
+
+func getQueue() eventQueue {
+	if !poolingEnabled.Load() {
+		return nil
+	}
+	if p, ok := queuePool.Get().(*eventQueue); ok && p != nil {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+func putQueue(q eventQueue) {
+	if !poolingEnabled.Load() || cap(q) == 0 {
+		return
+	}
+	q = q[:0]
+	queuePool.Put(&q)
 }
 
 // Engine is a discrete-event simulation loop.
@@ -49,7 +116,7 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now    units.Seconds
 	seq    uint64
-	events eventHeap
+	events eventQueue
 	// Meters registered with the engine are finalised by Run so their
 	// energy integrals extend to the end of simulated time.
 	meters []*PowerMeter
@@ -72,8 +139,12 @@ func (e *Engine) At(t units.Seconds, fn func()) {
 	if math.IsNaN(float64(t)) {
 		panic("eventsim: scheduling event at NaN time")
 	}
+	if e.events == nil {
+		e.events = getQueue()
+	}
 	e.seq++
-	heap.Push(&e.events, &Event{at: t, seq: e.seq, fn: fn})
+	e.events = append(e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events.siftUp(len(e.events) - 1)
 }
 
 // After schedules fn to run dt after the current time.
@@ -90,13 +161,30 @@ func (e *Engine) Pending() int { return len(e.events) }
 // Step fires the earliest event, advancing the clock to its timestamp.
 // It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	n := len(e.events)
+	if n == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*Event)
+	ev := e.events[0]
+	e.events[0] = e.events[n-1]
+	e.events[n-1] = event{} // drop the fn reference for GC
+	e.events = e.events[:n-1]
+	if n > 2 {
+		e.events.siftDown(0)
+	}
 	e.now = ev.at
 	ev.fn()
 	return true
+}
+
+// recycle returns a drained queue's backing array to the pool.  Only a
+// zero-length queue ever enters the pool, so recycled arrays carry no
+// live events and re-pushing after recycling starts from a clean slate.
+func (e *Engine) recycle() {
+	if len(e.events) == 0 && e.events != nil {
+		putQueue(e.events)
+		e.events = nil
+	}
 }
 
 // Run fires events until the queue drains, then closes all registered
@@ -104,6 +192,7 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run() units.Seconds {
 	for e.Step() {
 	}
+	e.recycle()
 	for _, m := range e.meters {
 		m.sync(e.now)
 	}
@@ -116,6 +205,7 @@ func (e *Engine) RunUntil(deadline units.Seconds) {
 	for len(e.events) > 0 && e.events[0].at <= deadline {
 		e.Step()
 	}
+	e.recycle()
 	if e.now < deadline {
 		e.now = deadline
 	}

@@ -1,0 +1,135 @@
+package eventsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestTieBreakFIFO pins the package's replayability contract on the
+// slice-backed queue: events scheduled for the same timestamp fire in
+// exactly their scheduling order, even interleaved with earlier and
+// later timestamps.
+func TestTieBreakFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	rec := func(id int) func() { return func() { got = append(got, id) } }
+
+	e.At(5, rec(0))
+	e.At(2, rec(1))
+	e.At(5, rec(2))
+	e.At(2, rec(3))
+	e.At(5, rec(4))
+	e.At(1, rec(5))
+	e.At(2, rec(6))
+	e.Run()
+
+	want := []int{5, 1, 3, 6, 0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order %v, want %v (FIFO at equal timestamps)", got, want)
+		}
+	}
+}
+
+// TestPopLastElement drains the queue to exactly empty through Step and
+// checks the boundary: popping the final element, then a Step on the
+// empty queue, then scheduling again from empty.
+func TestPopLastElement(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1, func() { fired++ })
+	if !e.Step() {
+		t.Fatal("Step on a one-element queue reported empty")
+	}
+	if fired != 1 || e.Pending() != 0 {
+		t.Fatalf("after popping the last element: fired=%d pending=%d", fired, e.Pending())
+	}
+	if e.Step() {
+		t.Fatal("Step on an empty queue reported an event")
+	}
+	// Re-push from empty: the queue must behave like new.
+	e.At(2, func() { fired++ })
+	e.At(2, func() { fired++ })
+	e.Run()
+	if fired != 3 {
+		t.Fatalf("fired %d events total, want 3", fired)
+	}
+}
+
+// TestRePushAfterRecycle runs a full drain (which donates the backing
+// array to the pool), then schedules a fresh load through the same
+// engine and through a new engine (which may adopt the recycled array),
+// checking order and count both times.  Guards against a recycled array
+// resurfacing with stale length or contents.
+func TestRePushAfterRecycle(t *testing.T) {
+	defer SetPooling(SetPooling(true))
+
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(units.Seconds(100-i), func() { got = append(got, i) })
+	}
+	e.Run()
+	if len(got) != 100 || got[0] != 99 || got[99] != 0 {
+		t.Fatalf("first drain misfired: %d events, ends %d..%d", len(got), got[0], got[len(got)-1])
+	}
+
+	// Same engine, after its queue was recycled.
+	got = got[:0]
+	e.At(200, func() { got = append(got, 1) })
+	e.At(150, func() { got = append(got, 0) })
+	e.Run()
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("re-push after recycle fired %v, want [0 1]", got)
+	}
+
+	// Fresh engine adopting a pooled array: a randomized schedule must
+	// still fire in (time, seq) order.
+	e2 := NewEngine()
+	rng := rand.New(rand.NewSource(7))
+	type key struct {
+		at  units.Seconds
+		seq int
+	}
+	var fired []key
+	for i := 0; i < 500; i++ {
+		i := i
+		at := units.Seconds(rng.Intn(50))
+		e2.At(at, func() { fired = append(fired, key{at, i}) })
+	}
+	e2.Run()
+	if len(fired) != 500 {
+		t.Fatalf("fired %d events, want 500", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		a, b := fired[i-1], fired[i]
+		if a.at > b.at || (a.at == b.at && a.seq > b.seq) {
+			t.Fatalf("event %d fired out of (time, seq) order: %v then %v", i, a, b)
+		}
+	}
+}
+
+// TestPoolingToggleSafe checks SetPooling's contract: disabling pools
+// mid-run changes no behaviour, only recycling.
+func TestPoolingToggleSafe(t *testing.T) {
+	defer SetPooling(SetPooling(false))
+
+	e := NewEngine()
+	fired := 0
+	e.At(1, func() { fired++ })
+	e.Run()
+	e.At(2, func() { fired++ })
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d events with pooling disabled, want 2", fired)
+	}
+	if PoolingEnabled() {
+		t.Fatal("PoolingEnabled() true after SetPooling(false)")
+	}
+}

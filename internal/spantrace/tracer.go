@@ -3,7 +3,9 @@ package spantrace
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/eventsim"
 	"repro/internal/starpu"
 	"repro/internal/units"
 )
@@ -42,10 +44,38 @@ type Tracer struct {
 	reasons map[int]string // task ID -> last scheduler decision reason
 }
 
+// spanPool recycles span backing arrays across tracers (one tracer per
+// traced cell).  Ownership rule: Finalize copies the spans into the
+// returned Trace and only then donates its emptied backing array; a
+// recycled array re-enters service zero-length via NewTracer, so no
+// stale span is ever visible.  The pool is gated by the same switch as
+// the eventsim queue pool (eventsim.SetPooling) so the pooled-vs-
+// unpooled property test flips every pool at once.
+var spanPool sync.Pool // holds *[]Span
+
+func getSpans() []Span {
+	if !eventsim.PoolingEnabled() {
+		return nil
+	}
+	if p, ok := spanPool.Get().(*[]Span); ok && p != nil {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+func putSpans(s []Span) {
+	if !eventsim.PoolingEnabled() || cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	spanPool.Put(&s)
+}
+
 // NewTracer builds a tracer over the given machine model.
 func NewTracer(model Model) *Tracer {
 	return &Tracer{
 		model:   model,
+		spans:   getSpans(),
 		open:    make(map[int]int),
 		reasons: make(map[int]string),
 	}
@@ -146,6 +176,8 @@ func (tr *Tracer) Finalize(measured map[string]units.Joules) *Trace {
 	}
 
 	out.Spans = append(out.Spans, tr.spans...)
+	putSpans(tr.spans) // the Trace owns the copy; the backing recycles
+	tr.spans = nil
 	// Retries duplicate task IDs (the aborted attempt plus the rerun), so
 	// the sort falls back to start time: attempts stay in execution order.
 	sort.Slice(out.Spans, func(i, j int) bool {
