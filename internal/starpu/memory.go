@@ -188,13 +188,15 @@ func (rt *Runtime) canFit(t *Task, node int) bool {
 	if !ok {
 		return true
 	}
-	inSet := make(map[*Handle]bool, len(t.Handles))
+	// Working sets are a handful of handles, so membership tests scan the
+	// slice instead of building a set: canFit runs on every pop and every
+	// blocked-task retry, and the per-call map was a top-ten allocation
+	// site in the cell profile.
 	var needed units.Bytes
-	for _, h := range t.Handles {
-		if inSet[h] {
+	for i, h := range t.Handles {
+		if containsHandle(t.Handles[:i], h) {
 			continue
 		}
-		inSet[h] = true
 		if _, resident := mem.elems[h]; !resident {
 			needed += h.bytes
 		}
@@ -203,11 +205,21 @@ func (rt *Runtime) canFit(t *Task, node int) bool {
 	var evictable units.Bytes
 	for e := mem.lru.Front(); e != nil; e = e.Next() {
 		h := e.Value.(*Handle)
-		if !inSet[h] && mem.pins[h] == 0 {
+		if !containsHandle(t.Handles, h) && mem.pins[h] == 0 {
 			evictable += h.bytes
 		}
 	}
 	return needed <= free+evictable
+}
+
+// containsHandle reports whether h appears in hs (identity match).
+func containsHandle(hs []*Handle, h *Handle) bool {
+	for _, x := range hs {
+		if x == h {
+			return true
+		}
+	}
+	return false
 }
 
 // assertCouldFit panics when t's deduplicated working set exceeds the
@@ -217,11 +229,9 @@ func (rt *Runtime) assertCouldFit(t *Task, node int) {
 	if !ok {
 		return
 	}
-	seen := make(map[*Handle]bool, len(t.Handles))
 	var total units.Bytes
-	for _, h := range t.Handles {
-		if !seen[h] {
-			seen[h] = true
+	for i, h := range t.Handles {
+		if !containsHandle(t.Handles[:i], h) {
 			total += h.bytes
 		}
 	}

@@ -34,6 +34,12 @@ type Worker struct {
 	running []*Task
 	dead    bool
 
+	// wake is the worker's preallocated poll callback (rt.tryStart(w)),
+	// built once at runtime construction: workers are woken on every
+	// push and completion, and a fresh closure per wake was a measurable
+	// allocation source on the hot path.
+	wake func()
+
 	// Statistics.
 	tasksRun int
 	busyTime units.Seconds
@@ -130,7 +136,9 @@ func New(machine Machine, cfg Config) (*Runtime, error) {
 	}
 	rt := &Runtime{machine: machine, cfg: cfg, model: cfg.Model, lastWorker: -1}
 	for i := 0; i < machine.NumWorkers(); i++ {
-		rt.workers = append(rt.workers, &Worker{ID: i, Info: machine.Worker(i)})
+		w := &Worker{ID: i, Info: machine.Worker(i)}
+		w.wake = func() { rt.tryStart(w) }
+		rt.workers = append(rt.workers, w)
 	}
 	sched, err := newScheduler(cfg.Scheduler)
 	if err != nil {
@@ -265,15 +273,14 @@ func (rt *Runtime) WakeWorker(i int) {
 	if w.dead || w.inflight >= w.pipelineDepth() {
 		return
 	}
-	rt.machine.Engine().After(0, func() { rt.tryStart(w) })
+	rt.machine.Engine().After(0, w.wake)
 }
 
 // WakeAll prompts every worker with pipeline room.
 func (rt *Runtime) WakeAll() {
 	for _, w := range rt.workers {
 		if !w.dead && w.inflight < w.pipelineDepth() {
-			w := w
-			rt.machine.Engine().After(0, func() { rt.tryStart(w) })
+			rt.machine.Engine().After(0, w.wake)
 		}
 	}
 }

