@@ -60,6 +60,13 @@ type workerDesc struct {
 	info starpu.WorkerInfo
 	gpu  int // GPU index for CUDA workers, -1 otherwise
 	pkg  int // package owning this worker's core (CPU worker or pinned core)
+
+	// Memoized WorkerClass string.  classLimit is the power limit the
+	// string was rendered for and classBare whether it was rendered under
+	// ClassIgnoresCap; the string is rebuilt only when either changes.
+	class      string
+	classLimit units.Watts
+	classBare  bool
 }
 
 // Platform is a live simulated node.
@@ -182,19 +189,38 @@ func (p *Platform) NumWorkers() int { return len(p.workers) }
 func (p *Platform) Worker(i int) starpu.WorkerInfo { return p.workers[i].info }
 
 // WorkerClass embeds the device's current power limit, so performance
-// model entries are keyed per power state.
+// model entries are keyed per power state.  The rendered string is
+// cached per worker and rebuilt only when the device's limit changes:
+// the schedulers ask for every candidate worker of every push, and the
+// Sprintf here was the single largest CPU and allocation site in the
+// cell profile.  Returning the identical string instance also lets the
+// runtime's estimate cache compare classes by pointer.
 func (p *Platform) WorkerClass(i int) string {
-	w := p.workers[i]
-	if p.ClassIgnoresCap {
+	w := &p.workers[i]
+	var limit units.Watts
+	if !p.ClassIgnoresCap {
 		if w.gpu >= 0 {
-			return fmt.Sprintf("cuda%d", w.gpu)
+			limit = p.gpus[w.gpu].PowerLimit()
+		} else {
+			limit = p.packages[w.pkg].PowerLimit()
 		}
-		return fmt.Sprintf("cpu%d", w.pkg)
 	}
-	if w.gpu >= 0 {
-		return fmt.Sprintf("cuda%d@%.0fW", w.gpu, float64(p.gpus[w.gpu].PowerLimit()))
+	if w.class != "" && w.classBare == p.ClassIgnoresCap && w.classLimit == limit {
+		return w.class
 	}
-	return fmt.Sprintf("cpu%d@%.0fW", w.pkg, float64(p.packages[w.pkg].PowerLimit()))
+	w.classBare = p.ClassIgnoresCap
+	w.classLimit = limit
+	switch {
+	case p.ClassIgnoresCap && w.gpu >= 0:
+		w.class = fmt.Sprintf("cuda%d", w.gpu)
+	case p.ClassIgnoresCap:
+		w.class = fmt.Sprintf("cpu%d", w.pkg)
+	case w.gpu >= 0:
+		w.class = fmt.Sprintf("cuda%d@%.0fW", w.gpu, float64(limit))
+	default:
+		w.class = fmt.Sprintf("cpu%d@%.0fW", w.pkg, float64(limit))
+	}
+	return w.class
 }
 
 // CanRun gates codelets by worker kind; a CUDA worker whose board fell

@@ -140,6 +140,10 @@ func (rt *Runtime) EvictWorker(i int, reason string) Eviction {
 	rt.invalidateNode(w.Info.Node, i)
 	prefix := classPrefix(rt.machine.WorkerClass(i))
 	rt.model.Invalidate(func(class string) bool { return strings.HasPrefix(class, prefix) })
+	// The model invalidation above spans every power class the dead
+	// worker ever calibrated under; evictions are rare, so flush the
+	// whole estimate cache rather than matching entries by prefix.
+	clear(rt.estCache)
 
 	for _, t := range requeue {
 		if !rt.anyCanRun(t.Codelet) {

@@ -116,6 +116,16 @@ type Runtime struct {
 	// currently being pushed (locality hint for work stealing).
 	lastWorker int
 
+	// estCache memoizes estimate() results so the dm-family schedulers
+	// stop re-hashing composite string keys under the model's lock for
+	// every (ready task, candidate worker) pair.  Entries self-invalidate:
+	// each remembers the worker-class string and class generation it was
+	// computed under, so a cap change (new class string) or a completion
+	// recording new samples for the class (bumped classGen) turns the
+	// entry stale without any eager scan.
+	estCache map[estKey]estVal
+	classGen map[string]uint64
+
 	// Fault bookkeeping: evictions in order, tasks that exhausted their
 	// retry budget, tasks stranded with no surviving eligible worker.
 	evictions []Eviction
@@ -134,7 +144,14 @@ func New(machine Machine, cfg Config) (*Runtime, error) {
 	if cfg.TransferPenalty == 0 {
 		cfg.TransferPenalty = 2.5
 	}
-	rt := &Runtime{machine: machine, cfg: cfg, model: cfg.Model, lastWorker: -1}
+	rt := &Runtime{
+		machine:    machine,
+		cfg:        cfg,
+		model:      cfg.Model,
+		lastWorker: -1,
+		estCache:   make(map[estKey]estVal),
+		classGen:   make(map[string]uint64),
+	}
 	for i := 0; i < machine.NumWorkers(); i++ {
 		w := &Worker{ID: i, Info: machine.Worker(i)}
 		w.wake = func() { rt.tryStart(w) }
@@ -461,6 +478,9 @@ func (rt *Runtime) complete(w *Worker, t *Task) {
 	if rt.cfg.Regression != nil {
 		rt.cfg.Regression.Record(t.Codelet.Name, key.WorkerClass, t.Work, t.Duration())
 	}
+	// The new sample moved the model's mean (and regression fit) for this
+	// class; cached estimates rendered under the old generation are stale.
+	rt.classGen[key.WorkerClass]++
 
 	if rt.cfg.Observer != nil {
 		rt.cfg.Observer.TaskCompleted(w.ID, t)
@@ -498,19 +518,53 @@ func (rt *Runtime) Run() (units.Seconds, error) {
 	return engine.Now() - start, nil
 }
 
+// estKey identifies one memoized estimate.  The codelet is keyed by
+// pointer identity (codelets are per-kernel singletons); work is part of
+// the key because the regression model and the uncalibrated fallback
+// scale with flops, not footprint.
+type estKey struct {
+	codelet   *Codelet
+	footprint uint64
+	work      units.Flops
+	worker    int
+}
+
+// estVal is a memoized estimate plus the validity epoch it was computed
+// under (see Runtime.estCache).
+type estVal struct {
+	class      string
+	gen        uint64
+	dur        units.Seconds
+	calibrated bool
+}
+
 // estimate reports the model's prediction for t on worker i, falling
-// back to a work-proportional guess while uncalibrated.
+// back to a work-proportional guess while uncalibrated.  Results are
+// memoized per (codelet, footprint, work, worker) and trusted only
+// while the worker's class string and class generation are unchanged.
 func (rt *Runtime) estimate(t *Task, i int) (units.Seconds, bool) {
+	class := rt.machine.WorkerClass(i)
+	ck := estKey{codelet: t.Codelet, footprint: t.Footprint(), work: t.Work, worker: i}
+	gen := rt.classGen[class]
+	if v, ok := rt.estCache[ck]; ok && v.gen == gen && v.class == class {
+		return v.dur, v.calibrated
+	}
+	dur, calibrated := rt.estimateUncached(t, i, ck.footprint, class)
+	rt.estCache[ck] = estVal{class: class, gen: gen, dur: dur, calibrated: calibrated}
+	return dur, calibrated
+}
+
+func (rt *Runtime) estimateUncached(t *Task, i int, footprint uint64, class string) (units.Seconds, bool) {
 	key := perfmodel.Key{
 		Codelet:     t.Codelet.Name,
-		Footprint:   t.Footprint(),
-		WorkerClass: rt.machine.WorkerClass(i),
+		Footprint:   footprint,
+		WorkerClass: class,
 	}
 	if d, ok := rt.model.Estimate(key); ok {
 		return d, true
 	}
 	if rt.cfg.Regression != nil {
-		if d, ok := rt.cfg.Regression.Estimate(t.Codelet.Name, key.WorkerClass, t.Work); ok {
+		if d, ok := rt.cfg.Regression.Estimate(t.Codelet.Name, class, t.Work); ok {
 			return d, true
 		}
 	}

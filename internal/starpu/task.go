@@ -91,6 +91,12 @@ type Task struct {
 	succs []*Task
 	preds []*Task
 
+	// footprint memoizes Footprint(): handle geometry is immutable after
+	// registration, and the schedulers re-ask for every candidate worker
+	// of every push.
+	footprint    uint64
+	footprintSet bool
+
 	// Fault/recovery state (owned by the runtime).  attempt is the
 	// execution-attempt generation: every abort or eviction bumps it, and
 	// events scheduled for an earlier attempt no-op.  powerOn tracks
@@ -126,8 +132,11 @@ func (t *Task) Successors() []*Task { return t.succs }
 func (t *Task) Dependencies() []*Task { return t.preds }
 
 // Footprint hashes the task's buffer geometry, mirroring StarPU's
-// per-size history buckets.
+// per-size history buckets.  The hash is computed once per task.
 func (t *Task) Footprint() uint64 {
+	if t.footprintSet {
+		return t.footprint
+	}
 	h := fnv.New64a()
 	var buf [8]byte
 	put := func(v uint64) {
@@ -141,7 +150,9 @@ func (t *Task) Footprint() uint64 {
 			put(uint64(d))
 		}
 	}
-	return h.Sum64()
+	t.footprint = h.Sum64()
+	t.footprintSet = true
+	return t.footprint
 }
 
 // Handle is a registered piece of data (a matrix tile).  Its access
