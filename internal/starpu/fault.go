@@ -240,13 +240,13 @@ func (rt *Runtime) invalidateNode(node int, deadWorker int) {
 		}
 	}
 	for _, h := range rt.handles {
-		if !h.valid[node] {
+		if !h.valid.has(node) {
 			continue
 		}
-		delete(h.valid, node)
+		h.valid.clear(node)
 		rt.dropInvalid(h, node)
-		if len(h.ValidNodes()) == 0 {
-			h.valid[0] = true
+		if h.valid == 0 {
+			h.valid.set(0)
 		}
 	}
 }

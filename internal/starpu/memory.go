@@ -128,7 +128,7 @@ func (rt *Runtime) ensureResident(h *Handle, node int, from units.Seconds) units
 		}
 		// If this node holds the last valid copy, write it back to the
 		// host before dropping it.
-		if v.valid[node] && len(v.ValidNodes()) == 1 {
+		if v.valid.has(node) && v.valid.count() == 1 {
 			var end units.Seconds
 			if rt.cfg.DisableTransferModel {
 				end = from
@@ -138,10 +138,10 @@ func (rt *Runtime) ensureResident(h *Handle, node int, from units.Seconds) units
 			if end > ready {
 				ready = end
 			}
-			v.valid[0] = true
+			v.valid.set(0)
 			rt.memStats.WritebackBytes += v.bytes
 		}
-		delete(v.valid, node)
+		v.valid.clear(node)
 		mem.drop(v)
 		rt.memStats.Evictions++
 	}

@@ -84,7 +84,7 @@ func TestPopBestLocalPrefersResidentData(t *testing.T) {
 	local := rt.Register(nil, 8, 512, 512)
 	remote := rt.Register(nil, 8, 512, 512)
 	// Make `local` resident on node 1 (cuda0's memory).
-	local.valid[1] = true
+	local.valid.set(1)
 
 	q := taskQueue{sorted: true}
 	farTask := &Task{ID: 0, Priority: 5, Handles: []*Handle{remote}, Modes: []AccessMode{R}}

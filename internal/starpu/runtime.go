@@ -3,6 +3,7 @@ package starpu
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"repro/internal/perfmodel"
@@ -144,6 +145,9 @@ func New(machine Machine, cfg Config) (*Runtime, error) {
 	if cfg.TransferPenalty == 0 {
 		cfg.TransferPenalty = 2.5
 	}
+	if n := machine.NumNodes(); n > 64 {
+		return nil, fmt.Errorf("starpu: machine has %d memory nodes; the coherence bitset supports 64", n)
+	}
 	rt := &Runtime{
 		machine:    machine,
 		cfg:        cfg,
@@ -200,7 +204,7 @@ func (rt *Runtime) Register(data interface{}, elemBytes units.Bytes, dims ...int
 		bytes: units.Bytes(float64(n)) * elemBytes,
 		dims:  append([]int(nil), dims...),
 		data:  data,
-		valid: map[int]bool{0: true},
+		valid: 1, // host node
 	}
 	rt.handles = append(rt.handles, h)
 	return h
@@ -354,11 +358,11 @@ func (rt *Runtime) startTask(w *Worker, t *Task) {
 	// their links.
 	ready := stageAt
 	for i, h := range t.Handles {
-		if h.valid[node] {
+		if h.valid.has(node) {
 			continue
 		}
 		if t.Modes[i] == W {
-			h.valid[node] = true
+			h.valid.set(node)
 			continue
 		}
 		src := rt.pickSource(h, node)
@@ -374,18 +378,18 @@ func (rt *Runtime) startTask(w *Worker, t *Task) {
 		t.TransferBytes += h.bytes
 		// The copy becomes valid on the destination; reads keep other
 		// copies valid, writes invalidate them below.
-		h.valid[node] = true
+		h.valid.set(node)
 	}
 	// Coherence: writes leave the writer's node as sole owner.
 	for i, h := range t.Handles {
 		if t.Modes[i].writes() {
-			for n := range h.valid {
-				if n != node {
+			for s := uint64(h.valid); s != 0; s &= s - 1 {
+				if n := bits.TrailingZeros64(s); n != node {
 					rt.dropInvalid(h, n)
 				}
-				delete(h.valid, n)
 			}
-			h.valid[node] = true
+			h.valid = 0
+			h.valid.set(node)
 		}
 	}
 
@@ -447,7 +451,7 @@ func (rt *Runtime) startTask(w *Worker, t *Task) {
 func (rt *Runtime) pickSource(h *Handle, dst int) int {
 	best, bestT := 0, units.Seconds(math.Inf(1))
 	for n := 0; n < rt.machine.NumNodes(); n++ {
-		if !h.valid[n] {
+		if !h.valid.has(n) {
 			continue
 		}
 		tt := rt.machine.TransferTime(n, dst, h.bytes)
@@ -586,7 +590,7 @@ func (rt *Runtime) transferEstimate(t *Task, i int) units.Seconds {
 	node := rt.workers[i].Info.Node
 	var sum units.Seconds
 	for _, h := range t.Handles {
-		if h.valid[node] {
+		if h.valid.has(node) {
 			continue
 		}
 		src := rt.pickSource(h, node)
@@ -601,7 +605,7 @@ func (rt *Runtime) localBytes(t *Task, i int) units.Bytes {
 	node := rt.workers[i].Info.Node
 	var sum units.Bytes
 	for _, h := range t.Handles {
-		if h.valid[node] {
+		if h.valid.has(node) {
 			sum += h.bytes
 		}
 	}

@@ -14,6 +14,7 @@ package starpu
 import (
 	"fmt"
 	"hash/fnv"
+	"math/bits"
 
 	"repro/internal/prec"
 	"repro/internal/units"
@@ -155,6 +156,18 @@ func (t *Task) Footprint() uint64 {
 	return t.footprint
 }
 
+// nodeSet is a bitset of memory-node indices.  The runtime supports at
+// most 64 nodes (enforced at construction); real platforms have a
+// handful.  Coherence checks against this set run on every staging
+// decision, transfer estimate and locality score, where the previous
+// map-backed set was the top entry of the cell CPU profile.
+type nodeSet uint64
+
+func (s nodeSet) has(n int) bool { return s&(1<<uint(n)) != 0 }
+func (s *nodeSet) set(n int)     { *s |= 1 << uint(n) }
+func (s *nodeSet) clear(n int)   { *s &^= 1 << uint(n) }
+func (s nodeSet) count() int     { return bits.OnesCount64(uint64(s)) }
+
 // Handle is a registered piece of data (a matrix tile).  Its access
 // history drives implicit dependency inference, and its per-node
 // validity set implements MSI coherence during the simulated run.
@@ -164,8 +177,8 @@ type Handle struct {
 	dims  []int
 	data  interface{}
 
-	// valid[n] reports node n holds an up-to-date copy.
-	valid map[int]bool
+	// valid holds the nodes with an up-to-date copy.
+	valid nodeSet
 
 	// Sequential-consistency bookkeeping.
 	lastWriter *Task
@@ -182,15 +195,13 @@ func (h *Handle) Dims() []int { return h.dims }
 func (h *Handle) Data() interface{} { return h.data }
 
 // ValidOn reports whether node n holds an up-to-date copy.
-func (h *Handle) ValidOn(n int) bool { return h.valid[n] }
+func (h *Handle) ValidOn(n int) bool { return h.valid.has(n) }
 
-// ValidNodes lists nodes holding up-to-date copies (unordered).
+// ValidNodes lists nodes holding up-to-date copies, in ascending order.
 func (h *Handle) ValidNodes() []int {
-	out := make([]int, 0, len(h.valid))
-	for n, ok := range h.valid {
-		if ok {
-			out = append(out, n)
-		}
+	out := make([]int, 0, h.valid.count())
+	for s := uint64(h.valid); s != 0; s &= s - 1 {
+		out = append(out, bits.TrailingZeros64(s))
 	}
 	return out
 }

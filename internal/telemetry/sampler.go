@@ -77,6 +77,20 @@ type Sampler struct {
 	ticks   *CounterVec
 	capChg  *CounterVec
 
+	// Label formatting and labelled-series resolution dominated the
+	// per-tick cost, so every series the sampler writes is bound once at
+	// attach time; sample() then only sets values.  lastGPU/lastWorker
+	// remember what each gauge last held, making the mirror writes
+	// change-driven: a tick where a device's state did not move touches
+	// no gauge at all.
+	gpuBound   []gpuGauges
+	wkBound    []workerGauges
+	capBound   []Counter
+	ticksBound Counter
+	timeBound  Gauge
+	lastGPU    []GPUSample
+	lastWorker []WorkerSample
+
 	mu        sync.Mutex
 	gpuSeries [][]GPUSample
 	wkSeries  [][]WorkerSample
@@ -85,6 +99,11 @@ type Sampler struct {
 	lastT     units.Seconds
 	stopped   bool
 }
+
+// gpuGauges and workerGauges hold one device's bound series.
+type gpuGauges struct{ power, cap, level, energy Gauge }
+
+type workerGauges struct{ queue, inflight, busy, tasks Gauge }
 
 // AttachSampler builds a sampler over a platform and runtime, registers
 // its gauges in reg, and schedules the first tick on the platform's
@@ -138,6 +157,33 @@ func AttachSampler(reg *Registry, plat *platform.Platform, rt *starpu.Runtime, c
 	s.ticks = reg.NewCounter("capsim_sampler_ticks_total", "Samples taken.")
 	s.capChg = reg.NewCounter("capsim_cap_changes_total", "Cap changes observed per GPU.", "gpu")
 
+	for i := range s.handles {
+		label := fmt.Sprintf("%d", i)
+		s.gpuBound = append(s.gpuBound, gpuGauges{
+			power:  s.gPower.With(label),
+			cap:    s.gCap.With(label),
+			level:  s.gLevel.With(label),
+			energy: s.gEnergy.With(label),
+		})
+		s.capBound = append(s.capBound, s.capChg.With(label))
+	}
+	for _, w := range rt.Workers() {
+		name, kind := w.Info.Name, w.Info.Kind.String()
+		s.wkBound = append(s.wkBound, workerGauges{
+			queue:    s.wQueue.With(name, kind),
+			inflight: s.wFlight.With(name, kind),
+			busy:     s.wBusy.With(name, kind),
+			tasks:    s.wTasks.With(name, kind),
+		})
+	}
+	s.ticksBound = s.ticks.With()
+	s.timeBound = s.simTime.With()
+	// Binding a series creates it at zero, which is also what its
+	// zero-valued last-sample entry claims — so the change-driven writes
+	// below are correct from the very first tick.
+	s.lastGPU = make([]GPUSample, len(s.handles))
+	s.lastWorker = make([]WorkerSample, len(rt.Workers()))
+
 	plat.Engine().After(s.interval, s.tick)
 	return s, nil
 }
@@ -148,7 +194,11 @@ func (s *Sampler) Interval() units.Seconds { return s.interval }
 // ObserveCapChange records an exact cap-change event (wired to
 // dyncap.Controller.OnCapChange) next to the sampled series.
 func (s *Sampler) ObserveCapChange(t units.Seconds, gpu int, old, new units.Watts) {
-	s.capChg.With(fmt.Sprintf("%d", gpu)).Inc()
+	if gpu >= 0 && gpu < len(s.capBound) {
+		s.capBound[gpu].Inc()
+	} else {
+		s.capChg.With(fmt.Sprintf("%d", gpu)).Inc()
+	}
 	s.mu.Lock()
 	s.capEvents = append(s.capEvents, CapEvent{
 		T: float64(t), GPU: gpu, OldW: float64(old), NewW: float64(new),
@@ -169,14 +219,19 @@ func (s *Sampler) tick() {
 }
 
 // sample reads every GPU and worker once, updating gauges and series.
+// The retained series stay dense (one point per device per tick, the
+// sample-grid contract of /timeseries.json), but the live-gauge mirror
+// is change-driven — per-tick gauge work is proportional to the devices
+// whose state actually moved — and all appends happen under one lock
+// acquisition per tick instead of one per device.
 func (s *Sampler) sample() {
 	now := s.plat.Engine().Now()
-	s.ticks.With().Inc()
-	s.simTime.With().Set(float64(now))
+	s.ticksBound.Inc()
+	s.timeBound.Set(float64(now))
 
 	arch := s.plat.GPUArch
+	s.mu.Lock()
 	for i, h := range s.handles {
-		label := fmt.Sprintf("%d", i)
 		mw, _ := h.GetPowerUsage()
 		capMw, _ := h.GetPowerManagementLimit()
 		mj, _ := h.GetTotalEnergyConsumption()
@@ -184,17 +239,27 @@ func (s *Sampler) sample() {
 		capW := float64(capMw) / 1000
 		energy := float64(mj) / 1000
 		level, code := capLevel(units.Watts(capW), arch.MinPower, arch.TDP)
-		s.gPower.With(label).Set(power)
-		s.gCap.With(label).Set(capW)
-		s.gLevel.With(label).Set(code)
-		s.gEnergy.With(label).Set(energy)
-		s.appendGPU(i, GPUSample{T: float64(now), PowerW: power, CapW: capW, Level: level, EnergyJ: energy})
+		last := &s.lastGPU[i]
+		b := &s.gpuBound[i]
+		if power != last.PowerW {
+			b.power.Set(power)
+		}
+		if capW != last.CapW {
+			b.cap.Set(capW)
+			b.level.Set(code)
+		}
+		if energy != last.EnergyJ {
+			b.energy.Set(energy)
+		}
+		sm := GPUSample{T: float64(now), PowerW: power, CapW: capW, Level: level, EnergyJ: energy}
+		*last = sm
+		if len(s.gpuSeries[i]) < s.maxSamp {
+			s.gpuSeries[i] = append(s.gpuSeries[i], sm)
+		}
 	}
 
 	dt := now - s.lastT
 	for i, w := range s.rt.Workers() {
-		name := w.Info.Name
-		kind := w.Info.Kind.String()
 		queue := s.rt.QueueDepth(i)
 		busy := w.BusyTime()
 		frac := 0.0
@@ -203,32 +268,31 @@ func (s *Sampler) sample() {
 			frac = units.Clamp(frac, 0, 1)
 		}
 		s.lastBusy[i] = busy
-		s.wQueue.With(name, kind).Set(float64(queue))
-		s.wFlight.With(name, kind).Set(float64(w.Inflight()))
-		s.wBusy.With(name, kind).Set(frac)
-		s.wTasks.With(name, kind).Set(float64(w.TasksRun()))
-		s.appendWorker(i, WorkerSample{
+		sm := WorkerSample{
 			T: float64(now), Queue: queue, Inflight: w.Inflight(),
 			BusyFrac: frac, Tasks: w.TasksRun(),
-		})
+		}
+		last := &s.lastWorker[i]
+		b := &s.wkBound[i]
+		if sm.Queue != last.Queue {
+			b.queue.Set(float64(sm.Queue))
+		}
+		if sm.Inflight != last.Inflight {
+			b.inflight.Set(float64(sm.Inflight))
+		}
+		if sm.BusyFrac != last.BusyFrac {
+			b.busy.Set(sm.BusyFrac)
+		}
+		if sm.Tasks != last.Tasks {
+			b.tasks.Set(float64(sm.Tasks))
+		}
+		*last = sm
+		if len(s.wkSeries[i]) < s.maxSamp {
+			s.wkSeries[i] = append(s.wkSeries[i], sm)
+		}
 	}
+	s.mu.Unlock()
 	s.lastT = now
-}
-
-func (s *Sampler) appendGPU(i int, sm GPUSample) {
-	s.mu.Lock()
-	if len(s.gpuSeries[i]) < s.maxSamp {
-		s.gpuSeries[i] = append(s.gpuSeries[i], sm)
-	}
-	s.mu.Unlock()
-}
-
-func (s *Sampler) appendWorker(i int, sm WorkerSample) {
-	s.mu.Lock()
-	if len(s.wkSeries[i]) < s.maxSamp {
-		s.wkSeries[i] = append(s.wkSeries[i], sm)
-	}
-	s.mu.Unlock()
 }
 
 // capLevel maps a cap wattage onto the paper's L/B/H notation.
