@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sort"
 
 	"repro/internal/perfmodel"
 	"repro/internal/units"
@@ -226,18 +225,22 @@ func (rt *Runtime) Submit(t *Task) error {
 	t.ID = len(rt.tasks)
 	t.WorkerID = -1
 	t.SubmitT = rt.machine.Engine().Now()
-	deps := make(map[*Task]struct{})
+	// Dependency sets are a handful of tasks, so dedup scans a small
+	// stack-backed slice; the per-Submit map was the largest allocation
+	// site left in the cell profile.  A task never depends on itself.
+	var depsBacking [8]*Task
+	deps := depsBacking[:0]
 	for i, h := range t.Handles {
 		m := t.Modes[i]
 		if m.reads() && h.lastWriter != nil {
-			deps[h.lastWriter] = struct{}{}
+			deps = addDep(deps, t, h.lastWriter)
 		}
 		if m.writes() {
 			if h.lastWriter != nil {
-				deps[h.lastWriter] = struct{}{}
+				deps = addDep(deps, t, h.lastWriter)
 			}
 			for _, r := range h.readers {
-				deps[r] = struct{}{}
+				deps = addDep(deps, t, r)
 			}
 		}
 	}
@@ -245,7 +248,7 @@ func (rt *Runtime) Submit(t *Task) error {
 		if d == nil {
 			return fmt.Errorf("starpu: task %q declares a nil dependency", t.Tag)
 		}
-		deps[d] = struct{}{}
+		deps = addDep(deps, t, d)
 	}
 	// Update access history after scanning all handles, so a task that
 	// both reads and writes the same handle does not depend on itself.
@@ -259,16 +262,24 @@ func (rt *Runtime) Submit(t *Task) error {
 			h.readers = append(h.readers, t)
 		}
 	}
-	delete(deps, t)
-	for d := range deps {
+	for _, d := range deps {
 		t.preds = append(t.preds, d)
 		if !d.done {
 			t.ndeps++
 			d.succs = append(d.succs, t)
 		}
 	}
-	// The deps map iterates in random order; predecessors must not.
-	sort.Slice(t.preds, func(i, j int) bool { return t.preds[i].ID < t.preds[j].ID })
+	// Predecessors are reported in ascending ID order; insertion sort on
+	// the short slice avoids sort.Slice's reflection swapper allocation.
+	for i := 1; i < len(t.preds); i++ {
+		p := t.preds[i]
+		j := i - 1
+		for j >= 0 && t.preds[j].ID > p.ID {
+			t.preds[j+1] = t.preds[j]
+			j--
+		}
+		t.preds[j+1] = p
+	}
 	rt.tasks = append(rt.tasks, t)
 	rt.nPending++
 	if rt.cfg.Observer != nil {
@@ -278,6 +289,20 @@ func (rt *Runtime) Submit(t *Task) error {
 		rt.markReady(t)
 	}
 	return nil
+}
+
+// addDep appends d to deps unless it is self or already present
+// (identity dedup over the small slice).
+func addDep(deps []*Task, self, d *Task) []*Task {
+	if d == self {
+		return deps
+	}
+	for _, x := range deps {
+		if x == d {
+			return deps
+		}
+	}
+	return append(deps, d)
 }
 
 // markReady hands a dependency-free task to the scheduler.
