@@ -1,0 +1,53 @@
+package benchcheck
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eventsim"
+)
+
+// TestPoolingEquivalence is the property test behind the free-list
+// passes: recycling event-queue and span backing arrays is a pure
+// allocation optimization, so running with pools disabled must digest
+// bit-identically to running with pools enabled.  A divergence here
+// means a recycled array leaked state between cells (reuse before
+// reset), which the byte-identity corpus gate alone could mask if both
+// golden and candidate run pooled.
+//
+// The subset keeps the test cheap but must cover the two paths where
+// stale-state bugs would hide: faulted cells (queues recycled after an
+// abort) and traced cells (span arrays recycled into the trace buffer).
+func TestPoolingEquivalence(t *testing.T) {
+	cells := Corpus()
+	var subset []Cell
+	faulted, traced, plain := 0, 0, 0
+	for _, c := range cells {
+		switch {
+		case !c.Cfg.Faults.Zero() && faulted < 2:
+			faulted++
+		case c.Cfg.Trace && traced < 2:
+			traced++
+		case plain < 2:
+			plain++
+		default:
+			continue
+		}
+		subset = append(subset, c)
+	}
+	if faulted == 0 || traced == 0 {
+		t.Fatalf("corpus subset missing coverage: %d faulted, %d traced", faulted, traced)
+	}
+
+	pooled := runCorpus(t, subset, core.ParallelOptions{Workers: 1})
+
+	defer eventsim.SetPooling(eventsim.SetPooling(false))
+	unpooled := runCorpus(t, subset, core.ParallelOptions{Workers: 1})
+
+	for i, c := range subset {
+		if pooled[i] != unpooled[i] {
+			t.Errorf("cell %s: pooled digest differs from unpooled\npooled   %s\nunpooled %s",
+				c.Name, pooled[i], unpooled[i])
+		}
+	}
+}

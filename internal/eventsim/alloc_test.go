@@ -1,0 +1,35 @@
+package eventsim
+
+import "testing"
+
+// TestNoAllocsSteadyState pins the zero-allocation contract of the
+// event loop's inner step: once the queue's backing array has grown to
+// its working size, a pop-one/push-one steady state (an event that
+// reschedules itself, the shape of every poller in the simulator) must
+// not allocate.  A regression here — an event boxed back onto the heap,
+// a queue that re-grows — shows up as a fractional allocs-per-op long
+// before it is visible in the cell benchmark.
+func TestNoAllocsSteadyState(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	var fn func()
+	fn = func() { fired++; e.After(1, fn) }
+	e.After(1, fn)
+	// Warm the queue's backing array and the closure's captures.
+	for i := 0; i < 64; i++ {
+		if !e.Step() {
+			t.Fatal("queue drained during warmup")
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if !e.Step() {
+			t.Fatal("queue drained mid-measurement")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Step allocates %.2f times per op, want 0", allocs)
+	}
+	if fired < 1064 {
+		t.Fatalf("only %d events fired; the measurement loop did not run", fired)
+	}
+}

@@ -1,0 +1,85 @@
+package starpu
+
+import (
+	"testing"
+)
+
+// fixedClassMachine overrides testMachine's WorkerClass (which renders
+// a fresh string per call) with preinterned class strings, matching the
+// platform package's cached classes.  The steady-state allocation
+// contract below only holds against a machine that — like the real
+// one — does not allocate per class query.
+type fixedClassMachine struct {
+	*testMachine
+	classes []string
+}
+
+func (m *fixedClassMachine) WorkerClass(i int) string { return m.classes[i] }
+
+// TestNoAllocsSteadyState pins the zero-allocation contract of the
+// dmdas scoring kernel: with the performance model warm, scoring one
+// ready task against every worker (estimate + transfer estimate +
+// locality bytes, the body of dmSched.Push) and cycling the per-worker
+// priority queue must not allocate.
+func TestNoAllocsSteadyState(t *testing.T) {
+	m := newTestMachine()
+	fm := &fixedClassMachine{
+		testMachine: m,
+		classes:     []string{"cpu0@t", "cpu1@t", "cuda0@t", "cuda1@t"},
+	}
+	rt, err := New(fm, Config{Scheduler: "dmdas", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	handles := make([]*Handle, 8)
+	for i := range handles {
+		handles[i] = rt.Register(nil, 8, 64, 64)
+	}
+	for k := 0; k < 40; k++ {
+		task := &Task{
+			Codelet:  anyCodelet,
+			Handles:  []*Handle{handles[k%8], handles[(k+1)%8]},
+			Modes:    []AccessMode{R, RW},
+			Work:     1e9,
+			Priority: k % 4,
+		}
+		if err := rt.Submit(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scoring kernel: every worker's estimate for one warm task.
+	task := rt.Tasks()[20]
+	n := fm.NumWorkers()
+	allocs := testing.AllocsPerRun(500, func() {
+		for i := 0; i < n; i++ {
+			rt.estimate(task, i)
+			rt.transferEstimate(task, i)
+			rt.localBytes(task, i)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm dmdas scoring allocates %.2f times per task, want 0", allocs)
+	}
+
+	// Ready-queue steady state: push-one/pop-one through the sorted
+	// locality-aware pop the dmdas policy uses.
+	q := taskQueue{sorted: true}
+	q.push(task)
+	if q.popBestLocal(rt, 2) == nil {
+		t.Fatal("warmup pop returned nil")
+	}
+	allocs = testing.AllocsPerRun(500, func() {
+		q.push(task)
+		if q.popBestLocal(rt, 2) == nil {
+			t.Fatal("steady-state pop returned nil")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("queue push/pop cycle allocates %.2f times per op, want 0", allocs)
+	}
+}
