@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench bench-json bench-gate fuzz-short chaos-short resume-short agg-short trace-demo clean
+.PHONY: all build vet test check bench bench-json bench-gate fuzz-short chaos-short resume-short agg-short obs-short trace-demo clean
 
 # How long each fuzz target runs under fuzz-short (CI uses the default).
 FUZZTIME ?= 10s
@@ -92,6 +92,13 @@ resume-short:
 # worker counts and across a SIGKILL + -resume (DESIGN §13).
 agg-short:
 	GO="$(GO)" bash scripts/agg_smoke.sh
+
+# Observability smoke: a live sweep with -metrics-addr must serve the
+# /progress schema, the run-identity and runtime self-metric families,
+# a working /events SSE stream, persist events.jsonl, and render the
+# HTML sweep report (DESIGN §15).
+obs-short:
+	GO="$(GO)" bash scripts/obs_smoke.sh
 
 # Span-tracer smoke test: analyze a tiny POTRF under an unbalanced
 # plan and export a Chrome trace.  The analyze subcommand re-reads the

@@ -37,6 +37,8 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/obsreport"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/agg"
 )
@@ -57,6 +59,23 @@ func main() {
 	defer stop()
 	opts.ctx = ctx
 
+	// "report" is a pure reader: it renders the HTML sweep report from
+	// a finished (or crashed) run's artifacts and must never open a
+	// journal for writing or start a sweep.
+	if cmd == "report" {
+		if rerr := runReport(opts); rerr != nil {
+			fmt.Fprintf(os.Stderr, "capbench report: %v\n", rerr)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// The event bus underlies /events, /progress and the events.jsonl
+	// log; it exists whenever something will consume it.
+	if opts.metricsAddr != "" || opts.aggDir != "" {
+		opts.events = obs.NewBus()
+	}
+
 	if opts.checkpoint != "" {
 		m := ckpt.Manifest{Identity: checkpointIdentity(cmd, opts), RootSeed: opts.seed}
 		var jerr error
@@ -73,18 +92,49 @@ func main() {
 			fmt.Fprintf(os.Stderr, "capbench: resuming from %s: %d cell(s) already complete\n",
 				opts.checkpoint, opts.journal.Done())
 		}
+		if opts.events != nil {
+			bus := opts.events
+			opts.journal.SetOnCommit(func(r ckpt.Record) {
+				bus.Publish(obs.Event{Type: obs.CheckpointCommitted, Cell: r.Key, Status: string(r.Status)})
+			})
+		}
 	}
 
 	var srv *telemetry.Server
+	var stopRuntimeMetrics func()
 	if opts.metricsAddr != "" {
 		opts.telem = telemetry.NewCollector()
+		opts.telem.AttachBus(opts.events)
+		opts.telem.SetRunInfo(runID(cmd), ckpt.HashIdentity(checkpointIdentity(cmd, opts)))
+		tracker := obs.NewTracker(opts.events)
+		opts.telem.AttachProgress(tracker)
+		tracker.Start(ctx, 1024)
+		stopRuntimeMetrics = telemetry.StartRuntimeMetrics(opts.telem.Registry, 0)
 		var err error
 		srv, err = telemetry.Serve(opts.metricsAddr, opts.telem)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "capbench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /timeseries.json, /decisions.json and /surface on http://%s\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /timeseries.json, /decisions.json, /surface, /progress and /events on http://%s\n", srv.Addr())
+	}
+
+	var eventLog *obs.FileSink
+	if opts.events != nil && opts.aggDir != "" {
+		if aerr := os.MkdirAll(opts.aggDir, 0o755); aerr != nil {
+			fmt.Fprintf(os.Stderr, "capbench: -agg-dir: %v\n", aerr)
+			os.Exit(1)
+		}
+		var serr error
+		eventLog, serr = obs.NewFileSink(filepath.Join(opts.aggDir, eventsFile), opts.events)
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "capbench: events log: %v\n", serr)
+			os.Exit(1)
+		}
+	}
+
+	if opts.stallProfile > 0 {
+		opts.profiler = obs.NewProfiler(opts.profileDir, 0)
 	}
 
 	if opts.aggDir != "" {
@@ -164,6 +214,21 @@ func main() {
 		}
 		srv.Close()
 	}
+	if stopRuntimeMetrics != nil {
+		stopRuntimeMetrics()
+	}
+	if eventLog != nil {
+		if eerr := eventLog.Close(); eerr != nil && err == nil {
+			err = eerr
+		}
+		if n := eventLog.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "events: %d event(s) dropped by the file sink\n", n)
+		}
+	}
+	if opts.profiler != nil && opts.profiler.Captured() > 0 {
+		fmt.Fprintf(os.Stderr, "profiles: %d stall capture(s) in %s (%d skipped while busy)\n",
+			opts.profiler.Captured(), opts.profileDir, opts.profiler.Skipped())
+	}
 	if opts.journal != nil {
 		// Every record was fsynced at commit; Close flushes the file and
 		// ends this process's writes before we report or exit.
@@ -217,23 +282,26 @@ func telemetrySummary(o *options) error {
 
 // options carries the shared flags.
 type options struct {
-	platform    string
-	csv         bool
-	scale       int
-	budget      float64
-	scheduler   string
-	outDir      string
-	traceDir    string
-	metricsAddr string
-	hold        time.Duration
-	parallel    int
-	seed        int64
-	faults      faults.Spec
-	checkpoint  string
-	resume      bool
-	cellTimeout time.Duration
-	aggDir      string
-	aggFlush    int
+	platform     string
+	csv          bool
+	scale        int
+	budget       float64
+	scheduler    string
+	outDir       string
+	traceDir     string
+	metricsAddr  string
+	hold         time.Duration
+	parallel     int
+	seed         int64
+	faults       faults.Spec
+	checkpoint   string
+	resume       bool
+	cellTimeout  time.Duration
+	aggDir       string
+	aggFlush     int
+	stallProfile time.Duration
+	profileDir   string
+	reportOut    string
 
 	// telem is non-nil when -metrics-addr is set; every experiment
 	// threads it through core so the endpoint reflects the live run.
@@ -246,6 +314,11 @@ type options struct {
 	// cell rolls up into its surface (served at /surface) and streams
 	// through the batching exporter into <agg-dir>/stream.jsonl.
 	agg *agg.Aggregator
+	// events is the observability bus, created whenever -metrics-addr or
+	// -agg-dir will consume it; profiler captures stall-triggered CPU
+	// profiles when -stall-profile is set.
+	events   *obs.Bus
+	profiler *obs.Profiler
 }
 
 func parseOpts(fs *flag.FlagSet, args []string) *options {
@@ -275,6 +348,12 @@ func parseOpts(fs *flag.FlagSet, args []string) *options {
 		"aggregate completed cells into this directory (surface.json, rollups.jsonl, stream.jsonl) and serve /surface when -metrics-addr is set")
 	fs.IntVar(&o.aggFlush, "agg-flush", 0,
 		"aggregation exporter batch size: flush the export stream every N cell rollups (0 = default 64)")
+	fs.DurationVar(&o.stallProfile, "stall-profile", 0,
+		"capture an on-demand CPU profile the first time a cell completes no task for this much wall-clock time (0 = off)")
+	fs.StringVar(&o.profileDir, "profile-dir", "profiles",
+		"directory stall-triggered CPU profiles are written into")
+	fs.StringVar(&o.reportOut, "report-out", "sweep-report.html",
+		"report: output path for the HTML sweep report")
 	faultSpec := fs.String("faults", "",
 		"deterministic fault injection spec, e.g. capfail=0.3,clamp=0.1,throttle=1,dropout=1,taskfail=0.02,retries=3 (seeded from -seed)")
 	fs.Parse(args)
@@ -292,6 +371,10 @@ func parseOpts(fs *flag.FlagSet, args []string) *options {
 	}
 	if o.resume && o.checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "capbench: -resume requires -checkpoint DIR")
+		os.Exit(2)
+	}
+	if o.hold > 0 && o.metricsAddr == "" {
+		fmt.Fprintln(os.Stderr, "capbench: -hold requires -metrics-addr (there is no telemetry endpoint to hold open)")
 		os.Exit(2)
 	}
 	return o
@@ -312,6 +395,23 @@ func (o *options) popt() core.ParallelOptions {
 		// field would defeat the executor's nil check.
 		po.Rollups = o.agg
 	}
+	po.Events = o.events
+	if o.profiler != nil {
+		po.SoftTimeout = o.stallProfile
+		prof := o.profiler
+		po.OnCellStall = func(cell string, idle time.Duration) {
+			fmt.Fprintf(os.Stderr, "\ncapbench: cell stalled %v, capturing CPU profile: %s\n", idle.Round(time.Second), cell)
+			// The capture blocks for its sampling window; run it off the
+			// watchdog goroutine so the hard deadline keeps ticking.
+			go func() {
+				if path, err := prof.CaptureCPU(cell); err != nil {
+					fmt.Fprintf(os.Stderr, "capbench: stall profile: %v\n", err)
+				} else if path != "" {
+					fmt.Fprintf(os.Stderr, "capbench: stall profile written: %s\n", path)
+				}
+			}()
+		}
+	}
 	if o.parallel > 1 {
 		po.OnProgress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rcapbench: %d/%d cells", done, total)
@@ -327,9 +427,47 @@ func usage() {
 	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
 usage: capbench <experiment> [flags]
 experiments: fig1 table1 table2 fig3 fig4 fig5 fig6 fig7 grid autoplan ablation budget all
+             report (render an HTML sweep report from -agg-dir / -checkpoint artifacts)
 flags: -platform <name|all> -csv -scale N -budget PCT -scheduler NAME -out DIR
        -trace-dir DIR -parallel N -seed N -faults SPEC -metrics-addr HOST:PORT -hold DURATION
-       -checkpoint DIR -resume -cell-timeout DURATION -agg-dir DIR -agg-flush N`))
+       -checkpoint DIR -resume -cell-timeout DURATION -agg-dir DIR -agg-flush N
+       -stall-profile DURATION -profile-dir DIR -report-out FILE`))
+}
+
+// eventsFile is the JSONL event log written into -agg-dir.
+const eventsFile = "events.jsonl"
+
+// runID builds a per-invocation identity for capsim_run_info.  Unlike
+// everything inside the simulation, this is allowed to read the wall
+// clock: it labels exports, it never touches results.
+func runID(cmd string) string {
+	return fmt.Sprintf("%s-%d-%d", cmd, time.Now().Unix(), os.Getpid())
+}
+
+// runReport renders the self-contained HTML sweep report from a run's
+// on-disk artifacts: -agg-dir (rollups + event log) and, when given,
+// the -checkpoint journal.
+func runReport(o *options) error {
+	if o.aggDir == "" {
+		return fmt.Errorf("report needs -agg-dir DIR (the directory a sweep aggregated into)")
+	}
+	in := obsreport.Inputs{Rollups: filepath.Join(o.aggDir, agg.RollupsFile)}
+	if events := filepath.Join(o.aggDir, eventsFile); fileExists(events) {
+		in.Events = events
+	}
+	if o.checkpoint != "" {
+		in.Journal = filepath.Join(o.checkpoint, "journal.jsonl")
+	}
+	if err := obsreport.Write(o.reportOut, in); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "capbench: sweep report written to %s\n", o.reportOut)
+	return nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 func runAll(o *options) error {

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/chameleon"
 	"repro/internal/core"
@@ -57,15 +58,22 @@ func main() {
 	dumpModel := flag.Bool("model", false, "dump the calibrated performance-model table")
 	decPath := flag.String("decisions", "", "write the scheduler decision log as JSON to this path")
 	telem := flag.Bool("telemetry", false, "print the sampled power/energy and decision-log summaries")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve live telemetry on this address (/metrics, /timeseries.json, /decisions.json, /debug/pprof/)")
+	hold := flag.Duration("hold", 0, "keep the telemetry endpoint open this long after the run finishes")
 	flag.Parse()
+	if *hold > 0 && *metricsAddr == "" {
+		fmt.Fprintln(os.Stderr, "schedtrace: -hold requires -metrics-addr (there is no telemetry endpoint to hold open)")
+		os.Exit(2)
+	}
 
-	if err := run(*platName, *opName, *precName, *planStr, *sched, *scale, *ganttPath, *powerPath, *chromePath, *decPath, *dumpModel, *telem); err != nil {
+	if err := run(*platName, *opName, *precName, *planStr, *sched, *scale, *ganttPath, *powerPath, *chromePath, *decPath, *metricsAddr, *dumpModel, *telem, *hold); err != nil {
 		fmt.Fprintln(os.Stderr, "schedtrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(platName, opName, precName, planStr, sched string, scale int, ganttPath, powerPath, chromePath, decPath string, dumpModel, telem bool) error {
+func run(platName, opName, precName, planStr, sched string, scale int, ganttPath, powerPath, chromePath, decPath, metricsAddr string, dumpModel, telem bool, hold time.Duration) error {
 	op := core.GEMM
 	if opName == "potrf" {
 		op = core.POTRF
@@ -129,10 +137,21 @@ func run(platName, opName, precName, planStr, sched string, scale int, ganttPath
 	// summaries were asked for.
 	var collector *telemetry.Collector
 	rtCfg := starpu.Config{Scheduler: sched, Model: model}
-	if decPath != "" || telem {
+	if decPath != "" || telem || metricsAddr != "" {
 		collector = telemetry.NewCollector()
 		collector.InstallModelHook(model)
 		rtCfg.Observer = collector
+	}
+	var srv *telemetry.Server
+	if metricsAddr != "" {
+		stopRuntime := telemetry.StartRuntimeMetrics(collector.Registry, 0)
+		defer stopRuntime()
+		srv, err = telemetry.Serve(metricsAddr, collector)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
 	}
 	rt, err := starpu.New(plat, rtCfg)
 	if err != nil {
@@ -231,6 +250,10 @@ func run(platName, opName, precName, planStr, sched string, scale int, ganttPath
 		}
 		fmt.Printf("\ndecision log written to %s (%d decisions, %d dropped)\n",
 			decPath, collector.Decisions.Total(), collector.Decisions.Dropped())
+	}
+	if srv != nil && hold > 0 {
+		fmt.Fprintf(os.Stderr, "telemetry: holding endpoint open for %v (scrape http://%s/metrics)\n", hold, srv.Addr())
+		time.Sleep(hold)
 	}
 	return nil
 }

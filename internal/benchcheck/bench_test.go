@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prec"
 )
 
@@ -52,9 +53,35 @@ func fig4Rows(tb testing.TB) []core.TableIIRow {
 // runtime.ReadMemStats rather than b.ReportAllocs so they land in the
 // same JSON line as the timing; the sweep is serial, so the delta is
 // exact up to background runtime noise.
+//
+// The sweep runs with the observability plane enabled — a live event
+// bus with a draining subscriber, as capbench attaches when -metrics-addr
+// is set — so the trajectory prices in the event seams.  The
+// "obs-plane" entry in BENCH_hotpath.json marks where it turned on.
 func BenchmarkHotpathCells(b *testing.B) {
 	rows := fig4Rows(b)
 	opt := core.SweepOptions{Seed: 1}
+
+	bus := obs.NewBus()
+	sub := bus.Subscribe(4096)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			sub.Drain()
+			select {
+			case <-stop:
+				return
+			case <-sub.Wait():
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		<-done
+		sub.Close()
+	}()
 
 	var elapsed time.Duration
 	var mallocs, bytes uint64
@@ -63,7 +90,7 @@ func BenchmarkHotpathCells(b *testing.B) {
 		var m0, m1 runtime.MemStats
 		runtime.ReadMemStats(&m0)
 		t0 := time.Now()
-		res, err := core.ParallelSweep(rows, opt, core.ParallelOptions{Workers: 1})
+		res, err := core.ParallelSweep(rows, opt, core.ParallelOptions{Workers: 1, Events: bus})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -93,11 +93,23 @@ const (
 // Journal is an open checkpoint.  Commit is safe for concurrent use by
 // pool workers.
 type Journal struct {
-	mu      sync.Mutex
-	dir     string
-	f       *os.File
-	records map[string]Record
-	resumed int
+	mu       sync.Mutex
+	dir      string
+	f        *os.File
+	records  map[string]Record
+	resumed  int
+	onCommit func(Record)
+}
+
+// SetOnCommit installs a hook called after every durable Commit, with
+// the committed record (payload included).  The hook runs outside the
+// journal lock on the committing goroutine; keep it cheap and
+// thread-safe — the sweep executor uses it to publish
+// CheckpointCommitted events.
+func (j *Journal) SetOnCommit(fn func(Record)) {
+	j.mu.Lock()
+	j.onCommit = fn
+	j.mu.Unlock()
 }
 
 // HashIdentity returns the hex SHA-256 of an identity string.
@@ -270,17 +282,26 @@ func (j *Journal) Commit(r Record) error {
 	}
 	line = append(line, '\n')
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.f == nil {
+		j.mu.Unlock()
 		return fmt.Errorf("ckpt: journal closed")
 	}
 	if _, err := j.f.Write(line); err != nil {
+		j.mu.Unlock()
 		return err
 	}
 	if err := j.f.Sync(); err != nil {
+		j.mu.Unlock()
 		return err
 	}
 	j.records[r.Key] = r
+	fn := j.onCommit
+	j.mu.Unlock()
+	if fn != nil {
+		// Outside the lock: the hook may take other locks (bus, metrics)
+		// and must not serialise committing workers against itself.
+		fn(r)
+	}
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/chameleon"
 	"repro/internal/faults"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
 	"repro/internal/powercap"
@@ -116,6 +117,13 @@ type Config struct {
 	// trips a board after that many consecutive exhausted cap writes,
 	// < 0 disables the breaker, 0 keeps the platform default.
 	CapBreaker int
+	// Events, when set, receives structured observability events from
+	// the run's deep seams (cap-retry exhaustion, breaker trips, worker
+	// evictions, degraded completion).  Events are observations only —
+	// they never feed back into the simulation — so the bus is excluded
+	// from CheckpointKey, like Telemetry.  Event timestamps are virtual
+	// (engine) seconds; wall-clock enters only at the serving edge.
+	Events *obs.Bus
 
 	// heartbeat, when set by the sweep executor's watchdog, is pinged on
 	// every task completion of the measured pass.  It rides the observer
@@ -195,6 +203,21 @@ func Run(cfg Config) (*Result, error) {
 	}
 	p.ClassIgnoresCap = cfg.StaleModels
 	p.SetCapBreaker(cfg.CapBreaker)
+	// The event seams must be armed before the first cap write so retry
+	// exhaustion and breaker trips during SetGPUCaps are visible too.
+	var cellID string
+	if cfg.Events != nil {
+		cellID = cfg.CheckpointKey()
+		bus, cell, plan := cfg.Events, cellID, cfg.Plan.String()
+		p.OnCapExhausted = func(g int, t units.Seconds, err error) {
+			bus.Publish(obs.Event{Type: obs.CapRetryExhausted, Cell: cell, Plan: plan,
+				GPU: g, SimTime: float64(t), Detail: err.Error()})
+		}
+		p.OnBreakerTrip = func(g int, t units.Seconds) {
+			bus.Publish(obs.Event{Type: obs.BreakerTripped, Cell: cell, Plan: plan,
+				GPU: g, SimTime: float64(t)})
+		}
+	}
 	// The fault injector must be installed before the first cap write so
 	// the verified applicator sees its failures/clamps from the start.
 	var inj *faults.Injector
@@ -309,6 +332,13 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Events != nil {
+		bus, cell, plan := cfg.Events, cellID, cfg.Plan.String()
+		rt.SetEvictionHook(func(ev starpu.Eviction) {
+			bus.Publish(obs.Event{Type: obs.WorkerEvicted, Cell: cell, Plan: plan,
+				Worker: ev.Worker, SimTime: float64(ev.T), Detail: ev.Reason})
+		})
+	}
 	if inj != nil {
 		inj.Bind(rt, p)
 	}
@@ -394,6 +424,11 @@ func Run(cfg Config) (*Result, error) {
 				cfg.Telemetry.ObserveBreakerTrip(g)
 			}
 		}
+	}
+	if cfg.Events != nil && res.Degraded != nil {
+		cfg.Events.Publish(obs.Event{Type: obs.DegradedRun, Cell: cellID,
+			Plan: cfg.Plan.String(), Workload: cfg.Workload.String(),
+			SimTime: float64(res.Makespan), Detail: res.Degraded.Plan})
 	}
 	if tracer != nil {
 		// Finalize against the same counter deltas the result reports, so

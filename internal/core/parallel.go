@@ -28,11 +28,13 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/ckpt"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/powercap"
 	"repro/internal/telemetry/agg"
@@ -65,6 +67,24 @@ type ParallelOptions struct {
 	// The observer is called from pool goroutines and must be
 	// thread-safe (*agg.Aggregator is).
 	Rollups RollupObserver
+	// Events, when set, receives the sweep's structured observability
+	// events: one SweepStarted with the cell totals, then per-cell
+	// lifecycle events (started/finished/resumed/hung/panicked) from the
+	// pool and deep-seam events (cap exhaustion, breaker trips,
+	// evictions, degraded runs) from inside each cell — the bus is
+	// injected into every cell Config whose own Events field is nil.
+	// Publishing never blocks and events never feed back into the
+	// simulation, so results are byte-identical with or without a bus.
+	Events *obs.Bus
+	// SoftTimeout arms a per-cell stall threshold below the watchdog's
+	// hard CellTimeout: the first time a cell completes no task for this
+	// much wall-clock time, OnCellStall fires (once per cell) while the
+	// cell is still running.  <= 0 disables it.
+	SoftTimeout time.Duration
+	// OnCellStall is called (from watchdog goroutines; must be
+	// thread-safe) when a cell crosses SoftTimeout — the seam on-demand
+	// CPU profiling hangs from.
+	OnCellStall func(cell string, idle time.Duration)
 }
 
 // RollupObserver receives completed-cell rollups; *agg.Aggregator
@@ -126,6 +146,15 @@ func RunCells(cfgs []Config, opt ParallelOptions) ([]*Result, error) {
 	ctx, cancel := context.WithCancel(opt.context())
 	defer cancel()
 
+	bus := opt.Events
+	if bus != nil {
+		totals := make(map[string]int)
+		for i := range cfgs {
+			totals[planName(cfgs[i])]++
+		}
+		bus.Publish(obs.Event{Type: obs.SweepStarted, Total: len(cfgs), PlanTotals: totals})
+	}
+
 	workers := opt.workers()
 	if workers > len(cfgs) {
 		workers = len(cfgs)
@@ -164,11 +193,23 @@ func RunCells(cfgs []Config, opt ParallelOptions) ([]*Result, error) {
 			defer wg.Done()
 			for i := range indices {
 				cfg := cfgs[i]
+				var ident string
+				if bus != nil || opt.OnCellStall != nil {
+					ident = cfg.CheckpointKey()
+				}
+				if bus != nil && cfg.Events == nil {
+					cfg.Events = bus
+				}
 				var key string
 				if opt.Checkpoint != nil && cfg.checkpointable() {
 					key = cfg.CheckpointKey()
 					if res, ok := restoreCell(opt.Checkpoint, key); ok {
 						results[i] = res
+						if bus != nil {
+							bus.Publish(obs.Event{Type: obs.CellResumed, Cell: ident,
+								Plan: planName(cfg), Workload: cfg.Workload.String(),
+								SimTime: float64(res.Makespan), Efficiency: res.Efficiency})
+						}
 						if cfg.Telemetry != nil {
 							cfg.Telemetry.ObserveCellResumed()
 						}
@@ -189,7 +230,16 @@ func RunCells(cfgs []Config, opt ParallelOptions) ([]*Result, error) {
 						continue
 					}
 				}
-				res, err := runGuarded(cfg, opt.CellTimeout)
+				var stall func(time.Duration)
+				if opt.OnCellStall != nil {
+					cell := ident
+					stall = func(idle time.Duration) { opt.OnCellStall(cell, idle) }
+				}
+				if bus != nil {
+					bus.Publish(obs.Event{Type: obs.CellStarted, Cell: ident,
+						Plan: planName(cfg), Workload: cfg.Workload.String()})
+				}
+				res, err := runGuarded(cfg, opt.CellTimeout, opt.SoftTimeout, stall)
 				if err != nil {
 					cellErr := fmt.Errorf("core: cell %d (%s plan %s): %w", i, cfg.Workload, cfg.Plan, err)
 					status := ckpt.StatusFailed
@@ -198,12 +248,20 @@ func RunCells(cfgs []Config, opt ParallelOptions) ([]*Result, error) {
 					switch {
 					case errors.As(err, &panicErr):
 						status = ckpt.StatusPanicked
+						if bus != nil {
+							bus.Publish(obs.Event{Type: obs.CellPanicked, Cell: ident,
+								Plan: planName(cfg), Detail: eventDetail(err)})
+						}
 						if cfg.Telemetry != nil {
 							cfg.Telemetry.ObserveCellPanic()
 						}
 						addSoft(cellErr)
 					case errors.As(err, &hungErr):
 						status = ckpt.StatusHung
+						if bus != nil {
+							bus.Publish(obs.Event{Type: obs.CellHung, Cell: ident,
+								Plan: planName(cfg), Detail: eventDetail(err)})
+						}
 						if cfg.Telemetry != nil {
 							cfg.Telemetry.ObserveCellHung()
 						}
@@ -228,6 +286,11 @@ func RunCells(cfgs []Config, opt ParallelOptions) ([]*Result, error) {
 					}
 				}
 				results[i] = res
+				if bus != nil {
+					bus.Publish(obs.Event{Type: obs.CellFinished, Cell: ident,
+						Plan: planName(cfg), Workload: cfg.Workload.String(),
+						SimTime: float64(res.Makespan), Efficiency: res.Efficiency})
+				}
 				if opt.Rollups != nil {
 					opt.Rollups.ObserveCell(BuildRollup(cfg, res))
 				}
@@ -262,6 +325,30 @@ feed:
 		return nil, fmt.Errorf("core: %d cell(s) failed while the pool kept draining: %w", nsoft, softErr)
 	}
 	return results, nil
+}
+
+// planName renders a cell's plan for event labels ("H*" when the
+// Config leaves it to default).
+func planName(c Config) string {
+	if c.Plan != nil {
+		return c.Plan.String()
+	}
+	return "H*"
+}
+
+// eventDetail bounds an error for event payloads: first line only,
+// truncated — a panic's stack belongs in the sweep error, not in every
+// subscriber's ring.
+func eventDetail(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	const max = 200
+	if len(s) > max {
+		s = s[:max]
+	}
+	return s
 }
 
 // restoreCell loads a completed cell from the journal; a record that

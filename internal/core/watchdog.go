@@ -63,15 +63,24 @@ func safeRun(cfg Config) (res *Result, err error) {
 	return runCell(cfg)
 }
 
-// runGuarded executes one cell under the watchdog.  With no deadline it
-// is safeRun inline.  With one, the cell runs in a child goroutine and
-// a timer fires whenever the cell has gone `timeout` of wall-clock time
-// without completing a task; the cell is then abandoned (its goroutine
-// may keep running — it holds no shared simulation state, so the only
-// cost is memory until process exit) and reported as hung so the pool
-// worker moves on.
-func runGuarded(cfg Config, timeout time.Duration) (*Result, error) {
-	if timeout <= 0 {
+// runGuarded executes one cell under the watchdog.  With no deadline
+// (and no soft threshold) it is safeRun inline.  Otherwise the cell
+// runs in a child goroutine; a hard timer fires when the cell has gone
+// `timeout` of wall-clock time without completing a task, after which
+// the cell is abandoned (its goroutine may keep running — it holds no
+// shared simulation state, so the only cost is memory until process
+// exit) and reported as hung so the pool worker moves on.
+//
+// A soft threshold (0 < soft < timeout, with onStall set) fires
+// onStall at most once, the first time the cell goes `soft` without a
+// heartbeat — the hook the executor hangs on-demand CPU profiling
+// from: the cell is still running, so the capture window covers
+// exactly the suspicious quiet period.
+func runGuarded(cfg Config, timeout, soft time.Duration, onStall func(idle time.Duration)) (*Result, error) {
+	if soft <= 0 || onStall == nil {
+		soft = 0
+	}
+	if timeout <= 0 && soft == 0 {
 		return safeRun(cfg)
 	}
 	var last atomic.Int64
@@ -88,20 +97,40 @@ func runGuarded(cfg Config, timeout time.Duration) (*Result, error) {
 		ch <- outcome{res, err}
 	}()
 
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
+	var hardC <-chan time.Time
+	var hard *time.Timer
+	if timeout > 0 {
+		hard = time.NewTimer(timeout)
+		defer hard.Stop()
+		hardC = hard.C
+	}
+	var softC <-chan time.Time
+	var softTimer *time.Timer
+	if soft > 0 {
+		softTimer = time.NewTimer(soft)
+		defer softTimer.Stop()
+		softC = softTimer.C
+	}
 	for {
 		select {
 		case o := <-ch:
 			return o.res, o.err
-		case <-timer.C:
+		case <-softC:
+			idle := time.Since(time.Unix(0, last.Load()))
+			if idle >= soft {
+				softC = nil // one capture per cell
+				onStall(idle)
+				continue
+			}
+			softTimer.Reset(soft - idle)
+		case <-hardC:
 			idle := time.Since(time.Unix(0, last.Load()))
 			if idle >= timeout {
 				return nil, &CellHungError{Idle: idle}
 			}
 			// A heartbeat landed since the timer was armed: re-arm for the
 			// remainder of the current quiet window.
-			timer.Reset(timeout - idle)
+			hard.Reset(timeout - idle)
 		}
 	}
 }

@@ -178,3 +178,74 @@ func TestRunCellsWatchdogRealRunHeartbeats(t *testing.T) {
 		t.Fatal("nil result from watched run")
 	}
 }
+
+// TestWatchdogSoftThresholdFiresOnce checks the profiling trigger: a
+// cell that goes quiet past the soft threshold fires OnCellStall
+// exactly once — with the cell's checkpoint identity and the observed
+// idle — and then completes normally.  The soft path observes, it
+// never kills.
+func TestWatchdogSoftThresholdFiresOnce(t *testing.T) {
+	stubRunCell(t, func(cfg Config) (*Result, error) {
+		time.Sleep(200 * time.Millisecond) // silent: no heartbeat lands
+		return &Result{Plan: "quiet"}, nil
+	})
+	cfgs := resumeCells(t)[:1]
+	var stalls atomic.Int64
+	stallCell := make(chan string, 8)
+	stallIdle := make(chan time.Duration, 8)
+	results, err := RunCells(cfgs, ParallelOptions{
+		Workers:     1,
+		SoftTimeout: 50 * time.Millisecond,
+		OnCellStall: func(cell string, idle time.Duration) {
+			stalls.Add(1)
+			stallCell <- cell
+			stallIdle <- idle
+		},
+	})
+	if err != nil {
+		t.Fatalf("quiet-but-healthy cell failed: %v", err)
+	}
+	if results[0] == nil || results[0].Plan != "quiet" {
+		t.Errorf("result = %+v, want the quiet cell's", results[0])
+	}
+	if n := stalls.Load(); n != 1 {
+		t.Fatalf("OnCellStall fired %d times, want exactly 1 (one capture per cell)", n)
+	}
+	if cell := <-stallCell; cell != cfgs[0].CheckpointKey() {
+		t.Errorf("stall reported cell %q, want %q", cell, cfgs[0].CheckpointKey())
+	}
+	if idle := <-stallIdle; idle < 50*time.Millisecond {
+		t.Errorf("stall reported idle %v, below the 50ms threshold", idle)
+	}
+}
+
+// TestWatchdogSoftThresholdRearmsOnHeartbeat: heartbeats landing inside
+// the soft window keep re-arming it, so a busy cell never triggers a
+// stall capture.
+func TestWatchdogSoftThresholdRearmsOnHeartbeat(t *testing.T) {
+	stubRunCell(t, func(cfg Config) (*Result, error) {
+		for i := 0; i < 8; i++ {
+			time.Sleep(20 * time.Millisecond) // 160ms total, gaps of 20ms
+			if cfg.heartbeat != nil {
+				cfg.heartbeat()
+			}
+		}
+		return &Result{Plan: "busy"}, nil
+	})
+	cfgs := resumeCells(t)[:1]
+	var stalls atomic.Int64
+	results, err := RunCells(cfgs, ParallelOptions{
+		Workers:     1,
+		SoftTimeout: 100 * time.Millisecond,
+		OnCellStall: func(cell string, idle time.Duration) { stalls.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0] == nil || results[0].Plan != "busy" {
+		t.Errorf("result = %+v, want the busy cell's", results[0])
+	}
+	if n := stalls.Load(); n != 0 {
+		t.Errorf("OnCellStall fired %d times on a heartbeating cell, want 0", n)
+	}
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPublishNeverBlocks is the load-bearing contract: a subscriber
+// that never drains must not slow the publisher down — events drop
+// oldest-first, counted, and Publish returns promptly.
+func TestPublishNeverBlocks(t *testing.T) {
+	bus := NewBus()
+	stalled := bus.Subscribe(8) // never drained
+	defer stalled.Close()
+
+	const n = 100000
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			bus.Publish(Event{Type: CellFinished, Cell: "c"})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publisher blocked on a stalled subscriber")
+	}
+
+	if got := bus.Published(); got != n {
+		t.Fatalf("published %d, want %d", got, n)
+	}
+	if got := stalled.Dropped(); got != n-8 {
+		t.Fatalf("stalled subscriber dropped %d, want %d", got, n-8)
+	}
+	if got := bus.Dropped(); got != n-8 {
+		t.Fatalf("bus-wide dropped %d, want %d", got, n-8)
+	}
+	// The ring holds the *newest* 8 events.
+	evs := stalled.Drain()
+	if len(evs) != 8 {
+		t.Fatalf("drained %d, want 8", len(evs))
+	}
+	if evs[len(evs)-1].Seq != n {
+		t.Fatalf("newest seq %d, want %d (drop-oldest must keep the fresh tail)", evs[len(evs)-1].Seq, n)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("drained events out of order: seq %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+// TestSubscriberSeesAllWhenDraining checks the lossless path: a
+// reader whose ring never overflows receives every event in publish
+// order.  The ring is sized to the whole stream — with a smaller ring
+// the test would hinge on the reader goroutine outpacing the
+// publisher, which a loaded machine (or -race) does not guarantee.
+func TestSubscriberSeesAllWhenDraining(t *testing.T) {
+	bus := NewBus()
+	const n = 5000
+	sub := bus.Subscribe(n)
+	defer sub.Close()
+
+	var got []Event
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for len(got) < n {
+			got = append(got, sub.Drain()...)
+			if len(got) < n {
+				<-sub.Wait()
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		bus.Publish(Event{Type: CellStarted})
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("received %d events, want %d", len(got), n)
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("draining subscriber dropped %d events", sub.Dropped())
+	}
+}
+
+// TestConcurrentPublishers exercises the bus from many goroutines (the
+// parallel executor's shape); run under -race this is the data-race
+// proof.
+func TestConcurrentPublishers(t *testing.T) {
+	bus := NewBus()
+	var drops int
+	var dropMu sync.Mutex
+	bus.SetOnDrop(func(n int) { dropMu.Lock(); drops += n; dropMu.Unlock() })
+	sub := bus.Subscribe(128)
+	defer sub.Close()
+
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				bus.Publish(Event{Type: WorkerEvicted, Worker: i})
+			}
+		}()
+	}
+	drained := 0
+	stop := make(chan struct{})
+	go func() { wg.Wait(); close(stop) }()
+loop:
+	for {
+		drained += len(sub.Drain())
+		select {
+		case <-stop:
+			break loop
+		case <-sub.Wait():
+		}
+	}
+	drained += len(sub.Drain())
+
+	if got := bus.Published(); got != workers*per {
+		t.Fatalf("published %d, want %d", got, workers*per)
+	}
+	dropMu.Lock()
+	defer dropMu.Unlock()
+	if uint64(drained)+uint64(drops) < workers*per {
+		t.Fatalf("drained %d + dropped %d < published %d", drained, drops, workers*per)
+	}
+}
+
+// TestNilBusIsNoop: instrumented code publishes unconditionally, so a
+// nil bus must be safe and free.
+func TestNilBusIsNoop(t *testing.T) {
+	var bus *Bus
+	bus.Publish(Event{Type: CellStarted})
+	if bus.Published() != 0 || bus.Dropped() != 0 {
+		t.Fatal("nil bus should count nothing")
+	}
+}
+
+// TestClosedSubscriberStopsReceiving: Close detaches the ring.
+func TestClosedSubscriberStopsReceiving(t *testing.T) {
+	bus := NewBus()
+	sub := bus.Subscribe(4)
+	bus.Publish(Event{Type: CellStarted})
+	sub.Close()
+	bus.Publish(Event{Type: CellFinished})
+	evs := sub.Drain()
+	if len(evs) != 1 || evs[0].Type != CellStarted {
+		t.Fatalf("closed subscriber saw %v, want only the pre-close event", evs)
+	}
+}

@@ -1,0 +1,125 @@
+// On-demand CPU profiling: when a cell crosses the watchdog's soft
+// threshold (progress has stalled but the cell is not yet declared
+// hung), the executor asks the profiler for a capture.  The profile
+// covers the next few seconds of the whole process — exactly the
+// window in which the stalled cell is spinning — and lands atomically
+// on disk, so a half-written profile can never be mistaken for a real
+// one.
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fsutil"
+)
+
+// DefaultProfileDuration is how long a stall-triggered CPU capture
+// runs when the caller does not override it.
+const DefaultProfileDuration = 2 * time.Second
+
+// Profiler captures CPU profiles into a directory.  The Go runtime
+// supports one CPU profile at a time per process, so captures are
+// serialised: a trigger that arrives while one is running is counted
+// and skipped, never queued (the stall it would have profiled is
+// already covered by the in-flight capture).
+type Profiler struct {
+	dir      string
+	duration time.Duration
+	sleep    func(time.Duration) // injectable for tests
+
+	mu       sync.Mutex
+	busy     bool
+	captured int
+	skipped  int
+}
+
+// NewProfiler builds a profiler writing into dir (created on first
+// capture); duration <= 0 means DefaultProfileDuration.
+func NewProfiler(dir string, duration time.Duration) *Profiler {
+	if duration <= 0 {
+		duration = DefaultProfileDuration
+	}
+	return &Profiler{dir: dir, duration: duration, sleep: time.Sleep}
+}
+
+// CaptureCPU records one CPU profile tagged with the (sanitised) cell
+// identity and writes it atomically.  Returns the written path, or ""
+// with a nil error when a capture was already in flight.
+func (p *Profiler) CaptureCPU(tag string) (string, error) {
+	p.mu.Lock()
+	if p.busy {
+		p.skipped++
+		p.mu.Unlock()
+		return "", nil
+	}
+	p.busy = true
+	p.captured++
+	seq := p.captured
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.busy = false
+		p.mu.Unlock()
+	}()
+
+	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		// Another profiler (test harness, bench -cpuprofile) owns the
+		// CPU profile; report rather than fight it.
+		return "", fmt.Errorf("obs: cpu profile unavailable: %w", err)
+	}
+	p.sleep(p.duration)
+	pprof.StopCPUProfile()
+
+	path := filepath.Join(p.dir, fmt.Sprintf("cpu-%03d-%s.pprof", seq, sanitizeTag(tag)))
+	if err := fsutil.WriteFileAtomic(path, buf.Bytes(), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Captured reports completed captures; Skipped reports triggers that
+// arrived while one was in flight.
+func (p *Profiler) Captured() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.captured
+}
+
+// Skipped reports triggers dropped because a capture was in flight.
+func (p *Profiler) Skipped() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.skipped
+}
+
+// sanitizeTag maps a cell identity onto a safe, bounded file-name
+// fragment.
+func sanitizeTag(tag string) string {
+	if tag == "" {
+		return "stall"
+	}
+	var b strings.Builder
+	for _, r := range tag {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+		if b.Len() >= 80 {
+			break
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfilerCapturesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	p := NewProfiler(dir, 50*time.Millisecond)
+	path, err := p.CaptureCPU("24-Intel-2-V100|DGEMM N=1|HHBB")
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	if path == "" {
+		t.Fatal("capture skipped unexpectedly")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading profile: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty profile written")
+	}
+	base := filepath.Base(path)
+	if strings.ContainsAny(base, "|= ") {
+		t.Fatalf("unsanitised profile name %q", base)
+	}
+	if p.Captured() != 1 {
+		t.Fatalf("captured %d, want 1", p.Captured())
+	}
+	// No temp droppings: WriteFileAtomic must have cleaned up.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("profile dir holds %d entries, want exactly the profile", len(entries))
+	}
+}
+
+// TestProfilerSerialisesCaptures: a trigger during an in-flight
+// capture is skipped (counted), because the process supports one CPU
+// profile at a time.
+func TestProfilerSerialisesCaptures(t *testing.T) {
+	p := NewProfiler(t.TempDir(), 100*time.Millisecond)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	p.sleep = func(time.Duration) { close(started); <-release }
+
+	done := make(chan struct{})
+	go func() {
+		if _, err := p.CaptureCPU("first"); err != nil {
+			t.Errorf("first capture: %v", err)
+		}
+		close(done)
+	}()
+	<-started
+	path, err := p.CaptureCPU("second")
+	if err != nil {
+		t.Fatalf("second capture: %v", err)
+	}
+	if path != "" {
+		t.Fatalf("second capture wrote %q, want skip while first in flight", path)
+	}
+	close(release)
+	<-done
+	if p.Skipped() != 1 {
+		t.Fatalf("skipped %d, want 1", p.Skipped())
+	}
+}

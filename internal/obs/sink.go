@@ -1,0 +1,110 @@
+// FileSink persists the event stream as JSON lines — the on-disk twin
+// of the /events SSE endpoint, and the input the sweep report's fault
+// and resume timelines are rebuilt from.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+// sinkBuffer is the file sink's subscriber ring.  Disk keeps up with
+// the pool in practice; if it ever does not, events drop (counted)
+// rather than stall the sweep.
+const sinkBuffer = 4096
+
+// FileSink drains a private subscriber into a JSONL file on a
+// background goroutine.
+type FileSink struct {
+	f    *os.File
+	w    *bufio.Writer
+	sub  *Subscriber
+	stop chan struct{}
+	done chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+}
+
+// NewFileSink creates (truncating) path and starts draining bus into
+// it.
+func NewFileSink(path string, bus *Bus) (*FileSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &FileSink{
+		f:    f,
+		w:    bufio.NewWriter(f),
+		sub:  bus.Subscribe(sinkBuffer),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go s.run()
+	return s, nil
+}
+
+func (s *FileSink) run() {
+	defer close(s.done)
+	enc := json.NewEncoder(s.w)
+	for {
+		for _, ev := range s.sub.Drain() {
+			if err := enc.Encode(ev); err != nil {
+				s.setErr(err)
+				return
+			}
+		}
+		select {
+		case <-s.stop:
+			// Final drain: events published before Close was called.
+			for _, ev := range s.sub.Drain() {
+				if err := enc.Encode(ev); err != nil {
+					s.setErr(err)
+					return
+				}
+			}
+			return
+		case <-s.sub.Wait():
+		}
+	}
+}
+
+func (s *FileSink) setErr(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Dropped reports events the sink's subscriber shed.
+func (s *FileSink) Dropped() uint64 { return s.sub.Dropped() }
+
+// Close stops the drain loop, flushes and closes the file.  It returns
+// the first write error, if any.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.err
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	close(s.stop)
+	<-s.done
+	s.sub.Close()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if err := s.f.Close(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}

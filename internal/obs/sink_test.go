@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFileSinkPersistsStream: every event published between NewFileSink
+// and Close lands in the JSONL file, in publish order, decodable as
+// Events.
+func TestFileSinkPersistsStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	bus := NewBus()
+	sink, err := NewFileSink(path, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		bus.Publish(Event{Type: CellFinished, Cell: "c", SimTime: float64(i)})
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := sink.Dropped(); d != 0 {
+		t.Errorf("sink dropped %d events under its 4096 ring", d)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var seq uint64
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v (%q)", lines+1, err, sc.Text())
+		}
+		if ev.Seq <= seq {
+			t.Fatalf("line %d: seq %d not increasing after %d", lines+1, ev.Seq, seq)
+		}
+		seq = ev.Seq
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != n {
+		t.Errorf("file holds %d events, want %d", lines, n)
+	}
+
+	// Close is idempotent and publishing after Close is harmless.
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bus.Publish(Event{Type: CellStarted})
+}

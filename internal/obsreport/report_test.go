@@ -1,0 +1,148 @@
+package obsreport
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/obs"
+	"repro/internal/telemetry/agg"
+)
+
+// writeJSONL writes one JSON line per value, plus an optional raw tail
+// (to simulate a torn line from a crashed run).
+func writeJSONL(t *testing.T, path string, vals []any, tail string) {
+	t.Helper()
+	var b strings.Builder
+	for _, v := range vals {
+		line, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString(tail)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sampleRollups() []any {
+	mk := func(plan string, eff, makespan float64, degraded bool) agg.CellRollup {
+		r := agg.CellRollup{
+			Key:      "32-AMD-4-A100|gemm|" + plan + "|seed=0",
+			GroupKey: "32-AMD-4-A100|gemm|" + plan,
+			Platform: "32-AMD-4-A100", Workload: "gemm-40960-double", Plan: plan,
+			Scheduler: "dmdas", MakespanS: makespan, EnergyJ: 1000 * makespan,
+			GFlopsPerWatt: eff, EDP: 1, ED2P: 1,
+		}
+		if degraded {
+			r.Degraded = true
+			r.DegradedPlan = "H_B"
+		}
+		return r
+	}
+	return []any{
+		mk("HHBB", 0.411, 12.5, false),
+		mk("HHHH", 0.322, 10.0, false),
+		mk("BBBB", 0.287, 19.75, true),
+	}
+}
+
+// TestReportRendersAllSections renders a report from synthetic rollups,
+// an event log (with a torn tail line) and a checkpoint journal, and
+// checks every section made it into the HTML.
+func TestReportRendersAllSections(t *testing.T) {
+	dir := t.TempDir()
+	rollups := filepath.Join(dir, "rollups.jsonl")
+	events := filepath.Join(dir, "events.jsonl")
+	journal := filepath.Join(dir, "journal.jsonl")
+	writeJSONL(t, rollups, sampleRollups(), "")
+	writeJSONL(t, events, []any{
+		obs.Event{Seq: 1, Type: obs.CellResumed, Cell: "a"},
+		obs.Event{Seq: 2, Type: obs.CellResumed, Cell: "b"},
+		obs.Event{Seq: 3, Type: obs.WorkerEvicted, Worker: 3, SimTime: 4.25, Detail: "gpu dropout"},
+		obs.Event{Seq: 4, Type: obs.BreakerTripped, GPU: 1, SimTime: 6.5},
+		obs.Event{Seq: 5, Type: obs.CellFinished, Cell: "a", SimTime: 12.5},
+	}, `{"seq":6,"type":"CellSta`) // torn tail from a crash: skipped, not fatal
+	writeJSONL(t, journal, []any{
+		ckpt.Record{Key: "cell-a", Status: ckpt.StatusRunning},
+		ckpt.Record{Key: "cell-a", Status: ckpt.StatusDone},
+		ckpt.Record{Key: "cell-b", Status: ckpt.StatusHung},
+	}, "")
+
+	out := filepath.Join(dir, "report.html")
+	if err := Write(out, Inputs{Rollups: rollups, Events: events, Journal: journal}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(data)
+	for _, want := range []string{
+		"3 cell(s) rolled up",
+		"2 restored from checkpoint",
+		"32-AMD-4-A100 — gemm-40960-double", // heatmap caption
+		"0.411",                             // best efficiency cell
+		"<svg",                              // duration histogram
+		"Degraded cells",
+		"H_B", // surviving plan
+		"WorkerEvicted",
+		"worker 3",
+		"gpu dropout",
+		"BreakerTripped",
+		"GPU 1",
+		"hung", // journal timeline status
+		"cell-b",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Non-fault events stay out of the fault table.
+	if strings.Contains(html, "CellFinished") {
+		t.Error("fault table includes non-fault CellFinished events")
+	}
+	// The heatmap colours scale over the observed efficiency range.
+	if !strings.Contains(html, "rgba(46,160,67,0.80)") {
+		t.Error("best cell not rendered at full heat")
+	}
+}
+
+// TestReportOptionalInputs: rollups alone must render, with the event
+// and journal sections downgraded to explanatory notes.
+func TestReportOptionalInputs(t *testing.T) {
+	dir := t.TempDir()
+	rollups := filepath.Join(dir, "rollups.jsonl")
+	writeJSONL(t, rollups, sampleRollups(), "")
+	out := filepath.Join(dir, "report.html")
+	if err := Write(out, Inputs{Rollups: rollups}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(data)
+	if !strings.Contains(html, "no event log captured") || !strings.Contains(html, "no checkpoint journal") {
+		t.Error("missing-artifact notes absent from report")
+	}
+}
+
+// TestReportRequiresRollups: a missing rollups file is an error, not an
+// empty report.
+func TestReportRequiresRollups(t *testing.T) {
+	dir := t.TempDir()
+	err := Write(filepath.Join(dir, "report.html"), Inputs{Rollups: filepath.Join(dir, "absent.jsonl")})
+	if err == nil || !strings.Contains(err.Error(), "rollups") {
+		t.Fatalf("err = %v, want a rollups error", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, "report.html")); !os.IsNotExist(statErr) {
+		t.Error("failed render left a report file behind")
+	}
+}

@@ -112,6 +112,14 @@ type Platform struct {
 	breakerThreshold int
 	breakerFails     []int
 	breakerOpen      []bool
+
+	// OnCapExhausted and OnBreakerTrip, when set, are notified from the
+	// resilience layer: a cap write that exhausted its retry budget, and
+	// a breaker trip declaring the board dead.  Both fire at a virtual
+	// time the caller can read off the engine; they are observations
+	// only — nothing they do may feed back into the simulation.
+	OnCapExhausted func(gpu int, t units.Seconds, err error)
+	OnBreakerTrip  func(gpu int, t units.Seconds)
 }
 
 // New builds a node from a spec: one CUDA worker per GPU (each with a

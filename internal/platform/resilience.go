@@ -116,6 +116,9 @@ func (p *Platform) applyGPUCap(g int, cap units.Watts) error {
 		},
 	)
 	if err != nil {
+		if p.OnCapExhausted != nil {
+			p.OnCapExhausted(g, p.engine.Now(), err)
+		}
 		if p.NoteCapWriteFailure(g) {
 			return nil // breaker tripped: run degrades instead of failing
 		}
@@ -181,6 +184,9 @@ func (p *Platform) NoteCapWriteFailure(g int) bool {
 	}
 	p.breakerOpen[g] = true
 	p.gpus[g].MarkDead()
+	if p.OnBreakerTrip != nil {
+		p.OnBreakerTrip(g, p.engine.Now())
+	}
 	return true
 }
 

@@ -131,6 +131,11 @@ type Runtime struct {
 	evictions []Eviction
 	permanent []*Task
 	stranded  []*Task
+
+	// onEviction, when set via SetEvictionHook, observes each completed
+	// eviction (after requeue accounting) from inside the simulation
+	// loop; it must not mutate runtime state.
+	onEviction func(Eviction)
 }
 
 // New builds a runtime over machine with the given configuration.

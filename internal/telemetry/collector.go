@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dyncap"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
 	"repro/internal/starpu"
@@ -58,10 +59,13 @@ type Collector struct {
 	breakerTrips   *CounterVec
 	droppedRollups *CounterVec
 	buildInfo      *GaugeVec
+	runInfo        *GaugeVec
 
-	mu      sync.Mutex
-	sampler *Sampler
-	surface SurfaceSource
+	mu       sync.Mutex
+	sampler  *Sampler
+	surface  SurfaceSource
+	bus      *obs.Bus
+	progress *obs.Tracker
 }
 
 // NewCollector builds a collector with a fresh registry and a bounded
@@ -95,6 +99,7 @@ func NewCollector() *Collector {
 	c.droppedRollups.With() // pre-create: a scrape shows 0, not absence
 	c.buildInfo = reg.NewGauge("capsim_build_info", "Build identity; the value is always 1, the labels carry the information.", "version", "goversion")
 	c.buildInfo.With(Version, runtime.Version()).Set(1)
+	c.runInfo = reg.NewGauge("capsim_run_info", "Run identity; the value is always 1, the labels carry the information.", "run_id", "grid_sha")
 	return c
 }
 

@@ -1,0 +1,57 @@
+// Wiring between the observability event plane (internal/obs) and the
+// metric registry / HTTP server.  The dependency points this way only:
+// obs knows nothing about telemetry, so the bus can sit inside the
+// deterministic executor without dragging the export stack with it.
+package telemetry
+
+import (
+	"repro/internal/obs"
+)
+
+// AttachBus registers the bus's publish/drop accounting in the
+// registry (capsim_obs_events_total{type}, capsim_obs_dropped_total)
+// and remembers the bus so the server can serve /events.
+func (c *Collector) AttachBus(bus *obs.Bus) {
+	if bus == nil {
+		return
+	}
+	events := c.Registry.NewCounter("capsim_obs_events_total",
+		"Observability events published on the in-process bus.", "type")
+	dropped := c.Registry.NewCounter("capsim_obs_dropped_total",
+		"Observability events dropped by stalled subscribers (drop-oldest overflow).")
+	dropped.With() // pre-create: a scrape shows 0, not absence
+	bus.SetOnPublish(func(t obs.EventType) { events.With(string(t)).Inc() })
+	bus.SetOnDrop(func(n int) { dropped.With().Add(float64(n)) })
+	c.mu.Lock()
+	c.bus = bus
+	c.mu.Unlock()
+}
+
+// Bus reports the attached event bus (nil before AttachBus).
+func (c *Collector) Bus() *obs.Bus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bus
+}
+
+// AttachProgress remembers the sweep progress tracker so the server
+// can serve /progress.
+func (c *Collector) AttachProgress(t *obs.Tracker) {
+	c.mu.Lock()
+	c.progress = t
+	c.mu.Unlock()
+}
+
+// Progress reports the attached tracker (nil before AttachProgress).
+func (c *Collector) Progress() *obs.Tracker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.progress
+}
+
+// SetRunInfo publishes the run identity as capsim_run_info{run_id,
+// grid_sha} = 1, so every Prometheus scrape and JSON snapshot of this
+// process can be joined back to the sweep that produced it.
+func (c *Collector) SetRunInfo(runID, gridSHA string) {
+	c.runInfo.With(runID, gridSHA).Set(1)
+}

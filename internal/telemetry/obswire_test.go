@@ -1,0 +1,260 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestServerProgressEndpoint covers the /progress state machine: 503
+// before a sweep attaches a tracker, then a decodable ProgressSnapshot
+// reflecting the folded events.
+func TestServerProgressEndpoint(t *testing.T) {
+	c := NewCollector()
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	if code, _, body := getFull(t, srv.URL, "/progress"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "-metrics-addr") {
+		t.Fatalf("/progress before attach: %d %q (should say how to enable it)", code, body)
+	}
+
+	bus := obs.NewBus()
+	tracker := obs.NewTracker(bus)
+	c.AttachProgress(tracker)
+	tracker.Observe(obs.Event{Type: obs.SweepStarted, Total: 4, PlanTotals: map[string]int{"HB": 4}})
+	tracker.Observe(obs.Event{Type: obs.CellStarted, Cell: "a", Plan: "HB"})
+	tracker.Observe(obs.Event{Type: obs.CellFinished, Cell: "a", Plan: "HB", SimTime: 12.5})
+	tracker.Observe(obs.Event{Type: obs.CellResumed, Cell: "b", Plan: "HB"})
+
+	code, ct, body := getFull(t, srv.URL, "/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress: %d", code)
+	}
+	if ct != "application/json" {
+		t.Errorf("/progress: Content-Type %q", ct)
+	}
+	var snap obs.ProgressSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress: invalid JSON: %v\n%s", err, body)
+	}
+	if snap.Total != 4 || snap.Done != 2 || snap.Resumed != 1 {
+		t.Errorf("progress = %d/%d (%d resumed), want 2/4 (1 resumed)", snap.Done, snap.Total, snap.Resumed)
+	}
+	if snap.Percent != 50 {
+		t.Errorf("percent = %v, want 50", snap.Percent)
+	}
+	if p, ok := snap.PerPlan["HB"]; !ok || p.Done != 2 || p.Total != 4 {
+		t.Errorf("per_plan[HB] = %+v, want 2/4", p)
+	}
+	if snap.EtaSeconds == nil {
+		t.Error("eta_seconds missing after a real completion")
+	}
+}
+
+// TestServerEventsSSE covers /events: 503 before a bus is attached,
+// then a live SSE stream carrying published events with id/event/data
+// framing.
+func TestServerEventsSSE(t *testing.T) {
+	c := NewCollector()
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	if code, _, body := getFull(t, srv.URL, "/events"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "-metrics-addr") {
+		t.Fatalf("/events before attach: %d %q", code, body)
+	}
+
+	bus := obs.NewBus()
+	c.AttachBus(bus)
+
+	resp, err := http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("/events Content-Type %q", ct)
+	}
+
+	// Publish after the subscription is live: poll until the handler's
+	// subscriber appears in the bus (its publish counter observes it).
+	go func() {
+		for i := 0; i < 50; i++ {
+			bus.Publish(obs.Event{Type: obs.CellFinished, Cell: "demo", SimTime: 3.25})
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.After(5 * time.Second)
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	var sawEvent, sawData, sawID bool
+	for !(sawEvent && sawData && sawID) {
+		select {
+		case <-deadline:
+			t.Fatalf("no complete SSE frame within 5s (event=%v data=%v id=%v)", sawEvent, sawData, sawID)
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("stream closed before a frame arrived")
+			}
+			switch {
+			case strings.HasPrefix(line, "event: CellFinished"):
+				sawEvent = true
+			case strings.HasPrefix(line, "id: "):
+				sawID = true
+			case strings.HasPrefix(line, "data: "):
+				sawData = true
+				var ev obs.Event
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+					t.Fatalf("SSE data is not an Event: %v (%q)", err, line)
+				}
+				if ev.Cell != "demo" || ev.SimTime != 3.25 {
+					t.Errorf("event = %+v, want cell demo at sim time 3.25", ev)
+				}
+			}
+		}
+	}
+}
+
+// TestSlowSSEClientNeverBlocksPublisher is the backpressure contract at
+// the server level: a client that connects to /events and then never
+// reads must not slow publishing — its private subscriber ring drops
+// oldest (counted) while Publish stays non-blocking.
+func TestSlowSSEClientNeverBlocksPublisher(t *testing.T) {
+	c := NewCollector()
+	bus := obs.NewBus()
+	c.AttachBus(bus)
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	u, _ := url.Parse(srv.URL)
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /events HTTP/1.1\r\nHost: %s\r\nAccept: text/event-stream\r\n\r\n", u.Host)
+	// Read only the response headers, then stop reading forever.
+	hdr := bufio.NewReader(conn)
+	for {
+		line, err := hdr.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line == "\r\n" {
+			break
+		}
+	}
+
+	// Far more events than the ring (1024) plus whatever the socket
+	// buffers: the handler must shed, not stall the publisher.
+	const n = 50000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		bus.Publish(obs.Event{Type: obs.CellFinished, Cell: "flood", Detail: strings.Repeat("x", 64)})
+	}
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("publishing %d events took %v with a stalled SSE client — publisher blocked", n, elapsed)
+	}
+	if bus.Published() != n {
+		t.Errorf("published %d, want %d", bus.Published(), n)
+	}
+	if bus.Dropped() == 0 {
+		t.Error("stalled client dropped nothing: ring must shed oldest events")
+	}
+}
+
+// TestRuntimeMetricsFamilies: StartRuntimeMetrics registers every
+// capsim_runtime_* family and a scrape immediately after start already
+// carries values (the synchronous first sample).
+func TestRuntimeMetricsFamilies(t *testing.T) {
+	c := NewCollector()
+	stop := StartRuntimeMetrics(c.Registry, time.Hour)
+	defer stop()
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	_, _, body := getFull(t, srv.URL, "/metrics")
+	for _, family := range []string{
+		`capsim_runtime_heap_bytes{stat="alloc"}`,
+		`capsim_runtime_heap_bytes{stat="sys"}`,
+		"capsim_runtime_goroutines",
+		"capsim_runtime_gc_total",
+		"capsim_runtime_rss_bytes",
+		"capsim_runtime_cpu_seconds_total",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("/metrics missing %s after StartRuntimeMetrics", family)
+		}
+	}
+	// Calling stop twice must be safe.
+	stop()
+}
+
+// TestRunInfoLabels: SetRunInfo exposes the run identity as a
+// capsim_run_info gauge with run_id and grid_sha labels, value 1.
+func TestRunInfoLabels(t *testing.T) {
+	c := NewCollector()
+	c.SetRunInfo("fig4-1754000000-42", "deadbeef")
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	_, _, body := getFull(t, srv.URL, "/metrics")
+	found := false
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "capsim_run_info{") {
+			continue
+		}
+		found = true
+		if !strings.Contains(line, `run_id="fig4-1754000000-42"`) ||
+			!strings.Contains(line, `grid_sha="deadbeef"`) ||
+			!strings.HasSuffix(line, " 1") {
+			t.Errorf("run info line %q: want run_id, grid_sha labels and value 1", line)
+		}
+	}
+	if !found {
+		t.Errorf("capsim_run_info missing from /metrics:\n%s", body)
+	}
+}
+
+// TestObsCountersOnBus: AttachBus wires the publish and drop hooks so
+// the scrape shows capsim_obs_events_total{type} and a zero-valued
+// capsim_obs_dropped_total from the start.
+func TestObsCountersOnBus(t *testing.T) {
+	c := NewCollector()
+	bus := obs.NewBus()
+	c.AttachBus(bus)
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	_, _, body := getFull(t, srv.URL, "/metrics")
+	if !strings.Contains(body, "capsim_obs_dropped_total 0") {
+		t.Errorf("dropped counter should scrape as 0 before any drops:\n%s", body)
+	}
+
+	bus.Publish(obs.Event{Type: obs.CellStarted, Cell: "x"})
+	bus.Publish(obs.Event{Type: obs.CellFinished, Cell: "x"})
+	bus.Publish(obs.Event{Type: obs.CellFinished, Cell: "y"})
+	_, _, body = getFull(t, srv.URL, "/metrics")
+	if !strings.Contains(body, `capsim_obs_events_total{type="CellFinished"} 2`) ||
+		!strings.Contains(body, `capsim_obs_events_total{type="CellStarted"} 1`) {
+		t.Errorf("event counters not accumulating by type:\n%s", body)
+	}
+}

@@ -1,0 +1,159 @@
+// Go-runtime and process self-metrics: the simulator watching itself.
+// A long sweep is an ordinary long-running Go process, and the usual
+// operational questions (is the heap growing? are GC pauses eating the
+// wall-clock budget? did a subscriber leak goroutines?) deserve the
+// same scrape endpoint as the simulation metrics.
+package telemetry
+
+import (
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DefaultRuntimeInterval is the self-metric sampling period.
+const DefaultRuntimeInterval = 5 * time.Second
+
+// runtimeMetrics holds the registered capsim_runtime_* families.
+type runtimeMetrics struct {
+	heap       *GaugeVec // stat: alloc|sys|inuse|idle
+	gcPause    *GaugeVec // quantile: 0.5|0.9|0.99
+	gcTotal    *CounterVec
+	goroutines *GaugeVec
+	rss        *GaugeVec
+	cpu        *CounterVec
+
+	lastNumGC uint32
+	lastCPU   float64
+}
+
+// StartRuntimeMetrics registers the capsim_runtime_* families and
+// samples them every interval (<= 0 means DefaultRuntimeInterval)
+// until the returned stop function is called.  One synchronous sample
+// is taken before returning, so a scrape immediately after start
+// already sees values.
+func StartRuntimeMetrics(reg *Registry, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = DefaultRuntimeInterval
+	}
+	m := &runtimeMetrics{
+		heap: reg.NewGauge("capsim_runtime_heap_bytes",
+			"Go heap sizes by memstat.", "stat"),
+		gcPause: reg.NewGauge("capsim_runtime_gc_pause_seconds",
+			"GC stop-the-world pause quantiles over the runtime's recent-pause ring.", "quantile"),
+		gcTotal: reg.NewCounter("capsim_runtime_gc_total",
+			"Completed GC cycles."),
+		goroutines: reg.NewGauge("capsim_runtime_goroutines",
+			"Live goroutines."),
+		rss: reg.NewGauge("capsim_runtime_rss_bytes",
+			"Process resident set size (0 where /proc is unavailable)."),
+		cpu: reg.NewCounter("capsim_runtime_cpu_seconds_total",
+			"Process CPU time, user+system (0 where /proc is unavailable)."),
+	}
+	m.sample()
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				m.sample()
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(done)
+		}
+	}
+}
+
+// sample takes one reading of every family.
+func (m *runtimeMetrics) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.heap.With("alloc").Set(float64(ms.HeapAlloc))
+	m.heap.With("sys").Set(float64(ms.HeapSys))
+	m.heap.With("inuse").Set(float64(ms.HeapInuse))
+	m.heap.With("idle").Set(float64(ms.HeapIdle))
+
+	if d := ms.NumGC - m.lastNumGC; d > 0 || m.lastNumGC == 0 {
+		m.gcTotal.With().Add(float64(ms.NumGC - m.lastNumGC))
+		m.lastNumGC = ms.NumGC
+	}
+	for q, v := range gcPauseQuantiles(&ms) {
+		m.gcPause.With(q).Set(v)
+	}
+
+	m.goroutines.With().Set(float64(runtime.NumGoroutine()))
+
+	if rss, cpu, ok := readProcStat(); ok {
+		m.rss.With().Set(rss)
+		if d := cpu - m.lastCPU; d > 0 {
+			m.cpu.With().Add(d)
+			m.lastCPU = cpu
+		}
+	}
+}
+
+// gcPauseQuantiles computes p50/p90/p99 over the runtime's circular
+// buffer of recent GC pauses (up to 256); empty before the first GC.
+func gcPauseQuantiles(ms *runtime.MemStats) map[string]float64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return nil
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pauses[i] = float64(ms.PauseNs[i]) / 1e9
+	}
+	sort.Float64s(pauses)
+	at := func(q float64) float64 {
+		idx := int(q*float64(n)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return pauses[idx]
+	}
+	return map[string]float64{"0.5": at(0.5), "0.9": at(0.9), "0.99": at(0.99)}
+}
+
+// readProcStat reads RSS (bytes) and cumulative CPU time (seconds)
+// from /proc/self/stat; ok is false on platforms without procfs.
+func readProcStat() (rssBytes, cpuSeconds float64, ok bool) {
+	data, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return 0, 0, false
+	}
+	// The comm field (2) may contain spaces; fields are stable only
+	// after its closing paren.
+	s := string(data)
+	i := strings.LastIndexByte(s, ')')
+	if i < 0 {
+		return 0, 0, false
+	}
+	fields := strings.Fields(s[i+1:])
+	// fields[k] is stat field k+3: utime=14, stime=15, rss=24 (pages).
+	if len(fields) < 22 {
+		return 0, 0, false
+	}
+	utime, err1 := strconv.ParseFloat(fields[11], 64)
+	stime, err2 := strconv.ParseFloat(fields[12], 64)
+	rssPages, err3 := strconv.ParseFloat(fields[21], 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, 0, false
+	}
+	const clkTck = 100 // USER_HZ on every Linux the simulator targets
+	return rssPages * float64(os.Getpagesize()), (utime + stime) / clkTck, true
+}

@@ -1,10 +1,26 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/obs"
 )
+
+// sseHeartbeat is how often an idle /events stream emits a comment
+// line, so dead client connections are detected and reaped.
+const sseHeartbeat = 15 * time.Second
+
+// sseWriteTimeout bounds each write to an /events client; a stalled
+// client times out and is disconnected — it can never hold the
+// handler goroutine forever (and it never held the publisher at all,
+// because its subscriber ring drops oldest).
+const sseWriteTimeout = 10 * time.Second
 
 // Handler builds the export mux over a collector:
 //
@@ -13,6 +29,9 @@ import (
 //	/timeseries.json  the sampler's power/cap/energy and worker series
 //	/decisions.json   the scheduler decision log
 //	/surface          the merged efficiency surface so far (?metric=)
+//	/progress         live sweep progress (done/total, rate, ETA, stragglers)
+//	/events           the observability event stream as SSE
+//	/debug/pprof/     Go profiling endpoints
 //	/                 a plain-text index
 //
 // All endpoints are read-only and safe while a run mutates the data.
@@ -53,6 +72,28 @@ func Handler(c *Collector) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		s.WriteSurfaceJSON(w, metric)
 	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		t := c.Progress()
+		if t == nil {
+			http.Error(w, "no sweep attached (run with -metrics-addr on a sweep command)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		t.WriteJSON(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		bus := c.Bus()
+		if bus == nil {
+			http.Error(w, "no event bus attached (run with -metrics-addr on a sweep command)", http.StatusServiceUnavailable)
+			return
+		}
+		serveSSE(w, r, bus)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -65,8 +106,57 @@ func Handler(c *Collector) http.Handler {
 		fmt.Fprintln(w, "  /timeseries.json  per-GPU power/cap/energy + per-worker series")
 		fmt.Fprintln(w, "  /decisions.json   scheduler decision log")
 		fmt.Fprintln(w, "  /surface          merged efficiency surface so far (?metric=gflops_per_w|edp|ed2p)")
+		fmt.Fprintln(w, "  /progress         live sweep progress: done/total, rate, ETA, stragglers")
+		fmt.Fprintln(w, "  /events           observability event stream (SSE)")
+		fmt.Fprintln(w, "  /debug/pprof/     Go profiling endpoints")
 	})
 	return mux
+}
+
+// serveSSE streams bus events to one client as Server-Sent Events.
+// The client gets its own drop-oldest subscriber ring, so however
+// slowly it reads, neither the publisher (worker pool) nor other
+// subscribers are affected; overflow is counted, not buffered.
+func serveSSE(w http.ResponseWriter, r *http.Request, bus *obs.Bus) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	sub := bus.Subscribe(1024)
+	defer sub.Close()
+	rc := http.NewResponseController(w)
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		for _, ev := range sub.Drain() {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			rc.SetWriteDeadline(time.Now().Add(sseWriteTimeout))
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+				return
+			}
+		}
+		fl.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.Wait():
+		case <-heartbeat.C:
+			rc.SetWriteDeadline(time.Now().Add(sseWriteTimeout))
+			if _, err := io.WriteString(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
 }
 
 // Server is a live telemetry endpoint.

@@ -64,7 +64,7 @@ func TestServerIndex(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("index: %d", code)
 	}
-	for _, ep := range []string{"/metrics", "/metrics.json", "/timeseries.json", "/decisions.json", "/surface"} {
+	for _, ep := range []string{"/metrics", "/metrics.json", "/timeseries.json", "/decisions.json", "/surface", "/progress", "/events", "/debug/pprof/"} {
 		if !strings.Contains(body, ep) {
 			t.Errorf("index missing %s", ep)
 		}
