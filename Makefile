@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench bench-json bench-gate fuzz-short chaos-short resume-short agg-short obs-short trace-demo clean
+.PHONY: all build vet test check bench bench-json bench-gate fuzz-short chaos-short resume-short agg-short obs-short shard-short trace-demo clean
 
 # How long each fuzz target runs under fuzz-short (CI uses the default).
 FUZZTIME ?= 10s
@@ -99,6 +99,14 @@ agg-short:
 # HTML sweep report (DESIGN §15).
 obs-short:
 	GO="$(GO)" bash scripts/obs_smoke.sh
+
+# Sharded-sweep smoke: capserved + 3 supervised capworkers with a
+# SIGKILL and a SIGSTOP/CONT injected mid-sweep must produce
+# surface.json and digests.json byte-identical to a serial run, and a
+# poisoned cell must quarantine within the kill budget without
+# stalling the rest (DESIGN §16).
+shard-short:
+	GO="$(GO)" bash scripts/shard_smoke.sh
 
 # Span-tracer smoke test: analyze a tiny POTRF under an unbalanced
 # plan and export a Chrome trace.  The analyze subcommand re-reads the

@@ -27,11 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
-	"syscall"
 	"time"
 
 	"repro/internal/ckpt"
@@ -39,6 +37,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/obsreport"
+	"repro/internal/sigctx"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/agg"
 )
@@ -55,7 +54,9 @@ func main() {
 	// SIGINT/SIGTERM cancel the pool context: in-flight cells finish and
 	// commit to the checkpoint journal, queued cells never start, and the
 	// interrupt path below reports what survived instead of discarding it.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// A second signal during that wind-down (e.g. a wedged journal flush)
+	// force-exits 130 immediately instead of being swallowed.
+	ctx, stop := sigctx.New(context.Background(), nil)
 	defer stop()
 	opts.ctx = ctx
 
@@ -65,6 +66,17 @@ func main() {
 	if cmd == "report" {
 		if rerr := runReport(opts); rerr != nil {
 			fmt.Fprintf(os.Stderr, "capbench report: %v\n", rerr)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// -submit hands the experiment to a capserved coordinator instead of
+	// running it in-process; everything below (journal, telemetry, agg)
+	// is the service's job there, not this client's.
+	if opts.submit != "" {
+		if serr := runSubmit(opts, cmd); serr != nil {
+			fmt.Fprintf(os.Stderr, "capbench %s: %v\n", cmd, serr)
 			os.Exit(1)
 		}
 		return
@@ -302,6 +314,10 @@ type options struct {
 	stallProfile time.Duration
 	profileDir   string
 	reportOut    string
+	submit       string
+	// faultsRaw is the unparsed -faults spec, forwarded verbatim in a
+	// -submit job (the service's workers parse it themselves).
+	faultsRaw string
 
 	// telem is non-nil when -metrics-addr is set; every experiment
 	// threads it through core so the endpoint reflects the live run.
@@ -354,6 +370,8 @@ func parseOpts(fs *flag.FlagSet, args []string) *options {
 		"directory stall-triggered CPU profiles are written into")
 	fs.StringVar(&o.reportOut, "report-out", "sweep-report.html",
 		"report: output path for the HTML sweep report")
+	fs.StringVar(&o.submit, "submit", "",
+		"submit the experiment to a capserved coordinator at this URL instead of running it in-process (grid, fig3, fig4)")
 	faultSpec := fs.String("faults", "",
 		"deterministic fault injection spec, e.g. capfail=0.3,clamp=0.1,throttle=1,dropout=1,taskfail=0.02,retries=3 (seeded from -seed)")
 	fs.Parse(args)
@@ -363,6 +381,7 @@ func parseOpts(fs *flag.FlagSet, args []string) *options {
 		os.Exit(2)
 	}
 	o.faults = spec
+	o.faultsRaw = *faultSpec
 	if o.scale < 1 {
 		o.scale = 1
 	}
@@ -431,7 +450,7 @@ experiments: fig1 table1 table2 fig3 fig4 fig5 fig6 fig7 grid autoplan ablation 
 flags: -platform <name|all> -csv -scale N -budget PCT -scheduler NAME -out DIR
        -trace-dir DIR -parallel N -seed N -faults SPEC -metrics-addr HOST:PORT -hold DURATION
        -checkpoint DIR -resume -cell-timeout DURATION -agg-dir DIR -agg-flush N
-       -stall-profile DURATION -profile-dir DIR -report-out FILE`))
+       -stall-profile DURATION -profile-dir DIR -report-out FILE -submit URL`))
 }
 
 // eventsFile is the JSONL event log written into -agg-dir.

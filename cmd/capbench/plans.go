@@ -27,18 +27,11 @@ func platformsFor(o *options) ([]string, error) {
 	return []string{o.platform}, nil
 }
 
-// scaledRow shrinks a Table II row by the -scale factor, keeping the
-// tile size (and so the per-task behaviour) intact.
+// scaledRow shrinks a Table II row by the -scale factor via the shared
+// reduction rule (core.ScaleRow), so a -scale N sweep and a scale-N
+// service job mean exactly the same cells.
 func scaledRow(r core.TableIIRow, scale int) core.TableIIRow {
-	if scale <= 1 {
-		return r
-	}
-	nt := r.N / r.NB / scale
-	if nt < 2 {
-		nt = 2
-	}
-	r.N = nt * r.NB
-	return r
+	return core.ScaleRow(r, scale)
 }
 
 // runFig34 prints the plan sweeps of Fig. 3 (double) or Fig. 4 (single):

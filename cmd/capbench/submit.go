@@ -1,0 +1,117 @@
+// Submit-to-service mode: instead of running a sweep in-process,
+// -submit posts the experiment as a JobSpec to a capserved
+// coordinator's /v1/submit and follows /v1/job until the sweep
+// finishes.  The cells, seeds and artifacts are identical to a local
+// run — the job is declared, and the service's workers expand it
+// through the same pure functions this binary would use.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/sweepd"
+)
+
+// submittable lists the experiments that map onto sweepd job specs.
+func submittable(cmd string) bool {
+	switch cmd {
+	case "grid", "fig3", "fig4":
+		return true
+	}
+	return false
+}
+
+// runSubmit posts the experiment to the coordinator and waits for the
+// job to finish, mirroring a local run's lifecycle (Ctrl-C stops the
+// watch, not the service; the job keeps running server-side).
+func runSubmit(o *options, cmd string) error {
+	if !submittable(cmd) {
+		return fmt.Errorf("-submit supports grid, fig3 and fig4 (got %q)", cmd)
+	}
+	base := strings.TrimSuffix(o.submit, "/")
+	spec := sweepd.JobSpec{
+		Experiment: cmd,
+		Platform:   o.platform,
+		Scale:      o.scale,
+		Seed:       o.seed,
+		Scheduler:  o.scheduler,
+		Faults:     o.faultsRaw,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Post(base+sweepd.PathSubmit, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("submit to %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("submit to %s: HTTP %d: %s", base, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var sr sweepd.SubmitReply
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "capbench: job %s submitted to %s (%d cells); watching %s\n",
+		sr.JobID, base, sr.Cells, base+sweepd.PathJob)
+
+	for {
+		select {
+		case <-o.ctx.Done():
+			fmt.Fprintf(os.Stderr, "capbench: detached — job %s keeps running on %s\n", sr.JobID, base)
+			return nil
+		case <-time.After(500 * time.Millisecond):
+		}
+		st, err := jobStatus(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capbench: job status: %v (retrying)\n", err)
+			continue
+		}
+		if st.JobID != sr.JobID {
+			return fmt.Errorf("coordinator switched to job %s while watching %s", st.JobID, sr.JobID)
+		}
+		if !st.Finished {
+			fmt.Fprintf(os.Stderr, "\rcapbench: %d/%d cells (%d in flight)", st.Counts.Done, st.Counts.Total, st.Counts.InFlight)
+			continue
+		}
+		fmt.Fprintln(os.Stderr)
+		rep := st.Report
+		if rep == nil {
+			return fmt.Errorf("job %s finished without a report", sr.JobID)
+		}
+		fmt.Fprintf(os.Stderr, "capbench: job %s finished: %d/%d cells done (%d resumed, %d stolen, %d expired)\n",
+			rep.JobID, rep.Done, rep.Cells, rep.Resumed, rep.Stolen, rep.Expired)
+		if rep.Degraded {
+			return fmt.Errorf("job %s degraded: %d cell(s) quarantined as poisoned", rep.JobID, len(rep.Quarantined))
+		}
+		return nil
+	}
+}
+
+// jobStatus fetches the coordinator's /v1/job document.
+func jobStatus(client *http.Client, base string) (*sweepd.JobStatus, error) {
+	resp, err := client.Get(base + sweepd.PathJob)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var st sweepd.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

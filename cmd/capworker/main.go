@@ -1,0 +1,70 @@
+// Command capworker is the sweep cell executor: it joins a capserved
+// coordinator, expands the job independently (the spec is declared,
+// not shipped — the CheckpointKey on each lease guards against
+// version skew), executes leased cells through the guarded executor
+// with its own checkpoint journal namespace, heartbeats per lease and
+// reports results as checkpoint-codec bytes.
+//
+//	capworker -coordinator http://host:port [-id w0] [-max-leases 1]
+//	          [-cell-timeout 0]
+//
+// The process is expendable by design: SIGKILL it mid-cell and the
+// coordinator re-leases its cells to another worker byte-identically.
+// SIGTERM/SIGINT stop it between cells (the in-flight lease expires
+// and re-runs elsewhere); a second signal force-exits 130.  Leasing a
+// poisoned cell crashes the process with status 3 — that is the chaos
+// harness's simulated hard fault, contained by the coordinator's kill
+// budget.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/sigctx"
+	"repro/internal/sweepd"
+)
+
+func main() {
+	fs := flag.NewFlagSet("capworker", flag.ExitOnError)
+	id := fs.String("id", "", "worker identity: lease holder and journal writer namespace (default w-<pid>)")
+	coordinator := fs.String("coordinator", "", "coordinator base URL (http://host:port)")
+	maxLeases := fs.Int("max-leases", 1, "cells held at once")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell watchdog (0 = off)")
+	fs.Parse(os.Args[1:])
+
+	if *id == "" {
+		*id = fmt.Sprintf("w-%d", os.Getpid())
+	}
+	ctx, stop := sigctx.New(context.Background(), nil)
+	defer stop()
+
+	w, err := sweepd.NewWorker(sweepd.WorkerConfig{
+		ID:          *id,
+		Coordinator: *coordinator,
+		MaxLeases:   *maxLeases,
+		CellTimeout: *cellTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "capworker: %v\n", err)
+		os.Exit(2)
+	}
+	start := time.Now()
+	err = w.Run(ctx)
+	switch {
+	case ctx.Err() != nil:
+		fmt.Fprintf(os.Stderr, "capworker: %s: interrupted after %v — in-flight leases will expire and re-run\n",
+			*id, time.Since(start).Round(time.Millisecond))
+		os.Exit(130)
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "capworker: %s: %v\n", *id, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "capworker: %s: drained cleanly after %v\n", *id, time.Since(start).Round(time.Millisecond))
+}

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/powercap"
 	"repro/internal/prec"
+	"repro/internal/sigctx"
 	"repro/internal/starpu"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -67,13 +69,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*platName, *opName, *precName, *planStr, *sched, *scale, *ganttPath, *powerPath, *chromePath, *decPath, *metricsAddr, *dumpModel, *telem, *hold); err != nil {
+	// First SIGINT/SIGTERM cuts the run short at the next interruptible
+	// point (the -hold window); a second one force-exits 130 immediately,
+	// even if an artifact write has wedged.
+	ctx, stop := sigctx.New(context.Background(), nil)
+	defer stop()
+
+	if err := run(ctx, *platName, *opName, *precName, *planStr, *sched, *scale, *ganttPath, *powerPath, *chromePath, *decPath, *metricsAddr, *dumpModel, *telem, *hold); err != nil {
 		fmt.Fprintln(os.Stderr, "schedtrace:", err)
 		os.Exit(1)
 	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "schedtrace: interrupted")
+		os.Exit(130)
+	}
 }
 
-func run(platName, opName, precName, planStr, sched string, scale int, ganttPath, powerPath, chromePath, decPath, metricsAddr string, dumpModel, telem bool, hold time.Duration) error {
+func run(ctx context.Context, platName, opName, precName, planStr, sched string, scale int, ganttPath, powerPath, chromePath, decPath, metricsAddr string, dumpModel, telem bool, hold time.Duration) error {
 	op := core.GEMM
 	if opName == "potrf" {
 		op = core.POTRF
@@ -253,7 +265,10 @@ func run(platName, opName, precName, planStr, sched string, scale int, ganttPath
 	}
 	if srv != nil && hold > 0 {
 		fmt.Fprintf(os.Stderr, "telemetry: holding endpoint open for %v (scrape http://%s/metrics)\n", hold, srv.Addr())
-		time.Sleep(hold)
+		select {
+		case <-time.After(hold):
+		case <-ctx.Done():
+		}
 	}
 	return nil
 }

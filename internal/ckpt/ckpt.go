@@ -27,6 +27,17 @@
 // processes can never interleave appends into one checkpoint; the
 // kernel drops the lock when the holder dies, so even a SIGKILL'd
 // writer never blocks a later resume.
+//
+// Multi-writer checkpoints: a sharded sweep has several processes
+// committing cells of one grid at once.  Open gives each writer its
+// own namespaced journal file (journal-<writer>.jsonl) under the same
+// manifest, so every writer keeps the single-writer guarantees above —
+// exclusive flock, append-only, fsync per commit — while resume loads
+// the union of every journal in the directory.  Two writers can commit
+// the same cell (a re-leased straggler whose first runner was slow,
+// not dead); the determinism contract makes their payloads
+// byte-identical, so the merge prefers any StatusDone record for a key
+// over non-Done records and is otherwise order-insensitive.
 package ckpt
 
 import (
@@ -37,6 +48,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"repro/internal/fsutil"
@@ -130,50 +142,121 @@ func Create(dir string, m Manifest) (*Journal, error) {
 	if _, err := os.Stat(mpath); err == nil {
 		return nil, fmt.Errorf("ckpt: %s already holds a checkpoint (resume it or remove the directory)", dir)
 	}
+	if err := writeManifest(dir, m); err != nil {
+		return nil, err
+	}
+	return open(dir, "", nil)
+}
+
+// Resume opens an existing checkpoint, verifying its identity hash
+// matches m's.  Committed records from every journal in the directory
+// — the classic journal.jsonl and any writer-namespaced journals a
+// sweep service left behind — become available through Lookup; torn or
+// digest-corrupt entries are dropped (their cells re-run).
+func Resume(dir string, m Manifest) (*Journal, error) {
+	if err := verifyManifest(dir, m); err != nil {
+		return nil, err
+	}
+	records, err := loadAllJournals(dir)
+	if err != nil {
+		return nil, err
+	}
+	return open(dir, "", records)
+}
+
+// Open opens a checkpoint for one named writer of a multi-process
+// sweep: the manifest is created atomically if absent and verified
+// against m otherwise, records from every journal in the directory are
+// loaded, and this writer's commits append to its own
+// journal-<writer>.jsonl under its own exclusive flock.  Unlike
+// Create, Open tolerates an existing checkpoint — that is the point:
+// coordinator and workers all Open the same directory, each under a
+// distinct writer name.  An empty writer uses the classic journal.jsonl
+// (and so collides with Create/Resume holders, by design).
+func Open(dir string, m Manifest, writer string) (*Journal, error) {
+	if err := validWriter(writer); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); os.IsNotExist(err) {
+		if err := writeManifest(dir, m); err != nil {
+			return nil, err
+		}
+	}
+	// Verify even after writing: two racing writers both observing "no
+	// manifest" must still end up under one identity — whoever's atomic
+	// rename lost rechecks the winner's content here.
+	if err := verifyManifest(dir, m); err != nil {
+		return nil, err
+	}
+	records, err := loadAllJournals(dir)
+	if err != nil {
+		return nil, err
+	}
+	return open(dir, writer, records)
+}
+
+// validWriter bounds writer names to filename-safe characters so a
+// namespaced journal cannot escape the checkpoint directory.
+func validWriter(writer string) error {
+	for _, r := range writer {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("ckpt: writer name %q: only [A-Za-z0-9._-] allowed", writer)
+		}
+	}
+	return nil
+}
+
+// journalFile names a writer's journal within the checkpoint dir.
+func journalFile(writer string) string {
+	if writer == "" {
+		return journalName
+	}
+	return "journal-" + writer + ".jsonl"
+}
+
+// writeManifest stamps and writes the manifest atomically.
+func writeManifest(dir string, m Manifest) error {
 	m.Version = version
 	m.IdentityHash = HashIdentity(m.Identity)
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if err := fsutil.WriteFileAtomic(mpath, append(data, '\n'), 0o644); err != nil {
-		return nil, err
-	}
-	return open(dir, nil)
+	return fsutil.WriteFileAtomic(filepath.Join(dir, manifestName), append(data, '\n'), 0o644)
 }
 
-// Resume opens an existing checkpoint, verifying its identity hash
-// matches m's.  Committed records become available through Lookup;
-// torn or digest-corrupt entries are dropped (their cells re-run).
-func Resume(dir string, m Manifest) (*Journal, error) {
+// verifyManifest checks the on-disk manifest carries m's identity.
+func verifyManifest(dir string, m Manifest) error {
 	data, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
-		return nil, fmt.Errorf("ckpt: no checkpoint to resume in %s: %w", dir, err)
+		return fmt.Errorf("ckpt: no checkpoint to resume in %s: %w", dir, err)
 	}
 	var have Manifest
 	if err := json.Unmarshal(data, &have); err != nil {
-		return nil, fmt.Errorf("ckpt: corrupt manifest in %s: %w", dir, err)
+		return fmt.Errorf("ckpt: corrupt manifest in %s: %w", dir, err)
 	}
 	if have.Version != version {
-		return nil, fmt.Errorf("ckpt: manifest version %d, want %d", have.Version, version)
+		return fmt.Errorf("ckpt: manifest version %d, want %d", have.Version, version)
 	}
 	if have.IdentityHash != HashIdentity(m.Identity) {
-		return nil, fmt.Errorf("ckpt: checkpoint in %s belongs to a different sweep:\n  have: %s\n  want: %s",
+		return fmt.Errorf("ckpt: checkpoint in %s belongs to a different sweep:\n  have: %s\n  want: %s",
 			dir, have.Identity, m.Identity)
 	}
-	records, err := loadJournal(filepath.Join(dir, journalName))
-	if err != nil {
-		return nil, err
-	}
-	return open(dir, records)
+	return nil
 }
 
 // open finishes construction: the journal file is opened append-only so
 // every commit lands after the loaded prefix, and flocked so a second
 // live process cannot interleave its appends with ours (the lock dies
 // with the process, so it never outlives a crash).
-func open(dir string, records map[string]Record) (*Journal, error) {
-	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func open(dir, writer string, records map[string]Record) (*Journal, error) {
+	f, err := os.OpenFile(filepath.Join(dir, journalFile(writer)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -185,6 +268,35 @@ func open(dir string, records map[string]Record) (*Journal, error) {
 		records = make(map[string]Record)
 	}
 	return &Journal{dir: dir, f: f, records: records}, nil
+}
+
+// loadAllJournals merges every journal in the directory, filename
+// order.  Within one file the last record per key wins (the
+// single-writer replay rule); across files a StatusDone record is
+// never displaced by a non-Done one — a second writer re-running a
+// straggler commits "running" after the first writer's "done", and the
+// done result (byte-identical by the determinism contract wherever it
+// was computed) must survive the merge.
+func loadAllJournals(dir string) (map[string]Record, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "journal*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	merged := make(map[string]Record)
+	for _, name := range names {
+		records, err := loadJournal(name)
+		if err != nil {
+			return nil, err
+		}
+		for key, r := range records {
+			if have, ok := merged[key]; ok && have.Status == StatusDone && r.Status != StatusDone {
+				continue
+			}
+			merged[key] = r
+		}
+	}
+	return merged, nil
 }
 
 // loadJournal replays a record log, last record per key winning.  The

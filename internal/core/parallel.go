@@ -366,26 +366,37 @@ func restoreCell(j *ckpt.Journal, key string) (*Result, bool) {
 	return res, true
 }
 
-// sweepCells flattens per-row plan sweeps into one cell list (per row:
+// gridLayout remembers how expandCells flattened rows into cells so
+// sweepCells can fold pool results back into per-row PlanResults.
+type gridLayout struct {
+	plansPerRow [][]powercap.Plan
+	baselineAt  []int
+}
+
+// expandCells flattens per-row plan sweeps into one cell list (per row:
 // the all-H baseline first, then every non-baseline plan, mirroring
-// SweepPlans' serial measurement order), runs the pool, and reassembles
-// per-row PlanResults in enumeration order.  opts[i] carries row i's
-// sweep options, letting RunGrid seed each row independently.
-func sweepCells(rows []TableIIRow, opts []SweepOptions, popt ParallelOptions) ([][]PlanResult, error) {
+// SweepPlans' serial measurement order).  opts[i] carries row i's sweep
+// options, letting RunGrid seed each row independently.  The expansion
+// is deterministic — a pure function of (rows, opts) — which is what
+// lets the sweep service's coordinator and workers expand the same job
+// independently and agree on cell indices and CheckpointKeys.
+func expandCells(rows []TableIIRow, opts []SweepOptions) ([]Config, gridLayout, error) {
 	var cfgs []Config
-	plansPerRow := make([][]powercap.Plan, len(rows))
-	baselineAt := make([]int, len(rows))
+	layout := gridLayout{
+		plansPerRow: make([][]powercap.Plan, len(rows)),
+		baselineAt:  make([]int, len(rows)),
+	}
 	for i, row := range rows {
 		opt := opts[i]
 		spec, err := platform.SpecByName(row.Platform)
 		if err != nil {
-			return nil, err
+			return nil, gridLayout{}, err
 		}
 		plans := opt.Plans
 		if plans == nil {
 			plans = powercap.Enumerate(spec.GPUCount)
 		}
-		plansPerRow[i] = plans
+		layout.plansPerRow[i] = plans
 		base := Config{
 			Spec:      spec,
 			Workload:  row.Workload(),
@@ -398,7 +409,7 @@ func sweepCells(rows []TableIIRow, opts []SweepOptions, popt ParallelOptions) ([
 			Trace:     opt.Trace,
 			Faults:    opt.Faults,
 		}
-		baselineAt[i] = len(cfgs)
+		layout.baselineAt[i] = len(cfgs)
 		cfgs = append(cfgs, base)
 		for _, plan := range plans {
 			if plan.AllHigh() {
@@ -409,7 +420,16 @@ func sweepCells(rows []TableIIRow, opts []SweepOptions, popt ParallelOptions) ([
 			cfgs = append(cfgs, cfg)
 		}
 	}
+	return cfgs, layout, nil
+}
 
+// sweepCells expands rows into cells, runs the pool, and reassembles
+// per-row PlanResults in enumeration order.
+func sweepCells(rows []TableIIRow, opts []SweepOptions, popt ParallelOptions) ([][]PlanResult, error) {
+	cfgs, layout, err := expandCells(rows, opts)
+	if err != nil {
+		return nil, err
+	}
 	results, err := RunCells(cfgs, popt)
 	if err != nil {
 		return nil, err
@@ -419,9 +439,9 @@ func sweepCells(rows []TableIIRow, opts []SweepOptions, popt ParallelOptions) ([
 	// plans exactly as the serial sweep does.
 	out := make([][]PlanResult, len(rows))
 	for i := range rows {
-		base := results[baselineAt[i]]
-		next := baselineAt[i] + 1
-		for _, plan := range plansPerRow[i] {
+		base := results[layout.baselineAt[i]]
+		next := layout.baselineAt[i] + 1
+		for _, plan := range layout.plansPerRow[i] {
 			var res *Result
 			if plan.AllHigh() {
 				res = base

@@ -44,6 +44,19 @@ const (
 	WorkerEvicted       EventType = "WorkerEvicted"
 	CheckpointCommitted EventType = "CheckpointCommitted"
 	DegradedRun         EventType = "DegradedRun"
+
+	// Sweep-service events (internal/sweepd): the coordinator publishes
+	// worker lifecycle (WorkerJoined/WorkerLost), lease churn
+	// (LeaseGranted/LeaseExpired), straggler work-stealing (CellStolen)
+	// and poisoned-cell quarantine (CellQuarantined).  Detail carries the
+	// worker id — service workers are processes named by the supervisor,
+	// not the simulation's integer device workers.
+	WorkerJoined    EventType = "WorkerJoined"
+	WorkerLost      EventType = "WorkerLost"
+	LeaseGranted    EventType = "LeaseGranted"
+	LeaseExpired    EventType = "LeaseExpired"
+	CellStolen      EventType = "CellStolen"
+	CellQuarantined EventType = "CellQuarantined"
 )
 
 // Event is one observation.  Seq is assigned by the bus at publish
@@ -169,6 +182,18 @@ func (b *Bus) Dropped() uint64 {
 		return 0
 	}
 	return b.dropped.Load()
+}
+
+// Subscribers reports how many subscribers are currently registered —
+// the live-consumer gauge the SSE handler's leak tests assert on (a
+// client that disconnects must bring this back down).
+func (b *Bus) Subscribers() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
 }
 
 // Subscribe registers a new subscriber with a ring of the given

@@ -1,0 +1,69 @@
+// Package sigctx is the interrupt contract shared by the repo's
+// long-running binaries: the first SIGINT/SIGTERM cancels a context so
+// in-flight work can finish and journals can flush; a second signal
+// means the user wants out NOW and force-exits with status 130
+// immediately — even mid-flush.
+//
+// signal.NotifyContext alone gets the second half wrong: it keeps the
+// signals registered after the first delivery, so a second Ctrl-C is
+// swallowed and a graceful shutdown that wedges (a hung fsync, a stuck
+// drain) cannot be escaped without SIGKILL.  This package exists to
+// pin the double-signal behaviour — and to make it testable, the exit
+// function is injectable.
+package sigctx
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// New returns a context cancelled by the first of the given signals
+// (default SIGINT/SIGTERM) and arms the second-signal force exit:
+// another signal after the first calls exit(130) immediately.  exit
+// nil means os.Exit.  The returned stop releases the signal handler;
+// call it once the graceful path has fully wound down.
+func New(parent context.Context, exit func(code int), sigs ...os.Signal) (context.Context, context.CancelFunc) {
+	if exit == nil {
+		exit = os.Exit
+	}
+	if len(sigs) == 0 {
+		sigs = []os.Signal{os.Interrupt, syscall.SIGTERM}
+	}
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, sigs...)
+
+	stopped := make(chan struct{})
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(stopped)
+			cancel()
+		})
+	}
+	go func() {
+		select {
+		case <-stopped:
+			return
+		case <-ctx.Done():
+			// Programmatic cancellation (parent or stop): no signal was
+			// seen, so don't arm the force-exit.
+			return
+		case <-ch:
+			cancel()
+		}
+		select {
+		case <-stopped:
+		case <-ch:
+			// The graceful path already has the first cancellation; a
+			// second signal while it is still winding down (journal flush,
+			// drain) must not be swallowed.
+			exit(130)
+		}
+	}()
+	return ctx, stop
+}

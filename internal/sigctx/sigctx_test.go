@@ -1,0 +1,103 @@
+package sigctx
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// raise sends the signal to this process.
+func raise(t *testing.T, sig syscall.Signal) {
+	t.Helper()
+	if err := syscall.Kill(syscall.Getpid(), sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFirstSignalCancels: one signal cancels the context and does not
+// force-exit.
+func TestFirstSignalCancels(t *testing.T) {
+	exited := make(chan int, 1)
+	ctx, stop := New(context.Background(), func(code int) { exited <- code }, syscall.SIGUSR1)
+	defer stop()
+
+	raise(t, syscall.SIGUSR1)
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled by the first signal")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("force exit (%d) on the first signal", code)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestSecondSignalForcesExit is the double-interrupt contract: a second
+// signal during the graceful wind-down (journal flush, drain) exits 130
+// immediately instead of being swallowed.
+func TestSecondSignalForcesExit(t *testing.T) {
+	exited := make(chan int, 1)
+	ctx, stop := New(context.Background(), func(code int) { exited <- code }, syscall.SIGUSR1)
+	defer stop()
+
+	raise(t, syscall.SIGUSR1)
+	<-ctx.Done()
+	// The graceful path is "flushing" (we simply haven't called stop);
+	// the second signal must cut through.
+	raise(t, syscall.SIGUSR1)
+	select {
+	case code := <-exited:
+		if code != 130 {
+			t.Fatalf("force exit code = %d, want 130", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal was swallowed")
+	}
+}
+
+// TestStopDisarms: after stop, signals neither cancel nor force-exit.
+func TestStopDisarms(t *testing.T) {
+	// Keep SIGUSR1 registered with the runtime for the whole test: after
+	// stop() releases sigctx's registration, an unhandled SIGUSR1 would
+	// otherwise take its default action and kill the test process.
+	keep := make(chan os.Signal, 4)
+	signal.Notify(keep, syscall.SIGUSR1)
+	defer signal.Stop(keep)
+
+	exited := make(chan int, 1)
+	_, stop := New(context.Background(), func(code int) { exited <- code }, syscall.SIGUSR1)
+	stop()
+	// The handler is released; this must not force-exit (it would kill
+	// the test process if exit were os.Exit and the handler still armed).
+	raise(t, syscall.SIGUSR1)
+	raise(t, syscall.SIGUSR1)
+	select {
+	case code := <-exited:
+		t.Fatalf("force exit (%d) after stop", code)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestProgrammaticCancelDoesNotArm: cancelling via the parent is not a
+// signal; a single subsequent signal must not force-exit (it starts a
+// fresh... no — the handler saw no first signal, so nothing happens).
+func TestProgrammaticCancelDoesNotArm(t *testing.T) {
+	exited := make(chan int, 1)
+	parent, pcancel := context.WithCancel(context.Background())
+	ctx, stop := New(parent, func(code int) { exited <- code }, syscall.SIGUSR1)
+	defer stop()
+
+	pcancel()
+	<-ctx.Done()
+	raise(t, syscall.SIGUSR1)
+	select {
+	case code := <-exited:
+		t.Fatalf("force exit (%d) after programmatic cancel + one signal", code)
+	case <-time.After(100 * time.Millisecond):
+	}
+}

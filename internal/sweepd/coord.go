@@ -1,0 +1,327 @@
+// The coordinator: owns the lease table, the checkpoint journal, the
+// aggregation surface and the digest ledger for one job at a time, and
+// serves the dispatch protocol plus /healthz and the full telemetry
+// plane on one HTTP endpoint.
+//
+// Failure model.  Workers are expendable: a worker that dies (SIGKILL,
+// OOM, poison) or wedges (SIGSTOP, livelock) simply stops heartbeating
+// — its leases expire, the cells re-queue with exponential backoff,
+// and the loss is charged to each cell's kill budget so a cell that
+// keeps taking workers down quarantines as poisoned instead of eating
+// the fleet.  The coordinator itself is crash-safe through the
+// checkpoint contract: every accepted result is fsynced into the
+// "coord" journal (and usually the reporting worker's own journal
+// first), so a restarted coordinator resumes the union of everything
+// any process committed and re-dispatches only the remainder.
+package sweepd
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/agg"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// CheckpointDir is the base directory job journals live under (one
+	// subdirectory per job, shared with workers on the same filesystem).
+	// Empty disables checkpointing (results live only in memory and the
+	// aggregation artifacts).
+	CheckpointDir string
+	// AggDir is the base directory job artifacts are written under
+	// (surface.json, rollups.jsonl, stream.jsonl, digests.json,
+	// jobreport.json — one subdirectory per job).
+	AggDir string
+	// Lease tunes the dispatch state machine.
+	Lease LeaseConfig
+	// HeartbeatEvery is the heartbeat interval advertised to workers;
+	// defaults to a third of the lease TTL.
+	HeartbeatEvery time.Duration
+	// WorkerTimeout declares a silent worker lost; defaults to 2×TTL.
+	WorkerTimeout time.Duration
+	// Bus receives the service's observability events; one is created
+	// when nil.
+	Collector *telemetry.Collector
+	Bus       *obs.Bus
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	c.Lease = c.Lease.withDefaults()
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.Lease.TTL / 3
+	}
+	if c.WorkerTimeout <= 0 {
+		c.WorkerTimeout = 2 * c.Lease.TTL
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// workerState is one registered worker's liveness record.
+type workerState struct {
+	id          string
+	pid         int
+	joinedAt    time.Time
+	lastSeen    time.Time
+	cellsServed int
+}
+
+// activeJob is the coordinator's state for the job being dispatched.
+type activeJob struct {
+	spec     JobSpec
+	id       string
+	identity string
+	cells    []core.Config
+	keys     []string
+	table    *Table
+	journal  *ckpt.Journal // nil when checkpointing is off
+	agg      *agg.Aggregator
+	dir      string     // artifact directory (under AggDir)
+	ckptDir  string     // journal directory (under CheckpointDir)
+	mu       sync.Mutex // guards digests
+	digests  map[string]string
+	resumed  int
+	finished chan struct{}
+	finish   sync.Once
+	report   *JobReport
+	drained  bool
+}
+
+// coordMetrics is the capsim_sweepd_* family set; nil when no
+// collector is attached.
+type coordMetrics struct {
+	workers     telemetry.Gauge
+	leases      telemetry.Gauge
+	cellsDone   telemetry.Gauge
+	cellsTotal  telemetry.Gauge
+	granted     telemetry.Counter
+	expired     telemetry.Counter
+	stolen      telemetry.Counter
+	quarantined telemetry.Counter
+	workersLost telemetry.Counter
+	results     *telemetry.CounterVec
+}
+
+// Coordinator shards one job at a time across worker processes.
+type Coordinator struct {
+	cfg     Config
+	bus     *obs.Bus
+	tracker *obs.Tracker
+	mux     *http.ServeMux
+	m       *coordMetrics
+
+	mu       sync.Mutex
+	job      *activeJob
+	workers  map[string]*workerState
+	draining bool
+}
+
+// New builds a Coordinator.  Call Start to arm the expiry scanner,
+// Handler for the HTTP surface, Submit to load a job.
+func New(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	bus := cfg.Bus
+	if bus == nil {
+		bus = obs.NewBus()
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		bus:     bus,
+		tracker: obs.NewTracker(bus),
+		workers: make(map[string]*workerState),
+	}
+	if col := cfg.Collector; col != nil {
+		col.AttachBus(bus)
+		col.AttachProgress(c.tracker)
+		r := col.Registry
+		c.m = &coordMetrics{
+			workers:     r.NewGauge("capsim_sweepd_workers_connected", "Worker processes currently registered with the coordinator.").With(),
+			leases:      r.NewGauge("capsim_sweepd_leases_outstanding", "Cell leases currently held by workers.").With(),
+			cellsDone:   r.NewGauge("capsim_sweepd_cells_done", "Cells of the active job with an accepted result.").With(),
+			cellsTotal:  r.NewGauge("capsim_sweepd_cells_total", "Cells in the active job.").With(),
+			granted:     r.NewCounter("capsim_sweepd_leases_granted_total", "Cell leases granted to workers, steals included.").With(),
+			expired:     r.NewCounter("capsim_sweepd_leases_expired_total", "Leases that expired without a heartbeat.").With(),
+			stolen:      r.NewCounter("capsim_sweepd_cells_stolen_total", "Straggler leases re-granted to a second worker.").With(),
+			quarantined: r.NewCounter("capsim_sweepd_cells_quarantined_total", "Cells quarantined as poisoned.").With(),
+			workersLost: r.NewCounter("capsim_sweepd_workers_lost_total", "Workers declared lost (process exit or heartbeat silence).").With(),
+			results:     r.NewCounter("capsim_sweepd_results_total", "Cell results received from workers.", "status"),
+		}
+	}
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc(PathJoin, c.handleJoin)
+	c.mux.HandleFunc(PathLease, c.handleLease)
+	c.mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
+	c.mux.HandleFunc(PathResult, c.handleResult)
+	c.mux.HandleFunc(PathSubmit, c.handleSubmit)
+	c.mux.HandleFunc(PathJob, c.handleJob)
+	c.mux.HandleFunc(PathHealthz, c.handleHealthz)
+	c.mux.HandleFunc(PathState, c.handleState)
+	if cfg.Collector != nil {
+		// Everything not claimed above falls through to the telemetry
+		// plane: /metrics, /progress, /events (SSE), /surface, pprof.
+		c.mux.Handle("/", telemetry.Handler(cfg.Collector))
+	}
+	return c
+}
+
+// Bus exposes the coordinator's event bus (for file sinks and tests).
+func (c *Coordinator) Bus() *obs.Bus { return c.bus }
+
+// Handler is the coordinator's full HTTP surface.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Start arms the tracker and the expiry/liveness scanner; both stop
+// when the context is cancelled.
+func (c *Coordinator) Start(ctx context.Context) {
+	c.tracker.Start(ctx, 1024)
+	go c.scan(ctx)
+}
+
+// Submit loads a job: expands its cells, opens (or resumes) its
+// checkpoint journal, restores already-committed cells, and starts
+// dispatching.  One job runs at a time; submitting while one is active
+// fails.
+func (c *Coordinator) Submit(spec JobSpec) (*activeJob, error) {
+	spec = spec.withDefaults()
+	cells, err := spec.Cells()
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("sweepd: job %s expands to zero cells", spec.Name)
+	}
+	job := &activeJob{
+		spec:     spec,
+		id:       spec.ID(),
+		identity: spec.Identity(),
+		cells:    cells,
+		keys:     make([]string, len(cells)),
+		digests:  make(map[string]string, len(cells)),
+		finished: make(chan struct{}),
+	}
+	for i := range cells {
+		job.keys[i] = cells[i].CheckpointKey()
+	}
+	job.table = NewTable(job.keys, c.cfg.Lease)
+
+	stamp := spec.Name + "-" + job.id
+	if c.cfg.AggDir != "" {
+		job.dir = filepath.Join(c.cfg.AggDir, stamp)
+		if err := os.MkdirAll(job.dir, 0o755); err != nil {
+			return nil, err
+		}
+		sink, err := agg.NewJSONLSink(filepath.Join(job.dir, agg.StreamFile))
+		if err != nil {
+			return nil, err
+		}
+		job.agg = agg.New(sink, agg.ExporterConfig{})
+		if c.cfg.Collector != nil {
+			c.cfg.Collector.SetSurface(job.agg.Surface())
+		}
+	}
+	if c.cfg.CheckpointDir != "" {
+		job.ckptDir = filepath.Join(c.cfg.CheckpointDir, stamp)
+		job.journal, err = ckpt.Open(job.ckptDir, ckpt.Manifest{Identity: job.identity, RootSeed: spec.Seed}, "coord")
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		c.discardJob(job)
+		return nil, fmt.Errorf("sweepd: coordinator is draining")
+	}
+	if c.job != nil && c.job.report == nil {
+		c.mu.Unlock()
+		c.discardJob(job)
+		return nil, fmt.Errorf("sweepd: job %s still active", c.job.id)
+	}
+	c.job = job
+	c.mu.Unlock()
+
+	totals := make(map[string]int)
+	for i := range cells {
+		totals[cellPlanName(cells[i])]++
+	}
+	c.bus.Publish(obs.Event{Type: obs.SweepStarted, Total: len(cells), PlanTotals: totals})
+
+	// Resume: every cell any previous process committed — coordinator or
+	// worker journals alike — is restored, fed to the surface and the
+	// digest ledger, and never dispatched.
+	if job.journal != nil {
+		for i, key := range job.keys {
+			rec, ok := job.journal.Lookup(key)
+			if !ok || rec.Status != ckpt.StatusDone {
+				continue
+			}
+			res, err := core.DecodeResult(rec.Payload)
+			if err != nil {
+				continue // corrupt payload: the cell re-runs
+			}
+			job.table.RestoreDone(key)
+			job.resumed++
+			c.acceptResult(job, i, res, rec.Payload, true)
+			c.bus.Publish(obs.Event{Type: obs.CellResumed, Cell: key,
+				Plan: cellPlanName(job.cells[i]), Workload: job.cells[i].Workload.String(),
+				SimTime: float64(res.Makespan), Efficiency: res.Efficiency})
+		}
+		if job.resumed > 0 {
+			c.cfg.Logf("sweepd: job %s: resumed %d cell(s) from %s", job.id, job.resumed, job.ckptDir)
+		}
+	}
+	c.syncGauges()
+	c.checkFinished(job)
+	c.cfg.Logf("sweepd: job %s (%s): %d cell(s), %d resumed", job.id, spec.Name, len(cells), job.resumed)
+	return job, nil
+}
+
+// discardJob releases resources of a job that lost the submit race.
+func (c *Coordinator) discardJob(job *activeJob) {
+	if job.journal != nil {
+		job.journal.Close()
+	}
+	if job.agg != nil {
+		job.agg.Close()
+	}
+}
+
+// Done returns the channel closed when the given job finishes (all
+// cells terminal, or drain).
+func (job *activeJob) Done() <-chan struct{} { return job.finished }
+
+// Report returns the job's final report (nil until finished).
+func (job *activeJob) Report() *JobReport { return job.report }
+
+// ID reports the job's wire identifier.
+func (job *activeJob) ID() string { return job.id }
+
+// ArtifactDir reports where the job's artifacts land ("" without AggDir).
+func (job *activeJob) ArtifactDir() string { return job.dir }
+
+// CheckpointDirUsed reports the job's journal directory ("" without
+// checkpointing).
+func (job *activeJob) CheckpointDirUsed() string { return job.ckptDir }
+
+// cellPlanName renders a cell's plan for event labels.
+func cellPlanName(cfg core.Config) string {
+	if cfg.Plan != nil {
+		return cfg.Plan.String()
+	}
+	return "H*"
+}

@@ -1,0 +1,394 @@
+package sweepd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeClock is a manually-advanced clock for the lease table.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cell-%03d", i)
+	}
+	return keys
+}
+
+// TestLeaseFirstResultWins: duplicates of a committed cell are dropped.
+func TestLeaseFirstResultWins(t *testing.T) {
+	clk := newFakeClock()
+	tb := NewTable(testKeys(1), LeaseConfig{})
+	tb.SetClock(clk.now)
+
+	l1, ev := tb.Acquire("w0", 1, 0)
+	if len(l1) != 1 || l1[0].CellKey != "cell-000" || l1[0].Attempt != 1 {
+		t.Fatalf("first acquire = %+v", l1)
+	}
+	if len(ev) != 1 || ev[0].Type != obs.LeaseGranted {
+		t.Fatalf("events = %+v, want one LeaseGranted", ev)
+	}
+	// A second worker steals after the threshold; both hold the cell.
+	clk.advance(11 * time.Second)
+	tb.Heartbeat("w0", []string{"cell-000"})
+	l2, ev := tb.Acquire("w1", 1, 0)
+	if len(l2) != 1 || !l2[0].Stolen {
+		t.Fatalf("steal acquire = %+v, want one stolen lease", l2)
+	}
+	if len(ev) != 1 || ev[0].Type != obs.CellStolen {
+		t.Fatalf("steal events = %+v", ev)
+	}
+	if first, _ := tb.Complete("w1", "cell-000", true, ""); !first {
+		t.Fatal("thief's result should be first")
+	}
+	if first, _ := tb.Complete("w0", "cell-000", true, ""); first {
+		t.Fatal("straggler's duplicate must not be first")
+	}
+	if !tb.Finished() {
+		t.Fatal("table should be finished")
+	}
+	if c := tb.Counts(); c.Done != 1 || c.Stolen != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+// TestLeaseExpiryRequeues: a silent holder's lease expires, the cell
+// re-queues after backoff and re-grants with a bumped attempt count.
+func TestLeaseExpiryRequeues(t *testing.T) {
+	clk := newFakeClock()
+	tb := NewTable(testKeys(1), LeaseConfig{TTL: time.Second, BackoffBase: 100 * time.Millisecond})
+	tb.SetClock(clk.now)
+
+	if l, _ := tb.Acquire("w0", 1, 0); len(l) != 1 {
+		t.Fatal("no initial grant")
+	}
+	clk.advance(1100 * time.Millisecond)
+	ev := tb.ExpireLeases()
+	if len(ev) != 1 || ev[0].Type != obs.LeaseExpired {
+		t.Fatalf("expiry events = %+v", ev)
+	}
+	// Still inside the backoff window: nothing to grant.
+	if l, _ := tb.Acquire("w1", 1, 0); len(l) != 0 {
+		t.Fatalf("grant during backoff = %+v", l)
+	}
+	clk.advance(150 * time.Millisecond)
+	l, _ := tb.Acquire("w1", 1, 0)
+	if len(l) != 1 || l[0].Attempt != 2 {
+		t.Fatalf("re-grant = %+v, want attempt 2", l)
+	}
+	if c := tb.Counts(); c.Expired != 1 {
+		t.Fatalf("counts = %+v, want 1 expired", c)
+	}
+}
+
+// TestKillBudgetQuarantine: a cell that loses KillBudget workers is
+// quarantined as poisoned, and the sweep finishes around it.
+func TestKillBudgetQuarantine(t *testing.T) {
+	clk := newFakeClock()
+	tb := NewTable(testKeys(2), LeaseConfig{KillBudget: 3, BackoffBase: time.Millisecond})
+	tb.SetClock(clk.now)
+
+	for kill := 1; kill <= 3; kill++ {
+		clk.advance(time.Minute) // clear any backoff gate
+		w := fmt.Sprintf("w%d", kill)
+		l, _ := tb.Acquire(w, 1, 0)
+		if len(l) != 1 || l[0].CellKey != "cell-000" {
+			t.Fatalf("kill %d: grant = %+v", kill, l)
+		}
+		ev := tb.WorkerLost(w)
+		if kill < 3 && len(ev) != 0 {
+			t.Fatalf("kill %d: events = %+v, want none", kill, ev)
+		}
+		if kill == 3 {
+			if len(ev) != 1 || ev[0].Type != obs.CellQuarantined {
+				t.Fatalf("kill 3: events = %+v, want CellQuarantined", ev)
+			}
+		}
+	}
+	// The second cell still dispatches and completes normally.
+	clk.advance(time.Minute)
+	l, _ := tb.Acquire("w9", 4, 0)
+	if len(l) != 1 || l[0].CellKey != "cell-001" {
+		t.Fatalf("post-quarantine grant = %+v", l)
+	}
+	tb.Complete("w9", "cell-001", true, "")
+	if !tb.Finished() {
+		t.Fatal("sweep should finish around the quarantined cell")
+	}
+	quar := tb.Quarantined()
+	if len(quar) != 1 || quar[0].Key != "cell-000" || quar[0].Kills != 3 {
+		t.Fatalf("quarantined = %+v", quar)
+	}
+}
+
+// TestFailureBudgetQuarantineAndLateSuccess: worker-contained failures
+// quarantine at MaxFailures, and a late result lifts the quarantine.
+func TestFailureBudgetQuarantineAndLateSuccess(t *testing.T) {
+	clk := newFakeClock()
+	tb := NewTable(testKeys(1), LeaseConfig{MaxFailures: 2, BackoffBase: time.Millisecond})
+	tb.SetClock(clk.now)
+
+	tb.Acquire("w0", 1, 0)
+	if _, ev := tb.Complete("w0", "cell-000", false, "panic: boom"); len(ev) != 0 {
+		t.Fatalf("first failure events = %+v", ev)
+	}
+	clk.advance(time.Minute)
+	tb.Acquire("w0", 1, 0)
+	_, ev := tb.Complete("w0", "cell-000", false, "panic: boom")
+	if len(ev) != 1 || ev[0].Type != obs.CellQuarantined {
+		t.Fatalf("second failure events = %+v, want CellQuarantined", ev)
+	}
+	if !tb.Finished() {
+		t.Fatal("quarantine should finish the sweep")
+	}
+	// A straggler's late success beats the poison verdict.
+	if first, _ := tb.Complete("w1", "cell-000", true, ""); !first {
+		t.Fatal("late success should commit")
+	}
+	if len(tb.Quarantined()) != 0 {
+		t.Fatal("quarantine should be lifted")
+	}
+	if c := tb.Counts(); c.Done != 1 || c.Quarantined != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+// TestExpiryKillRetraction: a kill charged for lease expiry is
+// provisional — the expired holder proving alive (its next heartbeat
+// or report) retracts it and lifts a quarantine resting on it, while
+// WorkerLost makes pending kills final.  Without retraction, a loaded
+// machine whose heartbeats stretch past the TTL would poison its
+// slowest healthy cells.
+func TestExpiryKillRetraction(t *testing.T) {
+	clk := newFakeClock()
+	tb := NewTable(testKeys(1), LeaseConfig{TTL: time.Second, KillBudget: 2, BackoffBase: time.Millisecond})
+	tb.SetClock(clk.now)
+
+	// w0 goes quiet past the TTL, then turns out alive: its heartbeat
+	// cancels the stale lease and retracts the kill.
+	tb.Acquire("w0", 1, 0)
+	clk.advance(2 * time.Second)
+	if ev := tb.ExpireLeases(); len(ev) != 1 || ev[0].Type != obs.LeaseExpired {
+		t.Fatalf("expiry events = %+v, want one LeaseExpired", ev)
+	}
+	if cancelled := tb.Heartbeat("w0", []string{"cell-000"}); len(cancelled) != 1 {
+		t.Fatalf("heartbeat cancelled = %+v, want the stale lease", cancelled)
+	}
+
+	// Two genuinely silent holders exhaust the budget — which proves
+	// w0's kill was retracted (otherwise w1's expiry would already
+	// quarantine)...
+	clk.advance(time.Minute)
+	tb.Acquire("w1", 1, 0)
+	clk.advance(2 * time.Second)
+	if ev := tb.ExpireLeases(); len(ev) != 1 || ev[0].Type != obs.LeaseExpired {
+		t.Fatalf("w1 expiry events = %+v, want only LeaseExpired", ev)
+	}
+	clk.advance(time.Minute)
+	tb.Acquire("w2", 1, 0)
+	clk.advance(2 * time.Second)
+	ev := tb.ExpireLeases()
+	if len(ev) != 2 || ev[1].Type != obs.CellQuarantined {
+		t.Fatalf("w2 expiry events = %+v, want LeaseExpired + CellQuarantined", ev)
+	}
+	// ...but w2 proves alive too: its heartbeat lifts the quarantine.
+	tb.Heartbeat("w2", []string{"cell-000"})
+	if len(tb.Quarantined()) != 0 {
+		t.Fatal("quarantine should lift when the holder proves alive")
+	}
+
+	// w1 is confirmed dead: its pending kill becomes final, and a
+	// heartbeat from beyond the grave must not retract it — so a single
+	// further silent expiry re-exhausts the budget.
+	tb.WorkerLost("w1")
+	tb.Heartbeat("w1", []string{"cell-000"})
+	clk.advance(time.Minute)
+	tb.Acquire("w3", 1, 0)
+	clk.advance(2 * time.Second)
+	ev = tb.ExpireLeases()
+	if len(ev) != 2 || ev[1].Type != obs.CellQuarantined {
+		t.Fatalf("w3 expiry events = %+v, want quarantine at the final kill", ev)
+	}
+
+	// Evidence still beats suspicion: w3's late result both retracts its
+	// own expiry kill and commits the cell.
+	if first, _ := tb.Complete("w3", "cell-000", true, ""); !first {
+		t.Fatal("late success should commit")
+	}
+	if !tb.Finished() || len(tb.Quarantined()) != 0 {
+		t.Fatal("cell should complete and the quarantine lift")
+	}
+}
+
+// TestStealRespectsThresholdAndHolders: no steal before the straggler
+// threshold, never from yourself, never beyond MaxHolders.
+func TestStealRespectsThresholdAndHolders(t *testing.T) {
+	clk := newFakeClock()
+	tb := NewTable(testKeys(1), LeaseConfig{TTL: time.Hour, StealAfter: 10 * time.Second, MaxHolders: 2})
+	tb.SetClock(clk.now)
+
+	tb.Acquire("w0", 1, 0)
+	if l, _ := tb.Acquire("w1", 1, 0); len(l) != 0 {
+		t.Fatalf("steal before threshold = %+v", l)
+	}
+	clk.advance(11 * time.Second)
+	if l, _ := tb.Acquire("w0", 1, 0); len(l) != 0 {
+		t.Fatal("a worker must not steal its own lease")
+	}
+	// p95-scaled threshold dominates StealAfter when larger.
+	if l, _ := tb.Acquire("w1", 1, 10*time.Second); len(l) != 0 {
+		t.Fatal("steal should respect the p95-scaled threshold")
+	}
+	l, _ := tb.Acquire("w1", 1, 0)
+	if len(l) != 1 || !l[0].Stolen {
+		t.Fatalf("steal past threshold = %+v", l)
+	}
+	if l, _ := tb.Acquire("w2", 1, 0); len(l) != 0 {
+		t.Fatal("MaxHolders must bound thieves")
+	}
+}
+
+// TestLeaseKillScheduleProperty is the state machine's property test:
+// across randomized schedules of grants, completions, contained
+// failures, worker kills, lease expiries and late duplicate results,
+// every cell is leased at least once and committed exactly once (or
+// quarantined, only when budgets are finite), and the table always
+// reaches Finished.
+func TestLeaseKillScheduleProperty(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			generous := seed%2 == 0
+			cfg := LeaseConfig{
+				TTL:         time.Second,
+				BackoffBase: time.Millisecond,
+				BackoffMax:  4 * time.Millisecond,
+				StealAfter:  2 * time.Second,
+			}
+			if generous {
+				// Budgets no schedule can exhaust: every cell must commit.
+				cfg.MaxFailures = 1 << 30
+				cfg.KillBudget = 1 << 30
+			}
+			runKillSchedule(t, seed, cfg, generous)
+		})
+	}
+}
+
+func runKillSchedule(t *testing.T, seed int64, cfg LeaseConfig, generous bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const cells = 12
+	workers := []string{"w0", "w1", "w2", "w3"}
+	keys := testKeys(cells)
+
+	clk := newFakeClock()
+	tb := NewTable(keys, cfg)
+	tb.SetClock(clk.now)
+
+	leased := make(map[string]int)
+	committed := make(map[string]int)
+	held := make(map[string][]Lease) // worker -> leases it believes it holds
+	zombies := make([]Lease, 0)      // leases whose holder died/expired but may still report late
+
+	for step := 0; step < 20000 && !tb.Finished(); step++ {
+		clk.advance(time.Duration(rng.Intn(int(200 * time.Millisecond))))
+		w := workers[rng.Intn(len(workers))]
+		switch op := rng.Intn(10); {
+		case op < 4: // acquire
+			ls, _ := tb.Acquire(w, 1+rng.Intn(2), 0)
+			for _, l := range ls {
+				leased[l.CellKey]++
+			}
+			held[w] = append(held[w], ls...)
+		case op < 6: // report success on a held lease
+			if n := len(held[w]); n > 0 {
+				i := rng.Intn(n)
+				l := held[w][i]
+				held[w] = append(held[w][:i], held[w][i+1:]...)
+				if first, _ := tb.Complete(w, l.CellKey, true, ""); first {
+					committed[l.CellKey]++
+				}
+			}
+		case op < 7: // report a contained failure
+			if n := len(held[w]); n > 0 {
+				i := rng.Intn(n)
+				l := held[w][i]
+				held[w] = append(held[w][:i], held[w][i+1:]...)
+				tb.Complete(w, l.CellKey, false, "panic: injected")
+			}
+		case op < 8: // heartbeat everything held
+			var ks []string
+			for _, l := range held[w] {
+				ks = append(ks, l.CellKey)
+			}
+			if len(ks) > 0 {
+				tb.Heartbeat(w, ks)
+			}
+		case op < 9: // SIGKILL the worker
+			tb.WorkerLost(w)
+			zombies = append(zombies, held[w]...)
+			held[w] = nil
+		default: // stall long enough for every lease to expire
+			clk.advance(cfg.TTL + time.Second)
+			tb.ExpireLeases()
+			for _, wid := range workers {
+				zombies = append(zombies, held[wid]...)
+				held[wid] = nil
+			}
+		}
+		// Occasionally a zombie (dead worker's straggler goroutine, or an
+		// expired holder that finished anyway) reports late.
+		if len(zombies) > 0 && rng.Intn(4) == 0 {
+			i := rng.Intn(len(zombies))
+			l := zombies[i]
+			zombies = append(zombies[:i], zombies[i+1:]...)
+			if first, _ := tb.Complete("zombie", l.CellKey, true, ""); first {
+				committed[l.CellKey]++
+			}
+		}
+	}
+
+	if !tb.Finished() {
+		t.Fatalf("seed %d: table never finished: %+v", seed, tb.Counts())
+	}
+	counts := tb.Counts()
+	quar := tb.Quarantined()
+	if generous && len(quar) != 0 {
+		t.Fatalf("seed %d: quarantine with unlimited budgets: %+v", seed, quar)
+	}
+	if counts.Done+counts.Quarantined != cells {
+		t.Fatalf("seed %d: done %d + quarantined %d != %d", seed, counts.Done, counts.Quarantined, cells)
+	}
+	quarKeys := make(map[string]bool, len(quar))
+	for _, q := range quar {
+		quarKeys[q.Key] = true
+	}
+	totalCommitted := 0
+	for _, key := range keys {
+		if leased[key] == 0 {
+			t.Errorf("seed %d: cell %s never leased", seed, key)
+		}
+		totalCommitted += committed[key]
+		switch {
+		case committed[key] > 1:
+			t.Errorf("seed %d: cell %s committed %d times, want exactly once", seed, key, committed[key])
+		case quarKeys[key] && committed[key] != 0:
+			t.Errorf("seed %d: quarantined cell %s has a committed result", seed, key)
+		case !quarKeys[key] && committed[key] != 1:
+			t.Errorf("seed %d: cell %s committed %d times, want 1", seed, key, committed[key])
+		}
+	}
+	if totalCommitted != counts.Done {
+		t.Errorf("seed %d: committed %d != table done %d", seed, totalCommitted, counts.Done)
+	}
+}

@@ -1,0 +1,156 @@
+// The wire protocol between coordinator and workers: small JSON
+// messages over HTTP POST.  Everything durable travels as the
+// checkpoint codec's exact bytes (core.EncodeResult, base64-framed by
+// encoding/json), so a result is bit-identical whether it crossed the
+// wire, was restored from a journal, or was computed in-process.
+package sweepd
+
+import "time"
+
+// Protocol endpoint paths served by the coordinator.
+const (
+	PathJoin      = "/v1/join"
+	PathLease     = "/v1/lease"
+	PathHeartbeat = "/v1/heartbeat"
+	PathResult    = "/v1/result"
+	PathSubmit    = "/v1/submit"
+	PathJob       = "/v1/job"
+	PathHealthz   = "/healthz"
+	PathState     = "/v1/state"
+)
+
+// JoinRequest registers a worker process with the coordinator.
+type JoinRequest struct {
+	WorkerID string `json:"worker_id"`
+	PID      int    `json:"pid"`
+}
+
+// JoinReply hands the worker the active job (nil when idle) and the
+// dispatch parameters.
+type JoinReply struct {
+	JobID string   `json:"job_id,omitempty"`
+	Job   *JobSpec `json:"job,omitempty"`
+	// CkptDir is the shared checkpoint directory workers journal into
+	// (each under its own writer namespace); empty disables shared
+	// journaling.
+	CkptDir string `json:"ckpt_dir,omitempty"`
+	// LeaseTTLMs and HeartbeatMs pace the worker's heartbeats.
+	LeaseTTLMs  int64 `json:"lease_ttl_ms"`
+	HeartbeatMs int64 `json:"heartbeat_ms"`
+	// Drain tells the worker to exit cleanly instead of working.
+	Drain bool `json:"drain,omitempty"`
+}
+
+// LeaseRequest asks for up to Max cell leases.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+	JobID    string `json:"job_id"`
+	Max      int    `json:"max"`
+}
+
+// LeaseReply carries the grants.  Wait means "nothing to lease right
+// now, poll again"; Rejoin means the worker's job is gone (finished or
+// replaced) and it should re-join; Drain means exit.
+type LeaseReply struct {
+	Leases []Lease `json:"leases,omitempty"`
+	Wait   bool    `json:"wait,omitempty"`
+	Rejoin bool    `json:"rejoin,omitempty"`
+	Drain  bool    `json:"drain,omitempty"`
+}
+
+// HeartbeatRequest extends the worker's leases on the listed cells.
+type HeartbeatRequest struct {
+	WorkerID string   `json:"worker_id"`
+	JobID    string   `json:"job_id"`
+	CellKeys []string `json:"cell_keys"`
+}
+
+// HeartbeatReply reports leases the worker no longer holds; Drain asks
+// it to wind down after the in-flight cell.
+type HeartbeatReply struct {
+	Cancelled []string `json:"cancelled,omitempty"`
+	Drain     bool     `json:"drain,omitempty"`
+}
+
+// ResultRequest reports one cell's outcome.  OK results carry the
+// checkpoint-codec payload; failures carry the error instead (the
+// worker survived — its executor contained the panic or hang).
+type ResultRequest struct {
+	WorkerID  string `json:"worker_id"`
+	JobID     string `json:"job_id"`
+	CellIndex int    `json:"cell_index"`
+	CellKey   string `json:"cell_key"`
+	OK        bool   `json:"ok"`
+	Payload   []byte `json:"payload,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// ResultReply acknowledges a report.  First is true when this result
+// is the one the sweep keeps (duplicates of an already-committed cell
+// report First=false and are dropped).
+type ResultReply struct {
+	Accepted bool `json:"accepted"`
+	First    bool `json:"first"`
+}
+
+// SubmitReply acknowledges a job submission.
+type SubmitReply struct {
+	JobID string `json:"job_id"`
+	Cells int    `json:"cells"`
+}
+
+// JobStatus is the /v1/job document: the table census plus the final
+// report once the job completes.
+type JobStatus struct {
+	JobID    string      `json:"job_id"`
+	Name     string      `json:"name"`
+	Counts   TableCounts `json:"counts"`
+	Finished bool        `json:"finished"`
+	Report   *JobReport  `json:"report,omitempty"`
+}
+
+// JobReport is the job's durable summary, written as jobreport.json
+// next to the aggregation artifacts.  Degraded mirrors the runtime's
+// DegradedRun semantics one level up: the sweep completed, but
+// quarantined cells are missing from the surface and listed here.
+type JobReport struct {
+	JobID       string            `json:"job_id"`
+	Name        string            `json:"name"`
+	Identity    string            `json:"identity"`
+	Cells       int               `json:"cells"`
+	Done        int               `json:"done"`
+	Resumed     int               `json:"resumed"`
+	Degraded    bool              `json:"degraded"`
+	Quarantined []QuarantinedCell `json:"quarantined,omitempty"`
+	Stolen      int               `json:"cells_stolen"`
+	Expired     int               `json:"leases_expired"`
+	// Drained marks a job sealed by graceful shutdown before every cell
+	// was terminal; a restarted coordinator resumes the remainder.
+	Drained bool `json:"drained,omitempty"`
+}
+
+// HealthzReply is the /healthz document.
+type HealthzReply struct {
+	// Status is "idle" (no job), "ok" (dispatching), "degraded"
+	// (dispatching with quarantined cells) or "draining".
+	Status  string      `json:"status"`
+	JobID   string      `json:"job_id,omitempty"`
+	Workers int         `json:"workers"`
+	Counts  TableCounts `json:"counts"`
+}
+
+// StateReply is the /v1/state debug document.
+type StateReply struct {
+	Healthz HealthzReply      `json:"healthz"`
+	Workers []WorkerSnapshot  `json:"workers,omitempty"`
+	Quar    []QuarantinedCell `json:"quarantined,omitempty"`
+}
+
+// WorkerSnapshot is one registered worker's liveness view.
+type WorkerSnapshot struct {
+	ID          string    `json:"id"`
+	PID         int       `json:"pid"`
+	JoinedAt    time.Time `json:"joined_at"`
+	LastSeen    time.Time `json:"last_seen"`
+	CellsServed int       `json:"cells_served"`
+}

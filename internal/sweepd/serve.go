@@ -1,0 +1,549 @@
+// The coordinator's protocol handlers and background loops: join /
+// lease / heartbeat / result intake, the expiry-and-liveness scanner,
+// job finish (artifact writing) and graceful drain.
+package sweepd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/benchcheck"
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/fsutil"
+	"repro/internal/obs"
+)
+
+// Artifact files the coordinator writes next to the aggregation
+// artifacts: the per-cell benchcheck digest ledger (the chaos gate's
+// identity fingerprint) and the job's durable summary.
+const (
+	DigestsFile = "digests.json"
+	ReportFile  = "jobreport.json"
+)
+
+// writeJSON writes v as the response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// readJSON decodes a POST body into v; replies and reports false on
+// misuse.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// touchWorker upserts a worker's liveness record; c.mu must be held.
+func (c *Coordinator) touchWorker(id string, pid int) *workerState {
+	ws := c.workers[id]
+	if ws == nil {
+		ws = &workerState{id: id, pid: pid, joinedAt: time.Now()}
+		c.workers[id] = ws
+	}
+	if pid != 0 {
+		ws.pid = pid
+	}
+	ws.lastSeen = time.Now()
+	return ws
+}
+
+// current returns the active (unfinished) job; c.mu must be held.
+func (c *Coordinator) current() *activeJob {
+	if c.job != nil && c.job.report == nil {
+		return c.job
+	}
+	return nil
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.WorkerID == "" {
+		http.Error(w, "worker_id required", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	fresh := c.workers[req.WorkerID] == nil
+	c.touchWorker(req.WorkerID, req.PID)
+	job := c.current()
+	reply := JoinReply{
+		LeaseTTLMs:  c.cfg.Lease.TTL.Milliseconds(),
+		HeartbeatMs: c.cfg.HeartbeatEvery.Milliseconds(),
+		Drain:       c.draining,
+	}
+	if job != nil {
+		spec := job.spec
+		reply.JobID = job.id
+		reply.Job = &spec
+		reply.CkptDir = job.ckptDir
+	}
+	c.mu.Unlock()
+	if fresh {
+		c.cfg.Logf("sweepd: worker %s joined (pid %d)", req.WorkerID, req.PID)
+		c.bus.Publish(obs.Event{Type: obs.WorkerJoined, Detail: req.WorkerID})
+	}
+	c.syncGauges()
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	c.touchWorker(req.WorkerID, 0)
+	job := c.current()
+	draining := c.draining
+	c.mu.Unlock()
+
+	switch {
+	case draining:
+		writeJSON(w, http.StatusOK, LeaseReply{Drain: true})
+		return
+	case job == nil:
+		writeJSON(w, http.StatusOK, LeaseReply{Wait: true})
+		return
+	case req.JobID != job.id:
+		writeJSON(w, http.StatusOK, LeaseReply{Rejoin: true})
+		return
+	}
+	max := req.Max
+	if max <= 0 {
+		max = 1
+	}
+	p95 := time.Duration(c.tracker.Snapshot().P95CellSeconds * float64(time.Second))
+	leases, events := job.table.Acquire(req.WorkerID, max, p95)
+	c.publish(events)
+	for _, l := range leases {
+		cfg := job.cells[l.CellIndex]
+		c.bus.Publish(obs.Event{Type: obs.CellStarted, Cell: l.CellKey,
+			Plan: cellPlanName(cfg), Workload: cfg.Workload.String()})
+	}
+	c.syncGauges()
+	writeJSON(w, http.StatusOK, LeaseReply{Leases: leases, Wait: len(leases) == 0})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	c.touchWorker(req.WorkerID, 0)
+	job := c.current()
+	draining := c.draining
+	c.mu.Unlock()
+	reply := HeartbeatReply{Drain: draining}
+	if job == nil || req.JobID != job.id {
+		reply.Cancelled = req.CellKeys // nothing it holds is still wanted
+	} else {
+		reply.Cancelled = job.table.Heartbeat(req.WorkerID, req.CellKeys)
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req ResultRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	ws := c.touchWorker(req.WorkerID, 0)
+	job := c.current()
+	c.mu.Unlock()
+	if job == nil || req.JobID != job.id {
+		writeJSON(w, http.StatusOK, ResultReply{})
+		return
+	}
+	if req.CellIndex < 0 || req.CellIndex >= len(job.keys) || job.keys[req.CellIndex] != req.CellKey {
+		c.cfg.Logf("sweepd: worker %s reported unknown cell %d/%q", req.WorkerID, req.CellIndex, req.CellKey)
+		writeJSON(w, http.StatusOK, ResultReply{})
+		return
+	}
+
+	ok, errMsg := req.OK, req.Error
+	var res *core.Result
+	if ok {
+		var err error
+		res, err = core.DecodeResult(req.Payload)
+		if err != nil {
+			ok, errMsg = false, "payload decode: "+err.Error()
+		}
+	}
+	if !ok {
+		_, events := job.table.Complete(req.WorkerID, req.CellKey, false, errMsg)
+		c.publish(events)
+		c.countResult("error")
+		cfg := job.cells[req.CellIndex]
+		c.bus.Publish(obs.Event{Type: obs.CellPanicked, Cell: req.CellKey,
+			Plan: cellPlanName(cfg), Workload: cfg.Workload.String(), Detail: errMsg})
+		c.syncGauges()
+		c.checkFinished(job)
+		writeJSON(w, http.StatusOK, ResultReply{Accepted: true})
+		return
+	}
+
+	first, events := job.table.Complete(req.WorkerID, req.CellKey, true, "")
+	c.publish(events)
+	if first {
+		c.mu.Lock()
+		ws.cellsServed++
+		c.mu.Unlock()
+		c.acceptResult(job, req.CellIndex, res, req.Payload, false)
+		c.countResult("ok")
+	} else {
+		c.countResult("duplicate")
+	}
+	c.syncGauges()
+	c.checkFinished(job)
+	writeJSON(w, http.StatusOK, ResultReply{Accepted: true, First: first})
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if !readJSON(w, r, &spec) {
+		return
+	}
+	job, err := c.Submit(spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, http.StatusOK, SubmitReply{JobID: job.id, Cells: len(job.cells)})
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	job := c.job
+	c.mu.Unlock()
+	if job == nil {
+		http.Error(w, "no job", http.StatusNotFound)
+		return
+	}
+	st := JobStatus{JobID: job.id, Name: job.spec.Name, Counts: job.table.Counts()}
+	select {
+	case <-job.finished:
+		st.Finished = true
+		st.Report = job.Report()
+	default:
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// healthz builds the /healthz document; callers pass nothing and get a
+// consistent snapshot.
+func (c *Coordinator) healthz() HealthzReply {
+	c.mu.Lock()
+	job := c.job
+	workers := len(c.workers)
+	draining := c.draining
+	c.mu.Unlock()
+	rep := HealthzReply{Status: "idle", Workers: workers}
+	if job != nil {
+		rep.JobID = job.id
+		rep.Counts = job.table.Counts()
+		rep.Status = "ok"
+		if rep.Counts.Quarantined > 0 {
+			rep.Status = "degraded"
+		}
+	}
+	if draining {
+		rep.Status = "draining"
+	}
+	return rep
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.healthz())
+}
+
+func (c *Coordinator) handleState(w http.ResponseWriter, r *http.Request) {
+	rep := StateReply{Healthz: c.healthz()}
+	c.mu.Lock()
+	for _, ws := range c.workers {
+		rep.Workers = append(rep.Workers, WorkerSnapshot{
+			ID: ws.id, PID: ws.pid, JoinedAt: ws.joinedAt,
+			LastSeen: ws.lastSeen, CellsServed: ws.cellsServed,
+		})
+	}
+	job := c.job
+	c.mu.Unlock()
+	sort.Slice(rep.Workers, func(i, j int) bool { return rep.Workers[i].ID < rep.Workers[j].ID })
+	if job != nil {
+		rep.Quar = job.table.Quarantined()
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// ---- result intake ----
+
+// acceptResult commits the first accepted result for a cell: journal
+// (unless it came from there), surface, digest ledger, CellFinished.
+func (c *Coordinator) acceptResult(job *activeJob, idx int, res *core.Result, payload []byte, restored bool) {
+	cfg := job.cells[idx]
+	key := job.keys[idx]
+	if !restored && job.journal != nil {
+		if err := job.journal.Commit(ckpt.Record{Key: key, Status: ckpt.StatusDone, Payload: payload}); err != nil {
+			c.cfg.Logf("sweepd: journal commit %s: %v", key, err)
+		}
+	}
+	if d, err := benchcheck.Digest(cfg, res); err == nil {
+		job.mu.Lock()
+		job.digests[key] = d
+		job.mu.Unlock()
+	}
+	if job.agg != nil {
+		job.agg.ObserveCell(core.BuildRollup(cfg, res))
+	}
+	if !restored {
+		c.bus.Publish(obs.Event{Type: obs.CellFinished, Cell: key,
+			Plan: cellPlanName(cfg), Workload: cfg.Workload.String(),
+			SimTime: float64(res.Makespan), Efficiency: res.Efficiency})
+	}
+}
+
+// publish forwards table-produced events to the bus and counts them.
+func (c *Coordinator) publish(events []obs.Event) {
+	for _, ev := range events {
+		c.bus.Publish(ev)
+		if c.m == nil {
+			continue
+		}
+		switch ev.Type {
+		case obs.LeaseGranted:
+			c.m.granted.Inc()
+		case obs.LeaseExpired:
+			c.m.expired.Inc()
+		case obs.CellStolen:
+			c.m.stolen.Inc()
+		case obs.CellQuarantined:
+			c.m.quarantined.Inc()
+		}
+	}
+}
+
+func (c *Coordinator) countResult(status string) {
+	if c.m != nil {
+		c.m.results.With(status).Inc()
+	}
+}
+
+// syncGauges refreshes the capsim_sweepd_* gauge family.
+func (c *Coordinator) syncGauges() {
+	if c.m == nil {
+		return
+	}
+	c.mu.Lock()
+	workers := len(c.workers)
+	job := c.job
+	c.mu.Unlock()
+	c.m.workers.Set(float64(workers))
+	if job == nil {
+		return
+	}
+	counts := job.table.Counts()
+	c.m.leases.Set(float64(counts.Leases))
+	c.m.cellsDone.Set(float64(counts.Done))
+	c.m.cellsTotal.Set(float64(counts.Total))
+}
+
+// ---- worker loss, expiry, finish ----
+
+// WorkerExited is the supervisor's hook: the process behind pid is
+// gone, release its leases immediately instead of waiting for expiry.
+func (c *Coordinator) WorkerExited(pid int) {
+	c.mu.Lock()
+	var id string
+	for wid, ws := range c.workers {
+		if ws.pid == pid {
+			id = wid
+			break
+		}
+	}
+	if id != "" {
+		delete(c.workers, id)
+	}
+	job := c.current()
+	c.mu.Unlock()
+	if id == "" {
+		return
+	}
+	c.loseWorker(job, id, "process exited")
+}
+
+// loseWorker releases a lost worker's leases and charges kill budgets.
+func (c *Coordinator) loseWorker(job *activeJob, id, reason string) {
+	c.cfg.Logf("sweepd: worker %s lost (%s)", id, reason)
+	c.bus.Publish(obs.Event{Type: obs.WorkerLost, Detail: id + ": " + reason})
+	if c.m != nil {
+		c.m.workersLost.Inc()
+	}
+	if job != nil {
+		c.publish(job.table.WorkerLost(id))
+		c.checkFinished(job)
+	}
+	c.syncGauges()
+}
+
+// scan is the expiry-and-liveness loop.
+func (c *Coordinator) scan(ctx context.Context) {
+	tick := c.cfg.Lease.TTL / 4
+	if tick > time.Second {
+		tick = time.Second
+	}
+	if tick < 20*time.Millisecond {
+		tick = 20 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		cutoff := time.Now().Add(-c.cfg.WorkerTimeout)
+		c.mu.Lock()
+		var lost []string
+		for id, ws := range c.workers {
+			if ws.lastSeen.Before(cutoff) {
+				lost = append(lost, id)
+				delete(c.workers, id)
+			}
+		}
+		job := c.current()
+		c.mu.Unlock()
+		sort.Strings(lost)
+		for _, id := range lost {
+			c.loseWorker(job, id, "heartbeat silence")
+		}
+		if job != nil {
+			c.publish(job.table.ExpireLeases())
+			c.syncGauges()
+			c.checkFinished(job)
+		}
+	}
+}
+
+// checkFinished finishes the job once every cell is terminal.
+func (c *Coordinator) checkFinished(job *activeJob) {
+	if job != nil && job.table.Finished() {
+		c.finishJob(job, false)
+	}
+}
+
+// finishJob seals a job exactly once: close the exporter, write the
+// deterministic artifacts plus the digest ledger and the job report,
+// close the journal, publish the final events and unblock waiters.
+func (c *Coordinator) finishJob(job *activeJob, drained bool) {
+	job.finish.Do(func() {
+		counts := job.table.Counts()
+		quar := job.table.Quarantined()
+		rep := &JobReport{
+			JobID:       job.id,
+			Name:        job.spec.Name,
+			Identity:    job.identity,
+			Cells:       counts.Total,
+			Done:        counts.Done,
+			Resumed:     job.resumed,
+			Degraded:    len(quar) > 0,
+			Quarantined: quar,
+			Stolen:      counts.Stolen,
+			Expired:     counts.Expired,
+			Drained:     drained,
+		}
+		if len(quar) > 0 {
+			c.bus.Publish(obs.Event{Type: obs.DegradedRun,
+				Detail: quarSummary(quar), Total: len(quar)})
+		}
+		if job.agg != nil {
+			if err := job.agg.Close(); err != nil {
+				c.cfg.Logf("sweepd: exporter close: %v", err)
+			}
+			if err := job.agg.WriteArtifacts(job.dir); err != nil {
+				c.cfg.Logf("sweepd: artifacts: %v", err)
+			}
+			job.mu.Lock()
+			dj, err := json.MarshalIndent(job.digests, "", "  ")
+			job.mu.Unlock()
+			if err == nil {
+				if err := fsutil.WriteFileAtomic(filepath.Join(job.dir, DigestsFile), append(dj, '\n'), 0o644); err != nil {
+					c.cfg.Logf("sweepd: digests: %v", err)
+				}
+			}
+			if rj, err := json.MarshalIndent(rep, "", "  "); err == nil {
+				if err := fsutil.WriteFileAtomic(filepath.Join(job.dir, ReportFile), append(rj, '\n'), 0o644); err != nil {
+					c.cfg.Logf("sweepd: job report: %v", err)
+				}
+			}
+		}
+		if job.journal != nil {
+			if err := job.journal.Close(); err != nil {
+				c.cfg.Logf("sweepd: journal close: %v", err)
+			}
+		}
+		c.mu.Lock()
+		job.report = rep
+		c.mu.Unlock()
+		c.cfg.Logf("sweepd: job %s finished: %d/%d done, %d quarantined, %d stolen, %d expired",
+			job.id, rep.Done, rep.Cells, len(quar), rep.Stolen, rep.Expired)
+		close(job.finished)
+	})
+}
+
+// quarSummary renders the quarantine list for the DegradedRun event.
+func quarSummary(quar []QuarantinedCell) string {
+	if len(quar) == 1 {
+		return "1 cell quarantined: " + quar[0].Key
+	}
+	return fmt.Sprintf("%d cells quarantined (first: %s)", len(quar), quar[0].Key)
+}
+
+// Drain winds the service down: joins/leases start answering Drain,
+// and once in-flight leases resolve (or ctx expires) the active job is
+// sealed with whatever completed so a restart resumes the rest.
+func (c *Coordinator) Drain(ctx context.Context) {
+	c.mu.Lock()
+	c.draining = true
+	job := c.current()
+	c.mu.Unlock()
+	if job == nil {
+		return
+	}
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-job.finished:
+			return
+		case <-ctx.Done():
+			c.finishJob(job, true)
+			return
+		case <-t.C:
+			if job.table.Counts().InFlight == 0 {
+				c.finishJob(job, true)
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestSSEClientCloseFreesSubscriber is the handler's cleanup contract:
+// a client that disconnects mid-stream must release its private
+// subscriber ring (bus.Subscribers back to zero, so later publishes
+// don't fan out into a dead ring) and end the handler goroutine —
+// a long-lived capserved coordinator must not leak a goroutine per
+// departed /events watcher.
+func TestSSEClientCloseFreesSubscriber(t *testing.T) {
+	c := NewCollector()
+	bus := obs.NewBus()
+	c.AttachBus(bus)
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	if n := bus.Subscribers(); n != 0 {
+		t.Fatalf("subscribers before any client = %d", n)
+	}
+	baseline := runtime.NumGoroutine()
+
+	client := &http.Client{}
+	resp, err := client.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	// The stream is live: the handler's subscriber is registered and
+	// frames flow.
+	waitFor(t, "subscriber registered", func() bool { return bus.Subscribers() == 1 })
+	bus.Publish(obs.Event{Type: obs.CellFinished, Cell: "mid-stream"})
+	sc := bufio.NewScanner(resp.Body)
+	sawFrame := false
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "data: ") {
+			sawFrame = true
+			break
+		}
+	}
+	if !sawFrame {
+		t.Fatal("no SSE frame before disconnecting")
+	}
+
+	// Disconnect mid-stream.  The handler must notice via the request
+	// context, close its subscriber and return.
+	resp.Body.Close()
+	client.CloseIdleConnections()
+
+	waitFor(t, "subscriber freed after disconnect", func() bool { return bus.Subscribers() == 0 })
+
+	// Publishing into the now-empty bus must not count drops against a
+	// dead ring (the ring is gone, not merely stalled).
+	dropped := bus.Dropped()
+	for i := 0; i < 2048; i++ {
+		bus.Publish(obs.Event{Type: obs.CellFinished, Cell: "after-close"})
+	}
+	if d := bus.Dropped(); d != dropped {
+		t.Errorf("dead ring still counted %d drops after unsubscribe", d-dropped)
+	}
+
+	// No goroutine leak: the handler goroutine (and the connection's
+	// serve goroutines) wind down to the pre-connect baseline.
+	waitFor(t, "goroutines back to baseline", func() bool {
+		runtime.GC() // nudge finalizer-held connections
+		return runtime.NumGoroutine() <= baseline
+	})
+}
+
+// waitFor polls cond for up to 5s; on timeout it fails with the
+// current goroutine count to aid leak triage.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("timeout waiting for %s (%d goroutines)\n%s", what, runtime.NumGoroutine(), buf[:n])
+}

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Sharded-sweep smoke test: run the reduced grid through capserved with
+# a supervised 3-worker fleet while SIGKILL-ing one worker and
+# SIGSTOP/CONT-ing another mid-sweep, and require surface.json and the
+# per-cell digest ledger to be byte-identical to a serial one-worker
+# run.  Then the poison gate: a cell that crashes every worker that
+# leases it must be quarantined (degraded report) without stalling the
+# other cells.  This is the executable form of the cross-process
+# determinism contract (DESIGN §16).
+#
+# The chaos lands at wall-clock offsets, so on a fast machine the sweep
+# may outrun the signals; the digest identity still gates, and the
+# poison run injects failure deterministically regardless of timing.
+set -euo pipefail
+
+GO=${GO:-go}
+SPEC=(-experiment grid -platform 24-Intel-2-V100 -scale 2 -seed 7)
+LEASE=(-lease-ttl 1s -worker-timeout 2s -steal-after 2s)
+KILL_AFTER=${KILL_AFTER:-0.15}
+
+work=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$work"' EXIT
+
+$GO build -o "$work/" ./cmd/capserved ./cmd/capworker
+
+echo "shard-smoke: serial baseline (one in-process worker)" >&2
+"$work/capserved" "${SPEC[@]}" -serial -agg-dir "$work/serial" 2> "$work/serial.err"
+
+echo "shard-smoke: sharded run — 3 workers, SIGKILL one, SIGSTOP/CONT another after ${KILL_AFTER}s" >&2
+"$work/capserved" "${SPEC[@]}" "${LEASE[@]}" -workers 3 \
+    -checkpoint "$work/ck" -agg-dir "$work/sharded" 2> "$work/sharded.err" &
+coord=$!
+sleep "$KILL_AFTER"
+mapfile -t pids < <(pgrep -f "$work/capworker" || true)
+if ((${#pids[@]} > 0)); then
+    echo "shard-smoke: SIGKILL worker pid ${pids[0]}" >&2
+    kill -9 "${pids[0]}" 2>/dev/null || true
+fi
+if ((${#pids[@]} > 1)); then
+    echo "shard-smoke: SIGSTOP worker pid ${pids[1]} (CONT in 1s)" >&2
+    kill -STOP "${pids[1]}" 2>/dev/null || true
+    ( sleep 1; kill -CONT "${pids[1]}" 2>/dev/null || true ) &
+fi
+if ! wait "$coord"; then
+    echo "shard-smoke: FAIL — coordinator exited non-zero" >&2
+    tail -20 "$work/sharded.err" >&2
+    exit 1
+fi
+
+serial_dir=$(echo "$work"/serial/grid-*)
+sharded_dir=$(echo "$work"/sharded/grid-*)
+for f in surface.json digests.json; do
+    if ! cmp -s "$serial_dir/$f" "$sharded_dir/$f"; then
+        echo "shard-smoke: FAIL — $f differs between serial and sharded runs" >&2
+        diff "$serial_dir/$f" "$sharded_dir/$f" | head -20 >&2
+        exit 1
+    fi
+done
+grep -q '"degraded": false' "$sharded_dir/jobreport.json" || {
+    echo "shard-smoke: FAIL — chaos run reported degraded (nothing was poisoned)" >&2
+    cat "$sharded_dir/jobreport.json" >&2
+    exit 1
+}
+echo "shard-smoke: OK — surface.json and digests.json byte-identical under worker kill/pause" >&2
+
+# Poison gate: exactly one cell (dGEMM HL on the V100 node) crashes
+# every worker that leases it; the kill budget must quarantine it after
+# at most 3 lost workers while the other 19 cells complete.
+echo "shard-smoke: poison gate — one worker-killing cell, 3 workers" >&2
+"$work/capserved" "${SPEC[@]}" "${LEASE[@]}" -workers 3 -kill-budget 3 \
+    -poison 'dGEMM N=20160 NB=2880|HL' \
+    -checkpoint "$work/ckp" -agg-dir "$work/poison" 2> "$work/poison.err"
+poison_dir=$(echo "$work"/poison/grid-*)
+grep -q '"degraded": true' "$poison_dir/jobreport.json" || {
+    echo "shard-smoke: FAIL — poisoned run not reported degraded" >&2
+    cat "$poison_dir/jobreport.json" >&2
+    exit 1
+}
+grep -q '"done": 19' "$poison_dir/jobreport.json" || {
+    echo "shard-smoke: FAIL — poisoned cell stalled other cells (want 19 done)" >&2
+    cat "$poison_dir/jobreport.json" >&2
+    exit 1
+}
+quarantined=$(grep -c '"kills":' "$poison_dir/jobreport.json" || true)
+if [[ "$quarantined" != 1 ]]; then
+    echo "shard-smoke: FAIL — want exactly 1 quarantined cell, got $quarantined" >&2
+    cat "$poison_dir/jobreport.json" >&2
+    exit 1
+fi
+if grep -qE '"kills": ([4-9]|[0-9]{2,})' "$poison_dir/jobreport.json"; then
+    echo "shard-smoke: FAIL — quarantine took more than 3 kills" >&2
+    cat "$poison_dir/jobreport.json" >&2
+    exit 1
+fi
+echo "shard-smoke: OK — poisoned cell quarantined within the kill budget, 19/20 cells done" >&2
