@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench bench-json bench-gate fuzz-short chaos-short resume-short agg-short obs-short shard-short trace-demo clean
+.PHONY: all build vet test check bench bench-json bench-gate fuzz-short chaos-short resume-short agg-short obs-short shard-short coordkill-short trace-demo clean
 
 # How long each fuzz target runs under fuzz-short (CI uses the default).
 FUZZTIME ?= 10s
@@ -107,6 +107,15 @@ obs-short:
 # stalling the rest (DESIGN §16).
 shard-short:
 	GO="$(GO)" bash scripts/shard_smoke.sh
+
+# Coordinator-kill smoke: a capserved service with a durable job queue
+# behind seeded wire faults takes four jobs (one cancelled while
+# queued), dies by SIGKILL mid-sweep and is restarted over the same
+# directories.  Every job must resume from the state journal and end
+# byte-identical to uninterrupted baselines; the cancelled job must
+# leave no artifacts (DESIGN §17).
+coordkill-short:
+	GO="$(GO)" bash scripts/coordkill_smoke.sh
 
 # Span-tracer smoke test: analyze a tiny POTRF under an unbalanced
 # plan and export a Chrome trace.  The analyze subcommand re-reads the

@@ -315,6 +315,12 @@ type options struct {
 	profileDir   string
 	reportOut    string
 	submit       string
+	// submitTimeout bounds the whole -submit lifecycle (post + watch);
+	// 0 watches until the job finishes or the user detaches.
+	submitTimeout time.Duration
+	// tenant labels the -submit job for the coordinator's per-tenant
+	// admission quota.
+	tenant string
 	// faultsRaw is the unparsed -faults spec, forwarded verbatim in a
 	// -submit job (the service's workers parse it themselves).
 	faultsRaw string
@@ -372,6 +378,10 @@ func parseOpts(fs *flag.FlagSet, args []string) *options {
 		"report: output path for the HTML sweep report")
 	fs.StringVar(&o.submit, "submit", "",
 		"submit the experiment to a capserved coordinator at this URL instead of running it in-process (grid, fig3, fig4)")
+	fs.DurationVar(&o.submitTimeout, "submit-timeout", 0,
+		"give up on a -submit job after this long — a dead or wedged coordinator fails the command instead of being polled forever (0 = wait indefinitely)")
+	fs.StringVar(&o.tenant, "tenant", "",
+		"tenant label on a -submit job (the coordinator enforces a per-tenant queue quota)")
 	faultSpec := fs.String("faults", "",
 		"deterministic fault injection spec, e.g. capfail=0.3,clamp=0.1,throttle=1,dropout=1,taskfail=0.02,retries=3 (seeded from -seed)")
 	fs.Parse(args)

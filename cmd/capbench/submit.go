@@ -1,14 +1,21 @@
 // Submit-to-service mode: instead of running a sweep in-process,
 // -submit posts the experiment as a JobSpec to a capserved
-// coordinator's /v1/submit and follows /v1/job until the sweep
+// coordinator's /v1/submit and follows /v1/job/{id} until the sweep
 // finishes.  The cells, seeds and artifacts are identical to a local
 // run — the job is declared, and the service's workers expand it
 // through the same pure functions this binary would use.
+//
+// The watch is bounded: -submit-timeout arms a deadline on the whole
+// lifecycle (post + follow), so a dead or wedged coordinator fails the
+// command with a clear error instead of being polled forever, while
+// Ctrl-C still detaches cleanly (the job keeps running server-side).
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -29,8 +36,7 @@ func submittable(cmd string) bool {
 }
 
 // runSubmit posts the experiment to the coordinator and waits for the
-// job to finish, mirroring a local run's lifecycle (Ctrl-C stops the
-// watch, not the service; the job keeps running server-side).
+// job to finish, mirroring a local run's lifecycle.
 func runSubmit(o *options, cmd string) error {
 	if !submittable(cmd) {
 		return fmt.Errorf("-submit supports grid, fig3 and fig4 (got %q)", cmd)
@@ -43,44 +49,80 @@ func runSubmit(o *options, cmd string) error {
 		Seed:       o.seed,
 		Scheduler:  o.scheduler,
 		Faults:     o.faultsRaw,
+		Tenant:     o.tenant,
 	}
+
+	// Two cancellation causes share one context: the signal handler
+	// (detach, job keeps running) and the -submit-timeout deadline
+	// (failure — the coordinator never delivered).
+	ctx := o.ctx
+	if o.submitTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.submitTimeout)
+		defer cancel()
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return err
 	}
-	client := &http.Client{Timeout: 30 * time.Second}
-	resp, err := client.Post(base+sweepd.PathSubmit, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+sweepd.PathSubmit, bytes.NewReader(body))
 	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return submitCtxErr(ctx, o, "", base)
+		}
 		return fmt.Errorf("submit to %s: %w", base, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return fmt.Errorf("submit to %s: coordinator is at capacity (HTTP 429, Retry-After %ss): %s",
+				base, resp.Header.Get("Retry-After"), strings.TrimSpace(string(msg)))
+		}
 		return fmt.Errorf("submit to %s: HTTP %d: %s", base, resp.StatusCode, strings.TrimSpace(string(msg)))
 	}
 	var sr sweepd.SubmitReply
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "capbench: job %s submitted to %s (%d cells); watching %s\n",
-		sr.JobID, base, sr.Cells, base+sweepd.PathJob)
+	switch {
+	case sr.Duplicate:
+		fmt.Fprintf(os.Stderr, "capbench: job %s already known to %s (%s); watching it\n", sr.JobID, base, sr.State)
+	case sr.State == "queued" && sr.Position > 0:
+		fmt.Fprintf(os.Stderr, "capbench: job %s queued at position %d on %s (%d cells)\n", sr.JobID, sr.Position, base, sr.Cells)
+	default:
+		fmt.Fprintf(os.Stderr, "capbench: job %s submitted to %s (%d cells)\n", sr.JobID, base, sr.Cells)
+	}
 
+	jobPath := sweepd.PathJobPrefix + sr.JobID
 	for {
 		select {
-		case <-o.ctx.Done():
-			fmt.Fprintf(os.Stderr, "capbench: detached — job %s keeps running on %s\n", sr.JobID, base)
-			return nil
+		case <-ctx.Done():
+			return submitCtxErr(ctx, o, sr.JobID, base)
 		case <-time.After(500 * time.Millisecond):
 		}
-		st, err := jobStatus(client, base)
+		st, err := jobStatus(ctx, client, base, jobPath)
 		if err != nil {
+			if ctx.Err() != nil {
+				return submitCtxErr(ctx, o, sr.JobID, base)
+			}
 			fmt.Fprintf(os.Stderr, "capbench: job status: %v (retrying)\n", err)
 			continue
 		}
-		if st.JobID != sr.JobID {
-			return fmt.Errorf("coordinator switched to job %s while watching %s", st.JobID, sr.JobID)
-		}
-		if !st.Finished {
+		switch {
+		case st.State == "cancelled":
+			return fmt.Errorf("job %s was cancelled on %s", sr.JobID, base)
+		case st.State == "queued":
+			fmt.Fprintf(os.Stderr, "\rcapbench: queued (position %d)          ", st.Position)
+			continue
+		case !st.Finished:
 			fmt.Fprintf(os.Stderr, "\rcapbench: %d/%d cells (%d in flight)", st.Counts.Done, st.Counts.Total, st.Counts.InFlight)
 			continue
 		}
@@ -98,9 +140,29 @@ func runSubmit(o *options, cmd string) error {
 	}
 }
 
-// jobStatus fetches the coordinator's /v1/job document.
-func jobStatus(client *http.Client, base string) (*sweepd.JobStatus, error) {
-	resp, err := client.Get(base + sweepd.PathJob)
+// submitCtxErr distinguishes the two ways the watch ends early: the
+// deadline expired (an error — the coordinator never delivered) vs the
+// user detached (a clean exit — the job keeps running server-side).
+func submitCtxErr(ctx context.Context, o *options, jobID, base string) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		if jobID == "" {
+			return fmt.Errorf("submit to %s: no response within -submit-timeout %v", base, o.submitTimeout)
+		}
+		return fmt.Errorf("job %s not finished within -submit-timeout %v (it keeps running on %s)", jobID, o.submitTimeout, base)
+	}
+	if jobID != "" {
+		fmt.Fprintf(os.Stderr, "capbench: detached — job %s keeps running on %s\n", jobID, base)
+	}
+	return nil
+}
+
+// jobStatus fetches the coordinator's status document for one job.
+func jobStatus(ctx context.Context, client *http.Client, base, jobPath string) (*sweepd.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+jobPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err
 	}

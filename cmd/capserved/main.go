@@ -29,6 +29,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/sigctx"
 	"repro/internal/sweepd"
@@ -43,6 +44,11 @@ func main() {
 	workers := fs.Int("workers", 0, "supervise this many local capworker processes (0 = external workers only)")
 	workerBin := fs.String("worker-bin", "", "capworker binary for the supervised fleet (default: next to this binary, then $PATH)")
 	serial := fs.Bool("serial", false, "run one in-process worker instead of spawning processes (baseline/debug mode)")
+
+	maxQueue := fs.Int("max-queue", 0, "bound on queued jobs; a full queue answers 429 + Retry-After (0 = default 8)")
+	tenantQuota := fs.Int("tenant-quota", 0, "bound on queued+active jobs per named tenant (0 = default 4)")
+	netFaults := fs.String("net-faults", "", "wire fault spec injected into supervised workers (faults.ParseNetSpec syntax, e.g. drop=0.05,dup=0.05,err=0.05,delay=20ms)")
+	netSeed := fs.Int64("net-seed", 1, "root seed for the wire fault injector (per-worker seeds derive from it)")
 
 	experiment := fs.String("experiment", "", "one-shot job: grid, fig3 or fig4 (empty = service mode, wait for /v1/submit)")
 	name := fs.String("name", "", "one-shot job name (labels artifacts; default: the experiment)")
@@ -77,8 +83,12 @@ func main() {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
+	if _, err := faults.ParseNetSpec(*netFaults); err != nil {
+		fmt.Fprintf(os.Stderr, "capserved: -net-faults: %v\n", err)
+		os.Exit(2)
+	}
 	col := telemetry.NewCollector()
-	coord := sweepd.New(sweepd.Config{
+	coord, err := sweepd.New(sweepd.Config{
 		CheckpointDir: *checkpoint,
 		AggDir:        *aggDir,
 		Lease: sweepd.LeaseConfig{
@@ -87,11 +97,27 @@ func main() {
 			KillBudget:  *killBudget,
 			StealAfter:  *stealAfter,
 		},
+		MaxQueue:       *maxQueue,
+		TenantQuota:    *tenantQuota,
 		HeartbeatEvery: *heartbeat,
 		WorkerTimeout:  *workerTimeout,
 		Collector:      col,
 		Logf:           logf,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "capserved: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Replay the durable state from a previous life before serving:
+	// queued and mid-flight jobs re-enter the queue, terminal jobs come
+	// back as queryable records, burned budgets are restored.
+	if n, rerr := coord.Recover(); rerr != nil {
+		fmt.Fprintf(os.Stderr, "capserved: recover: %v\n", rerr)
+		os.Exit(1)
+	} else if n > 0 {
+		fmt.Fprintf(os.Stderr, "capserved: recovered %d job(s) from the state journal\n", n)
+	}
 
 	// The scanner and tracker must outlive the first signal — they drive
 	// lease expiry during the drain — so they get their own context.
@@ -132,6 +158,7 @@ func main() {
 		w, werr := sweepd.NewWorker(sweepd.WorkerConfig{
 			ID: "w0", Coordinator: url,
 			MaxLeases: *maxLeases, CellTimeout: *cellTimeout, Logf: logf,
+			Client: workerClient("w0", *netFaults, *netSeed),
 		})
 		if werr != nil {
 			fmt.Fprintf(os.Stderr, "capserved: %v\n", werr)
@@ -152,10 +179,15 @@ func main() {
 		sup, serr := sweepd.NewSupervisor(sweepd.SupervisorConfig{
 			Workers: *workers,
 			Spawn: func(slot int, id string) *exec.Cmd {
-				cmd := exec.Command(bin,
+				args := []string{
 					"-id", id, "-coordinator", url,
 					"-max-leases", fmt.Sprint(*maxLeases),
-					"-cell-timeout", cellTimeout.String())
+					"-cell-timeout", cellTimeout.String(),
+				}
+				if *netFaults != "" {
+					args = append(args, "-net-faults", *netFaults, "-net-seed", fmt.Sprint(*netSeed))
+				}
+				cmd := exec.Command(bin, args...)
 				cmd.Stdout = os.Stdout
 				cmd.Stderr = os.Stderr
 				return cmd
@@ -220,7 +252,24 @@ func main() {
 	if eventLog != nil {
 		eventLog.Close()
 	}
+	// Release journals without sealing: queued jobs stay queued in the
+	// state journal and resume on the next life.
+	coord.Close()
 	os.Exit(exit)
+}
+
+// workerClient builds the serial worker's HTTP client, wrapping the
+// transport with the wire fault injector when a spec is set (the same
+// derivation capworker uses for its own seed).
+func workerClient(id, spec string, seed int64) *http.Client {
+	ns, err := faults.ParseNetSpec(spec)
+	if err != nil || ns.Zero() {
+		return nil // worker default
+	}
+	return &http.Client{
+		Timeout:   30 * time.Second,
+		Transport: faults.NewNetInjector(ns, sweepd.DeriveNetSeed(seed, id), nil),
+	}
 }
 
 // drain seals the active job gracefully, bounded by the grace period.

@@ -21,9 +21,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/sigctx"
 	"repro/internal/sweepd"
 )
@@ -34,6 +36,8 @@ func main() {
 	coordinator := fs.String("coordinator", "", "coordinator base URL (http://host:port)")
 	maxLeases := fs.Int("max-leases", 1, "cells held at once")
 	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell watchdog (0 = off)")
+	netFaults := fs.String("net-faults", "", "wire fault spec on every coordinator call (faults.ParseNetSpec syntax)")
+	netSeed := fs.Int64("net-seed", 1, "root seed for the wire fault injector (this worker derives its own from it)")
 	fs.Parse(os.Args[1:])
 
 	if *id == "" {
@@ -42,11 +46,30 @@ func main() {
 	ctx, stop := sigctx.New(context.Background(), nil)
 	defer stop()
 
+	// The wire fault layer sits in the HTTP transport, under the
+	// protocol: every retry, duplicate and dropped reply the spec
+	// injects exercises the same idempotency the real network relies on.
+	var client *http.Client
+	if *netFaults != "" {
+		ns, err := faults.ParseNetSpec(*netFaults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capworker: -net-faults: %v\n", err)
+			os.Exit(2)
+		}
+		if !ns.Zero() {
+			client = &http.Client{
+				Timeout:   30 * time.Second,
+				Transport: faults.NewNetInjector(ns, sweepd.DeriveNetSeed(*netSeed, *id), nil),
+			}
+		}
+	}
+
 	w, err := sweepd.NewWorker(sweepd.WorkerConfig{
 		ID:          *id,
 		Coordinator: *coordinator,
 		MaxLeases:   *maxLeases,
 		CellTimeout: *cellTimeout,
+		Client:      client,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -342,6 +342,20 @@ func hashPayload(p []byte) string {
 // Dir reports the checkpoint directory.
 func (j *Journal) Dir() string { return j.dir }
 
+// Records returns a copy of every record currently visible through
+// Lookup — loaded at open plus committed since — sorted by key.  The
+// sweep-service coordinator replays its durable state through this.
+func (j *Journal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Record, 0, len(j.records))
+	for _, r := range j.records {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Key < out[k].Key })
+	return out
+}
+
 // Lookup reports the latest committed record for key.
 func (j *Journal) Lookup(key string) (Record, bool) {
 	j.mu.Lock()

@@ -1,0 +1,286 @@
+// Wire-level fault injection: a seeded http.RoundTripper that delays,
+// drops, duplicates and 5xx-poisons requests between sweep-service
+// processes.  It exists to *prove* the dispatch protocol is idempotent
+// — a duplicated Report must stay first-result-wins, a retried Acquire
+// must never double-lease beyond MaxHolders, a replayed Submit must
+// not enqueue twice — by making the network misbehave reproducibly.
+//
+// Determinism model.  All randomness comes from one rand.Rand seeded
+// at construction, consumed in a fixed per-request draw order (delay
+// first, then one cumulative mode draw) under a mutex.  For a serial
+// request stream the fault schedule is therefore a pure function of
+// (spec, seed); under concurrent callers it is seeded but
+// arrival-order dependent — still reproducible enough to shake out
+// protocol bugs, and the protocol invariants the chaos tests assert
+// must hold under *any* schedule.
+//
+// The four modes model distinct wire failures, because they stress
+// different halves of an exchange:
+//
+//   - drop: the request is lost before delivery — the server never
+//     sees it, the client sees a transport error and retries.
+//   - dropreply: the request is delivered and processed but the
+//     response is lost — the client retries a request the server
+//     already acted on.  This is the mode that forces idempotency.
+//   - dup: the request is delivered twice back-to-back (a retrying
+//     proxy); the client sees only the second response.
+//   - err: the server is never reached; the client sees a synthetic
+//     503 burst and must treat it as retryable.
+package faults
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NetSpec declares a wire fault mix.  The zero value injects nothing.
+type NetSpec struct {
+	// Drop is the probability a request is lost before delivery.
+	Drop float64
+	// DropReply is the probability a delivered request's response is
+	// lost on the way back (the server-side effect stands).
+	DropReply float64
+	// Dup is the probability a request is delivered twice.
+	Dup float64
+	// Err is the probability of a synthetic 503 without delivery.
+	Err float64
+	// DelayMax bounds a uniform [0, DelayMax) injected latency applied
+	// to every delivered request (0 disables).
+	DelayMax time.Duration
+}
+
+// Zero reports whether the spec injects nothing.
+func (s NetSpec) Zero() bool {
+	return s.Drop == 0 && s.DropReply == 0 && s.Dup == 0 && s.Err == 0 && s.DelayMax == 0
+}
+
+// String renders the canonical syntax ParseNetSpec accepts.
+func (s NetSpec) String() string {
+	var parts []string
+	add := func(k string, v float64) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+		}
+	}
+	add("drop", s.Drop)
+	add("dropreply", s.DropReply)
+	add("dup", s.Dup)
+	add("err", s.Err)
+	if s.DelayMax != 0 {
+		parts = append(parts, "delay="+s.DelayMax.String())
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseNetSpec parses "drop=0.05,dropreply=0.1,dup=0.05,err=0.05,
+// delay=20ms".  Empty string and "none" mean no faults.
+func ParseNetSpec(s string) (NetSpec, error) {
+	var out NetSpec
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return out, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return out, fmt.Errorf("netfaults: %q is not key=value", kv)
+		}
+		if k == "delay" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return out, fmt.Errorf("netfaults: delay: %v", err)
+			}
+			if d < 0 {
+				return out, fmt.Errorf("netfaults: negative delay %v", d)
+			}
+			out.DelayMax = d
+			continue
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return out, fmt.Errorf("netfaults: %s: %v", k, err)
+		}
+		switch k {
+		case "drop":
+			out.Drop = f
+		case "dropreply":
+			out.DropReply = f
+		case "dup":
+			out.Dup = f
+		case "err":
+			out.Err = f
+		default:
+			return out, fmt.Errorf("netfaults: unknown key %q (drop, dropreply, dup, err, delay)", k)
+		}
+	}
+	for _, p := range []float64{out.Drop, out.DropReply, out.Dup, out.Err} {
+		if p < 0 || p > 1 {
+			return out, fmt.Errorf("netfaults: probability %v outside [0,1]", p)
+		}
+	}
+	if sum := out.Drop + out.DropReply + out.Dup + out.Err; sum > 1 {
+		return out, fmt.Errorf("netfaults: mode probabilities sum to %v > 1", sum)
+	}
+	return out, nil
+}
+
+// NetStats counts what one injector actually injected.
+type NetStats struct {
+	Requests       int // requests seen
+	Dropped        int // requests lost before delivery
+	RepliesDropped int // responses lost after delivery
+	Duplicated     int // requests delivered twice
+	Errored        int // synthetic 503s
+	Delayed        int // requests that slept
+}
+
+// netMode is the per-request fault decision.
+type netMode int
+
+const (
+	netNone netMode = iota
+	netDrop
+	netDropReply
+	netDup
+	netErr
+)
+
+// NetInjector is the seeded faulty transport.  Wrap a client's
+// RoundTripper with it and every request runs the gauntlet.
+type NetInjector struct {
+	base http.RoundTripper
+
+	mu    sync.Mutex
+	spec  NetSpec
+	rng   *rand.Rand
+	stats NetStats
+}
+
+// NewNetInjector seeds a faulty transport over base (nil base uses
+// http.DefaultTransport).
+func NewNetInjector(spec NetSpec, seed int64, base http.RoundTripper) *NetInjector {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &NetInjector{base: base, spec: spec, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Stats snapshots the injection counters.
+func (n *NetInjector) Stats() NetStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// draw consumes the per-request randomness in a fixed order: one delay
+// draw (when delays are enabled), then one cumulative mode draw.
+func (n *NetInjector) draw() (time.Duration, netMode) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Requests++
+	var delay time.Duration
+	if n.spec.DelayMax > 0 {
+		delay = time.Duration(n.rng.Float64() * float64(n.spec.DelayMax))
+		if delay > 0 {
+			n.stats.Delayed++
+		}
+	}
+	p := n.rng.Float64()
+	switch {
+	case p < n.spec.Drop:
+		n.stats.Dropped++
+		return delay, netDrop
+	case p < n.spec.Drop+n.spec.DropReply:
+		n.stats.RepliesDropped++
+		return delay, netDropReply
+	case p < n.spec.Drop+n.spec.DropReply+n.spec.Dup:
+		n.stats.Duplicated++
+		return delay, netDup
+	case p < n.spec.Drop+n.spec.DropReply+n.spec.Dup+n.spec.Err:
+		n.stats.Errored++
+		return delay, netErr
+	}
+	return delay, netNone
+}
+
+// injectedError marks a transport failure as injected (clients treat
+// it like any other transport error — that is the point).
+type injectedError struct{ what string }
+
+func (e injectedError) Error() string { return "netfaults: injected " + e.what }
+
+// RoundTrip applies the drawn fault to one exchange.
+func (n *NetInjector) RoundTrip(req *http.Request) (*http.Response, error) {
+	delay, mode := n.draw()
+	if delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	}
+	switch mode {
+	case netDrop:
+		// Lost on the way out: consume the body like a real send would,
+		// then fail without delivery.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, injectedError{"request drop"}
+	case netErr:
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 Service Unavailable (injected)",
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"text/plain"}},
+			Body:    io.NopCloser(strings.NewReader("netfaults: injected 503\n")),
+			Request: req,
+		}, nil
+	case netDup:
+		// Deliver twice.  The first delivery's response is discarded (a
+		// retrying proxy saw a timeout it imagined); the caller gets the
+		// second.  Requires a replayable body, which net/http guarantees
+		// for the buffered bodies the protocol uses (GetBody non-nil).
+		if req.GetBody != nil {
+			first := req.Clone(req.Context())
+			if body, err := req.GetBody(); err == nil {
+				first.Body = body
+				if resp, err := n.base.RoundTrip(first); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				if body2, err := req.GetBody(); err == nil {
+					req = req.Clone(req.Context())
+					req.Body = body2
+				}
+			}
+		}
+		return n.base.RoundTrip(req)
+	case netDropReply:
+		resp, err := n.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		// The server processed it; the reply evaporates.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, injectedError{"response drop"}
+	}
+	return n.base.RoundTrip(req)
+}
+
+var _ http.RoundTripper = (*NetInjector)(nil)

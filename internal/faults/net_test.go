@@ -1,0 +1,157 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseNetSpecRoundTrip(t *testing.T) {
+	spec, err := ParseNetSpec("drop=0.05,dropreply=0.1,dup=0.05,err=0.05,delay=20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NetSpec{Drop: 0.05, DropReply: 0.1, Dup: 0.05, Err: 0.05, DelayMax: 20 * time.Millisecond}
+	if spec != want {
+		t.Fatalf("parsed %+v, want %+v", spec, want)
+	}
+	// The rendered canonical form parses back to the same spec.
+	again, err := ParseNetSpec(spec.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != spec {
+		t.Fatalf("round trip %q -> %+v, want %+v", spec.String(), again, spec)
+	}
+	for _, s := range []string{"", "none"} {
+		spec, err := ParseNetSpec(s)
+		if err != nil || !spec.Zero() {
+			t.Fatalf("ParseNetSpec(%q) = %+v, %v; want zero", s, spec, err)
+		}
+	}
+	for _, bad := range []string{
+		"drop",             // not key=value
+		"boost=0.5",        // unknown key
+		"drop=1.5",         // probability outside [0,1]
+		"drop=-0.1",        // negative
+		"delay=-5ms",       // negative delay
+		"drop=0.6,dup=0.6", // modes sum past 1
+	} {
+		if _, err := ParseNetSpec(bad); err == nil {
+			t.Errorf("ParseNetSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestNetInjectorDeterministic: two injectors with the same spec and
+// seed produce the same fault schedule for the same request stream.
+func TestNetInjectorDeterministic(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	spec := NetSpec{Drop: 0.2, DropReply: 0.2, Dup: 0.2, Err: 0.2}
+	run := func(seed int64) []string {
+		inj := NewNetInjector(spec, seed, nil)
+		client := &http.Client{Transport: inj}
+		var outcomes []string
+		for i := 0; i < 64; i++ {
+			resp, err := client.Post(srv.URL, "text/plain", strings.NewReader("ping"))
+			switch {
+			case err != nil:
+				outcomes = append(outcomes, "err")
+			case resp.StatusCode != http.StatusOK:
+				outcomes = append(outcomes, "503")
+				resp.Body.Close()
+			default:
+				outcomes = append(outcomes, "ok")
+				resp.Body.Close()
+			}
+		}
+		return outcomes
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs between same-seed runs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if c := run(43); strings.Join(a, ",") == strings.Join(c, ",") {
+		t.Fatal("different seeds produced identical 64-request schedules")
+	}
+}
+
+// TestNetInjectorModes pins each mode's observable contract: dup
+// delivers twice, err never delivers, dropreply delivers but loses the
+// response, drop delivers nothing and errors.
+func TestNetInjectorModes(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		if string(b) != "payload" {
+			t.Errorf("server saw body %q, want %q", b, "payload")
+		}
+		hits.Add(1)
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	post := func(inj *NetInjector) (*http.Response, error) {
+		client := &http.Client{Transport: inj}
+		return client.Post(srv.URL, "text/plain", bytes.NewReader([]byte("payload")))
+	}
+
+	// dup=1: one logical request, two deliveries, one (valid) response.
+	hits.Store(0)
+	resp, err := post(NewNetInjector(NetSpec{Dup: 1}, 1, nil))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("dup: resp=%v err=%v", resp, err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("dup: server saw %d deliveries, want 2", hits.Load())
+	}
+
+	// err=1: synthetic 503, zero deliveries.
+	hits.Store(0)
+	resp, err = post(NewNetInjector(NetSpec{Err: 1}, 1, nil))
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err: resp=%v err=%v", resp, err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 0 {
+		t.Fatalf("err: server saw %d deliveries, want 0", hits.Load())
+	}
+
+	// dropreply=1: delivered (the server-side effect stands), response lost.
+	hits.Store(0)
+	if _, err = post(NewNetInjector(NetSpec{DropReply: 1}, 1, nil)); err == nil {
+		t.Fatal("dropreply: want a transport error")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("dropreply: server saw %d deliveries, want 1", hits.Load())
+	}
+
+	// drop=1: lost before delivery.
+	hits.Store(0)
+	if _, err = post(NewNetInjector(NetSpec{Drop: 1}, 1, nil)); err == nil {
+		t.Fatal("drop: want a transport error")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("drop: server saw %d deliveries, want 0", hits.Load())
+	}
+
+	// Stats reflect what was injected.
+	inj := NewNetInjector(NetSpec{Drop: 1}, 1, nil)
+	post(inj)
+	post(inj)
+	if s := inj.Stats(); s.Requests != 2 || s.Dropped != 2 {
+		t.Fatalf("stats = %+v, want 2 requests / 2 dropped", s)
+	}
+}

@@ -57,6 +57,15 @@ const (
 	LeaseExpired    EventType = "LeaseExpired"
 	CellStolen      EventType = "CellStolen"
 	CellQuarantined EventType = "CellQuarantined"
+
+	// Multi-tenant queue events (internal/sweepd): a job entering the
+	// coordinator's durable queue (JobQueued), being cancelled mid-queue
+	// or mid-flight (JobCancelled), or being restored from the state
+	// journal after a coordinator restart (JobResumed).  Detail carries
+	// "<job id> (<name>)".
+	JobQueued    EventType = "JobQueued"
+	JobCancelled EventType = "JobCancelled"
+	JobResumed   EventType = "JobResumed"
 )
 
 // Event is one observation.  Seq is assigned by the bus at publish

@@ -63,6 +63,20 @@ type JobSpec struct {
 	// forced-poison switch — such a cell must end quarantined, never
 	// wedge the sweep.  Empty poisons nothing.
 	Poison string `json:"poison,omitempty"`
+
+	// Tenant attributes the job to a submitter for admission control
+	// (per-tenant queue quota).  Like Name it labels, it does not change
+	// cell results, so it is excluded from Identity — two tenants
+	// submitting the same grid share one byte-identical job.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders the queue: higher dispatches first, FIFO within a
+	// priority.  Excluded from Identity.
+	Priority int `json:"priority,omitempty"`
+	// IdempotencyKey makes Submit replay-safe across retries and
+	// coordinator restarts: a resubmission carrying a key the
+	// coordinator has already accepted returns the original job instead
+	// of enqueueing a second one.  Excluded from Identity.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // withDefaults normalises the spec.

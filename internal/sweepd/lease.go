@@ -103,6 +103,10 @@ type Lease struct {
 	Attempt   int       `json:"attempt"`
 	Deadline  time.Time `json:"-"`
 	Stolen    bool      `json:"stolen,omitempty"`
+	// Regrant marks an idempotent re-grant: the worker already held this
+	// cell (a duplicated or retried Acquire), so the deadline refreshed
+	// but nothing else changed — no attempt charged, no event emitted.
+	Regrant bool `json:"regrant,omitempty"`
 }
 
 // QuarantinedCell reports one poisoned cell in the job's final output.
@@ -230,6 +234,33 @@ func (t *Table) Acquire(worker string, max int, p95 time.Duration) ([]Lease, []o
 
 	var leases []Lease
 	var events []obs.Event
+
+	// Idempotent re-grant first: a worker retrying an Acquire whose
+	// reply the network lost (or whose delivery was duplicated) already
+	// holds leases — hand those same cells back with refreshed deadlines
+	// instead of granting different ones.  Without this, every replayed
+	// Acquire would fan the worker out across extra cells, each a ghost
+	// lease destined to expire and charge an innocent kill budget.
+	for _, c := range t.cells {
+		if len(leases) >= max {
+			break
+		}
+		if c.terminal() {
+			continue
+		}
+		if _, held := c.holders[worker]; !held {
+			continue
+		}
+		c.holders[worker] = now.Add(t.cfg.TTL)
+		leases = append(leases, Lease{
+			CellIndex: c.idx, CellKey: c.key, Attempt: c.attempts,
+			Deadline: now.Add(t.cfg.TTL), Regrant: true,
+		})
+	}
+	if len(leases) > 0 {
+		return leases, events
+	}
+
 	grant := func(c *cellSlot, stolen bool) {
 		c.attempts++
 		c.holders[worker] = now.Add(t.cfg.TTL)
@@ -509,6 +540,57 @@ func (t *Table) Counts() TableCounts {
 		}
 	}
 	return counts
+}
+
+// BudgetSnapshot captures every cell's burned failure budget — kills,
+// worker-contained failures, quarantine verdicts — for the
+// coordinator's durable state journal.  Cells with nothing burned are
+// omitted, so a healthy sweep snapshots to an empty map.  Provisional
+// expiry kills are included at face value (the expiredBy retraction
+// ledger is not persisted): after a coordinator restart a late-proving
+// holder cannot retract them, which errs toward quarantining a
+// borderline cell rather than granting it a fresh budget.
+func (t *Table) BudgetSnapshot() map[string]cellBudget {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]cellBudget)
+	for _, c := range t.cells {
+		if c.kills == 0 && c.failures == 0 && !c.quarantined {
+			continue
+		}
+		out[c.key] = cellBudget{
+			Kills:       c.kills,
+			Failures:    c.failures,
+			Quarantined: c.quarantined,
+			Reason:      c.quarReason,
+		}
+	}
+	return out
+}
+
+// RestoreBudgets replays a BudgetSnapshot into a fresh table before
+// dispatch begins, so a restarted coordinator does not grant a
+// poisoned cell a new budget to burn another fleet with.  Unknown keys
+// and already-terminal cells are ignored.
+func (t *Table) RestoreBudgets(budgets map[string]cellBudget) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for key, b := range budgets {
+		c, ok := t.byKey[key]
+		if !ok || c.terminal() {
+			continue
+		}
+		c.kills = b.Kills
+		c.failures = b.Failures
+		if b.Quarantined {
+			c.quarantined = true
+			c.quarReason = b.Reason
+			if c.quarReason == "" {
+				c.quarReason = "quarantined before coordinator restart"
+			}
+			t.quar++
+		}
+	}
 }
 
 // Quarantined lists the poisoned cells, key-sorted for stable output.

@@ -241,8 +241,10 @@ func TestStealRespectsThresholdAndHolders(t *testing.T) {
 		t.Fatalf("steal before threshold = %+v", l)
 	}
 	clk.advance(11 * time.Second)
-	if l, _ := tb.Acquire("w0", 1, 0); len(l) != 0 {
-		t.Fatal("a worker must not steal its own lease")
+	// A holder re-acquiring gets its own lease back as an idempotent
+	// re-grant (refreshed deadline, no attempt bump) — never as a steal.
+	if l, _ := tb.Acquire("w0", 1, 0); len(l) != 1 || !l[0].Regrant || l[0].Stolen {
+		t.Fatalf("holder re-acquire = %+v, want an idempotent re-grant, not a steal", l)
 	}
 	// p95-scaled threshold dominates StealAfter when larger.
 	if l, _ := tb.Acquire("w1", 1, 10*time.Second); len(l) != 0 {
@@ -390,5 +392,76 @@ func runKillSchedule(t *testing.T, seed int64, cfg LeaseConfig, generous bool) {
 	}
 	if totalCommitted != counts.Done {
 		t.Errorf("seed %d: committed %d != table done %d", seed, totalCommitted, counts.Done)
+	}
+}
+
+// TestBudgetSnapshotRestore: the durable budget round-trip.  Burned
+// kill and failure budgets survive a snapshot/restore cycle into a
+// fresh table (the coordinator-restart path), quarantine verdicts
+// included, and untouched cells are omitted from the snapshot.
+func TestBudgetSnapshotRestore(t *testing.T) {
+	clk := newFakeClock()
+	keys := testKeys(4)
+	tb := NewTable(keys, LeaseConfig{TTL: time.Hour, MaxFailures: 2, KillBudget: 3})
+	tb.SetClock(clk.now)
+
+	// cell-000: one contained failure.  cell-001: one worker kill.
+	// cell-002: quarantined by failure budget.  cell-003: untouched.
+	// Each grant lands on the lowest-index cell not gated by backoff, so
+	// single-lease acquires between failures walk the cells in order.
+	tb.Acquire("w0", 1, 0)
+	tb.Complete("w0", "cell-000", false, "boom")
+	tb.Acquire("w1", 1, 0)
+	tb.WorkerLost("w1") // held only cell-001
+	tb.Acquire("w2", 1, 0)
+	tb.Complete("w2", "cell-002", false, "bad cell")
+	clk.advance(time.Minute)
+	tb.Acquire("w3", 3, 0) // cells 000-002; 003 stays untouched
+	tb.Complete("w3", "cell-002", false, "bad cell")
+	if len(tb.Quarantined()) != 1 {
+		t.Fatalf("quarantined = %+v, want exactly cell-002", tb.Quarantined())
+	}
+
+	snap := tb.BudgetSnapshot()
+	if _, ok := snap["cell-003"]; ok {
+		t.Fatal("untouched cell appears in the snapshot")
+	}
+	if b := snap["cell-000"]; b.Failures != 1 {
+		t.Fatalf("cell-000 budget = %+v, want 1 failure", b)
+	}
+	if b := snap["cell-001"]; b.Kills != 1 {
+		t.Fatalf("cell-001 budget = %+v, want 1 kill", b)
+	}
+	if b := snap["cell-002"]; !b.Quarantined || b.Failures != 2 {
+		t.Fatalf("cell-002 budget = %+v, want quarantined with 2 failures", b)
+	}
+
+	// Restore into a fresh table (unknown keys are ignored).
+	snap["cell-ghost"] = cellBudget{Kills: 9}
+	fresh := NewTable(keys, LeaseConfig{TTL: time.Hour, MaxFailures: 2, KillBudget: 3})
+	fresh.SetClock(clk.now)
+	fresh.RestoreBudgets(snap)
+	delete(snap, "cell-ghost")
+	got := fresh.BudgetSnapshot()
+	if len(got) != len(snap) {
+		t.Fatalf("restored snapshot has %d cells, want %d", len(got), len(snap))
+	}
+	for key, want := range snap {
+		if got[key] != want {
+			t.Errorf("cell %s round-tripped to %+v, want %+v", key, got[key], want)
+		}
+	}
+	if fresh.Counts().Quarantined != 1 || len(fresh.Quarantined()) != 1 {
+		t.Fatal("quarantine verdict lost in the restore")
+	}
+	// One more kill on cell-001 sits on a restored base of 1, not 0:
+	// two further losses (not three) exhaust the budget.
+	for i := 0; i < 2; i++ {
+		clk.advance(time.Minute)
+		fresh.Acquire("w2", 4, 0)
+		fresh.WorkerLost("w2")
+	}
+	if fresh.Counts().Quarantined != 2 {
+		t.Fatalf("counts = %+v, want cell-001 quarantined on its restored budget", fresh.Counts())
 	}
 }

@@ -7,7 +7,10 @@ package sweepd
 
 import "time"
 
-// Protocol endpoint paths served by the coordinator.
+// Protocol endpoint paths served by the coordinator.  PathJobPrefix
+// roots the per-job surface: GET /v1/job/{id} is the job's status
+// document, DELETE /v1/job/{id} cancels it (idempotent — cancelling a
+// cancelled job succeeds; cancelling a finished one conflicts).
 const (
 	PathJoin      = "/v1/join"
 	PathLease     = "/v1/lease"
@@ -15,7 +18,11 @@ const (
 	PathResult    = "/v1/result"
 	PathSubmit    = "/v1/submit"
 	PathJob       = "/v1/job"
+	PathJobPrefix = "/v1/job/"
+	PathJobs      = "/v1/jobs"
 	PathHealthz   = "/healthz"
+	PathLive      = "/healthz/live"
+	PathReady     = "/healthz/ready"
 	PathState     = "/v1/state"
 )
 
@@ -93,20 +100,48 @@ type ResultReply struct {
 	First    bool `json:"first"`
 }
 
-// SubmitReply acknowledges a job submission.
+// SubmitReply acknowledges a job submission.  Duplicate marks a
+// replay: the spec's identity (or its idempotency key) matched a job
+// the coordinator already holds, and that job is returned instead of
+// a second enqueue.
 type SubmitReply struct {
-	JobID string `json:"job_id"`
-	Cells int    `json:"cells"`
+	JobID     string `json:"job_id"`
+	Cells     int    `json:"cells"`
+	State     string `json:"state"`
+	Position  int    `json:"position,omitempty"` // 1-based queue position (queued only)
+	Duplicate bool   `json:"duplicate,omitempty"`
 }
 
-// JobStatus is the /v1/job document: the table census plus the final
-// report once the job completes.
+// JobStatus is the /v1/job and /v1/job/{id} document: lifecycle state,
+// queue position, the table census and the final report once terminal.
 type JobStatus struct {
 	JobID    string      `json:"job_id"`
 	Name     string      `json:"name"`
+	Tenant   string      `json:"tenant,omitempty"`
+	State    string      `json:"state"`              // queued | active | done | cancelled
+	Position int         `json:"position,omitempty"` // 1-based queue position (queued only)
 	Counts   TableCounts `json:"counts"`
 	Finished bool        `json:"finished"`
 	Report   *JobReport  `json:"report,omitempty"`
+}
+
+// JobsReply lists every job the coordinator knows this lifetime plus
+// what it recovered from the state journal, submission order.
+type JobsReply struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// CancelReply acknowledges a DELETE /v1/job/{id}.
+type CancelReply struct {
+	JobID     string `json:"job_id"`
+	State     string `json:"state"` // always "cancelled"
+	Cancelled bool   `json:"cancelled"`
+	// AlreadyCancelled marks an idempotent replay of a prior cancel.
+	AlreadyCancelled bool `json:"already_cancelled,omitempty"`
+	// LeasesRevoked counts leases outstanding at cancel time; their
+	// holders learn on next heartbeat and abandon the cells without
+	// reporting them as failures.
+	LeasesRevoked int `json:"leases_revoked"`
 }
 
 // JobReport is the job's durable summary, written as jobreport.json
@@ -129,7 +164,8 @@ type JobReport struct {
 	Drained bool `json:"drained,omitempty"`
 }
 
-// HealthzReply is the /healthz document.
+// HealthzReply is the /healthz document (liveness + a queue summary;
+// /healthz/ready serves the readiness half with a real status code).
 type HealthzReply struct {
 	// Status is "idle" (no job), "ok" (dispatching), "degraded"
 	// (dispatching with quarantined cells) or "draining".
@@ -137,6 +173,18 @@ type HealthzReply struct {
 	JobID   string      `json:"job_id,omitempty"`
 	Workers int         `json:"workers"`
 	Counts  TableCounts `json:"counts"`
+	// QueueDepth / QueueMax describe the job queue; Accepting is the
+	// readiness condition (/healthz/ready answers 503 when false):
+	// not draining and the queue has room.
+	QueueDepth int  `json:"queue_depth"`
+	QueueMax   int  `json:"queue_max"`
+	Accepting  bool `json:"accepting"`
+}
+
+// ReadyReply is the /healthz/ready body.
+type ReadyReply struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // StateReply is the /v1/state debug document.

@@ -1,15 +1,29 @@
 // The coordinator's protocol handlers and background loops: join /
-// lease / heartbeat / result intake, the expiry-and-liveness scanner,
-// job finish (artifact writing) and graceful drain.
+// lease / heartbeat / result intake, job admission and cancellation,
+// the expiry-and-liveness scanner, job finish (artifact writing) and
+// graceful drain.
+//
+// Idempotency at the wire.  The protocol assumes a network that can
+// delay, drop, duplicate or 5xx any message (internal/faults.NetInjector
+// makes that assumption executable in tests), so every handler is safe
+// to replay: a duplicated result report is first-result-wins (the
+// duplicate is acked and dropped), a retried lease acquire re-grants
+// the worker's existing holdings instead of fanning it out across new
+// cells, a replayed submit answers with the original job (identity
+// dedup plus explicit idempotency keys), and a repeated cancel is an
+// idempotent success.
 package sweepd
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/benchcheck"
@@ -64,10 +78,12 @@ func (c *Coordinator) touchWorker(id string, pid int) *workerState {
 	return ws
 }
 
-// current returns the active (unfinished) job; c.mu must be held.
+// current returns the job workers should be dispatched on: active and
+// fully activated (journal restored — a worker must not lease cells a
+// restore is about to mark done).  c.mu must be held.
 func (c *Coordinator) current() *activeJob {
-	if c.job != nil && c.job.report == nil {
-		return c.job
+	if c.active != nil && c.active.activated && c.active.state == jobActive {
+		return c.active
 	}
 	return nil
 }
@@ -135,6 +151,9 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	leases, events := job.table.Acquire(req.WorkerID, max, p95)
 	c.publish(events)
 	for _, l := range leases {
+		if l.Regrant {
+			continue // replayed acquire: the cell already started
+		}
 		cfg := job.cells[l.CellIndex]
 		c.bus.Publish(obs.Event{Type: obs.CellStarted, Cell: l.CellKey,
 			Plan: cellPlanName(cfg), Workload: cfg.Workload.String()})
@@ -155,9 +174,16 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	c.mu.Unlock()
 	reply := HeartbeatReply{Drain: draining}
 	if job == nil || req.JobID != job.id {
-		reply.Cancelled = req.CellKeys // nothing it holds is still wanted
+		// The worker's job is no longer current (finished, cancelled, or
+		// the coordinator restarted): nothing it holds is still wanted.
+		// This is the cancellation path's worker half — abandoned cells
+		// are never reported, so they cost no failure budget.
+		reply.Cancelled = req.CellKeys
 	} else {
 		reply.Cancelled = job.table.Heartbeat(req.WorkerID, req.CellKeys)
+		// A heartbeat can retract provisional expiry kills; keep the
+		// durable budgets in step.
+		c.journalBudgets(job)
 	}
 	writeJSON(w, http.StatusOK, reply)
 }
@@ -193,6 +219,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		_, events := job.table.Complete(req.WorkerID, req.CellKey, false, errMsg)
 		c.publish(events)
+		c.journalBudgets(job)
 		c.countResult("error")
 		cfg := job.cells[req.CellIndex]
 		c.bus.Publish(obs.Event{Type: obs.CellPanicked, Cell: req.CellKey,
@@ -205,6 +232,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 
 	first, events := job.table.Complete(req.WorkerID, req.CellKey, true, "")
 	c.publish(events)
+	c.journalBudgets(job)
 	if first {
 		c.mu.Lock()
 		ws.cellsServed++
@@ -212,6 +240,9 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		c.acceptResult(job, req.CellIndex, res, req.Payload, false)
 		c.countResult("ok")
 	} else {
+		// A duplicated delivery (network dup, worker retry after a lost
+		// ack, late straggler): first result won, this one is acked and
+		// dropped — the determinism contract makes the bytes identical.
 		c.countResult("duplicate")
 	}
 	c.syncGauges()
@@ -224,41 +255,137 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &spec) {
 		return
 	}
-	job, err := c.Submit(spec)
+	job, dup, err := c.submit(spec)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		var ae *admitError
+		if errors.As(err, &ae) {
+			if ae.retryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+			}
+			http.Error(w, ae.msg, ae.code)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, http.StatusOK, SubmitReply{JobID: job.id, Cells: len(job.cells)})
+	c.mu.Lock()
+	reply := SubmitReply{
+		JobID:     job.id,
+		Cells:     len(job.cells),
+		State:     string(job.state),
+		Position:  c.queuePositionLocked(job),
+		Duplicate: dup,
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, reply)
 }
 
-func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+// jobStatus builds the wire status document for one job.
+func (c *Coordinator) jobStatus(job *activeJob) JobStatus {
 	c.mu.Lock()
-	job := c.job
-	c.mu.Unlock()
-	if job == nil {
-		http.Error(w, "no job", http.StatusNotFound)
-		return
+	st := JobStatus{
+		JobID:  job.id,
+		Name:   job.spec.Name,
+		Tenant: job.tenant,
+		State:  string(job.state),
 	}
-	st := JobStatus{JobID: job.id, Name: job.spec.Name, Counts: job.table.Counts()}
+	if job.state == jobQueued {
+		st.Position = c.queuePositionLocked(job)
+	}
+	c.mu.Unlock()
+	st.Counts = job.table.Counts()
 	select {
 	case <-job.finished:
 		st.Finished = true
 		st.Report = job.Report()
 	default:
 	}
-	writeJSON(w, http.StatusOK, st)
+	return st
+}
+
+// handleJob is the legacy singular endpoint: the active job, else the
+// most recently submitted one.
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	job := c.active
+	if job == nil {
+		for _, j := range c.jobs {
+			if job == nil || j.seq > job.seq {
+				job = j
+			}
+		}
+	}
+	c.mu.Unlock()
+	if job == nil {
+		http.Error(w, "no job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.jobStatus(job))
+}
+
+// handleJobByID serves GET /v1/job/{id} (status) and DELETE
+// /v1/job/{id} (cancel).
+func (c *Coordinator) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, PathJobPrefix)
+	if id == "" || strings.Contains(id, "/") {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		c.mu.Lock()
+		job := c.jobs[id]
+		c.mu.Unlock()
+		if job == nil {
+			http.Error(w, "no such job", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, c.jobStatus(job))
+	case http.MethodDelete:
+		reply, code := c.Cancel(id, "client request")
+		if code == http.StatusNotFound {
+			http.Error(w, "no such job", code)
+			return
+		}
+		writeJSON(w, code, reply)
+	default:
+		http.Error(w, "GET or DELETE required", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleJobs lists every job the coordinator knows — queued, active,
+// terminal, and recovered — in submission order.
+func (c *Coordinator) handleJobs(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	jobs := make([]*activeJob, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		jobs = append(jobs, j)
+	}
+	c.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
+	reply := JobsReply{Jobs: make([]JobStatus, 0, len(jobs))}
+	for _, j := range jobs {
+		reply.Jobs = append(reply.Jobs, c.jobStatus(j))
+	}
+	writeJSON(w, http.StatusOK, reply)
 }
 
 // healthz builds the /healthz document; callers pass nothing and get a
 // consistent snapshot.
 func (c *Coordinator) healthz() HealthzReply {
 	c.mu.Lock()
-	job := c.job
+	job := c.active
 	workers := len(c.workers)
 	draining := c.draining
+	depth := len(c.queue)
 	c.mu.Unlock()
-	rep := HealthzReply{Status: "idle", Workers: workers}
+	rep := HealthzReply{
+		Status:     "idle",
+		Workers:    workers,
+		QueueDepth: depth,
+		QueueMax:   c.cfg.MaxQueue,
+		Accepting:  !draining && depth < c.cfg.MaxQueue,
+	}
 	if job != nil {
 		rep.JobID = job.id
 		rep.Counts = job.table.Counts()
@@ -277,6 +404,29 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, c.healthz())
 }
 
+// handleLive is pure liveness: the process is up and serving.  It says
+// nothing about whether work is accepted — that is readiness.
+func (c *Coordinator) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "alive"})
+}
+
+// handleReady reflects admission: 200 while the queue has room and the
+// coordinator is not draining, 503 otherwise — so a load balancer
+// stops routing submissions to a coordinator that would only answer
+// 429/503 anyway.
+func (c *Coordinator) handleReady(w http.ResponseWriter, r *http.Request) {
+	h := c.healthz()
+	if h.Accepting {
+		writeJSON(w, http.StatusOK, ReadyReply{Ready: true})
+		return
+	}
+	reason := "queue full"
+	if h.Status == "draining" {
+		reason = "draining"
+	}
+	writeJSON(w, http.StatusServiceUnavailable, ReadyReply{Ready: false, Reason: reason})
+}
+
 func (c *Coordinator) handleState(w http.ResponseWriter, r *http.Request) {
 	rep := StateReply{Healthz: c.healthz()}
 	c.mu.Lock()
@@ -286,7 +436,7 @@ func (c *Coordinator) handleState(w http.ResponseWriter, r *http.Request) {
 			LastSeen: ws.lastSeen, CellsServed: ws.cellsServed,
 		})
 	}
-	job := c.job
+	job := c.active
 	c.mu.Unlock()
 	sort.Slice(rep.Workers, func(i, j int) bool { return rep.Workers[i].ID < rep.Workers[j].ID })
 	if job != nil {
@@ -319,6 +469,32 @@ func (c *Coordinator) acceptResult(job *activeJob, idx int, res *core.Result, pa
 		c.bus.Publish(obs.Event{Type: obs.CellFinished, Cell: key,
 			Plan: cellPlanName(cfg), Workload: cfg.Workload.String(),
 			SimTime: float64(res.Makespan), Efficiency: res.Efficiency})
+	}
+}
+
+// journalBudgets persists the job's burned failure budgets when they
+// changed since the last snapshot.  json.Marshal renders map keys
+// sorted, so the serialized form is canonical and the change check is
+// a byte compare — unchanged budgets cost no fsync.
+func (c *Coordinator) journalBudgets(job *activeJob) {
+	if c.state == nil || job == nil {
+		return
+	}
+	snap := job.table.BudgetSnapshot()
+	job.mu.Lock()
+	if len(snap) == 0 && job.lastBudgets == nil {
+		job.mu.Unlock()
+		return
+	}
+	data, err := json.Marshal(snap)
+	if err != nil || string(data) == string(job.lastBudgets) {
+		job.mu.Unlock()
+		return
+	}
+	job.lastBudgets = data
+	job.mu.Unlock()
+	if err := c.state.Budgets(job.id, data); err != nil {
+		c.cfg.Logf("sweepd: state journal (budgets %s): %v", job.id, err)
 	}
 }
 
@@ -355,9 +531,11 @@ func (c *Coordinator) syncGauges() {
 	}
 	c.mu.Lock()
 	workers := len(c.workers)
-	job := c.job
+	job := c.active
+	depth := len(c.queue)
 	c.mu.Unlock()
 	c.m.workers.Set(float64(workers))
+	c.m.queueDepth.Set(float64(depth))
 	if job == nil {
 		return
 	}
@@ -400,6 +578,7 @@ func (c *Coordinator) loseWorker(job *activeJob, id, reason string) {
 	}
 	if job != nil {
 		c.publish(job.table.WorkerLost(id))
+		c.journalBudgets(job)
 		c.checkFinished(job)
 	}
 	c.syncGauges()
@@ -439,22 +618,35 @@ func (c *Coordinator) scan(ctx context.Context) {
 		}
 		if job != nil {
 			c.publish(job.table.ExpireLeases())
+			c.journalBudgets(job)
 			c.syncGauges()
 			c.checkFinished(job)
 		}
 	}
 }
 
-// checkFinished finishes the job once every cell is terminal.
+// checkFinished finishes the job once every cell is terminal — unless
+// it was cancelled, in which case the cancel path already sealed it.
 func (c *Coordinator) checkFinished(job *activeJob) {
-	if job != nil && job.table.Finished() {
+	if job == nil || !job.table.Finished() {
+		return
+	}
+	c.mu.Lock()
+	cancelled := job.state == jobCancelled
+	c.mu.Unlock()
+	if !cancelled {
 		c.finishJob(job, false)
 	}
 }
 
 // finishJob seals a job exactly once: close the exporter, write the
 // deterministic artifacts plus the digest ledger and the job report,
-// close the journal, publish the final events and unblock waiters.
+// close the journal, record the terminal state durably, publish the
+// final events, unblock waiters and promote the next queued job.  The
+// state-journal record lands after the artifacts: a crash in between
+// leaves the job "queued", so the restart re-activates it, resumes
+// every cell instantly from the cell journal, and atomically rewrites
+// the same bytes.
 func (c *Coordinator) finishJob(job *activeJob, drained bool) {
 	job.finish.Do(func() {
 		counts := job.table.Counts()
@@ -504,11 +696,20 @@ func (c *Coordinator) finishJob(job *activeJob, drained bool) {
 		}
 		c.mu.Lock()
 		job.report = rep
+		job.state = jobDone
+		if c.active == job {
+			c.active = nil
+		}
 		c.mu.Unlock()
+		if err := c.state.Done(job.id, job.seq, job.spec, rep); err != nil {
+			c.cfg.Logf("sweepd: state journal (done %s): %v", job.id, err)
+		}
 		c.cfg.Logf("sweepd: job %s finished: %d/%d done, %d quarantined, %d stolen, %d expired",
 			job.id, rep.Done, rep.Cells, len(quar), rep.Stolen, rep.Expired)
 		close(job.finished)
 	})
+	c.syncGauges()
+	c.promote()
 }
 
 // quarSummary renders the quarantine list for the DegradedRun event.
@@ -519,9 +720,11 @@ func quarSummary(quar []QuarantinedCell) string {
 	return fmt.Sprintf("%d cells quarantined (first: %s)", len(quar), quar[0].Key)
 }
 
-// Drain winds the service down: joins/leases start answering Drain,
-// and once in-flight leases resolve (or ctx expires) the active job is
-// sealed with whatever completed so a restart resumes the rest.
+// Drain winds the service down: joins/leases start answering Drain, no
+// queued job is promoted (queued jobs stay durably queued and resume
+// on the next life), and once in-flight leases resolve (or ctx
+// expires) the active job is sealed with whatever completed so a
+// restart resumes the rest.
 func (c *Coordinator) Drain(ctx context.Context) {
 	c.mu.Lock()
 	c.draining = true

@@ -55,11 +55,16 @@ type service struct {
 
 func startService(t *testing.T, cfg Config) *service {
 	t.Helper()
-	c := New(cfg)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c.Start(ctx)
 	srv := httptest.NewServer(c.Handler())
-	t.Cleanup(func() { srv.Close(); cancel() })
+	// Close releases the state journal's flock so a later coordinator in
+	// the same test (a simulated restart) can reopen the same directory.
+	t.Cleanup(func() { srv.Close(); cancel(); c.Close() })
 	return &service{coord: c, srv: srv, cancel: cancel}
 }
 
@@ -315,6 +320,13 @@ func TestServiceResumeAfterRestart(t *testing.T) {
 		t.Fatalf("pass-1 done = %d of %d, want a strict partial", rep1.Done, len(job1.cells))
 	}
 
+	// Release the drained coordinator's state-journal flock so the
+	// replacement can open the same directory (a real restart gets this
+	// for free when the process exits).
+	if err := s1.coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+
 	// Pass 2: a fresh coordinator over the same checkpoint directory
 	// resumes the committed cells and finishes the rest.
 	s2 := startService(t, Config{AggDir: t.TempDir(), CheckpointDir: ckpt})
@@ -356,14 +368,16 @@ func TestServiceHTTPSurface(t *testing.T) {
 	if sub.JobID != spec.ID() || sub.Cells == 0 {
 		t.Fatalf("submit reply = %+v", sub)
 	}
-	// A second submit while the first is active must conflict.
+	// A second submit of the same spec is an idempotent duplicate: same
+	// job id back, nothing enqueued twice.
 	resp, err = http.Post(s.srv.URL+PathSubmit, "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("second submit status = %d, want 409", resp.StatusCode)
+	var dup SubmitReply
+	decodeBody(t, resp, &dup)
+	if !dup.Duplicate || dup.JobID != sub.JobID {
+		t.Fatalf("second submit reply = %+v, want duplicate of %s", dup, sub.JobID)
 	}
 
 	var hz HealthzReply
@@ -374,7 +388,7 @@ func TestServiceHTTPSurface(t *testing.T) {
 
 	startWorker(t, s, "w0", nil)
 	s.coord.mu.Lock()
-	job := s.coord.job
+	job := s.coord.active
 	s.coord.mu.Unlock()
 	waitDone(t, job, 90*time.Second)
 

@@ -10,8 +10,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/ckpt"
@@ -69,6 +73,15 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 // Worker executes leased cells for one coordinator.
 type Worker struct {
 	cfg WorkerConfig
+
+	// rng drives backoff jitter.  Seeded from the worker ID, so a
+	// fleet's poll schedule is deterministic per worker yet decorrelated
+	// across workers — after a coordinator restart the whole fleet does
+	// not re-join and re-poll in lockstep (no thundering herd).  The
+	// mutex matters: the heartbeat goroutine posts concurrently with the
+	// main loop.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // NewWorker builds a worker; Run drives it.
@@ -79,24 +92,74 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Coordinator == "" {
 		return nil, errors.New("sweepd: worker needs a coordinator URL")
 	}
-	return &Worker{cfg: cfg.withDefaults()}, nil
+	h := fnv.New64a()
+	h.Write([]byte(cfg.ID))
+	return &Worker{
+		cfg: cfg.withDefaults(),
+		rng: rand.New(rand.NewSource(int64(h.Sum64()))),
+	}, nil
 }
 
-// post sends one protocol request and decodes the reply.
+// DeriveNetSeed derives a worker's wire-fault-injector seed from the
+// fleet's root seed and the worker's ID, so every worker in a
+// supervised fleet draws a distinct but reproducible fault schedule
+// from one -net-seed flag.  capserved (serial mode) and capworker use
+// the same derivation.
+func DeriveNetSeed(root int64, id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return root ^ int64(h.Sum64())
+}
+
+// jitter spreads a delay over [0.5d, 1.5d) with the worker's seeded
+// rng.  Every sleep the worker takes between protocol calls goes
+// through here.
+func (w *Worker) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	w.rngMu.Lock()
+	f := 0.5 + w.rng.Float64()
+	w.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// post sends one protocol request with bounded retry: transport errors
+// and 5xx replies (a flaky network, an injected fault, a restarting
+// coordinator) retry with jittered doubling backoff; 4xx replies are
+// permanent.  Retrying is safe because every handler is idempotent —
+// see the protocol notes in serve.go.
 func (w *Worker) post(path string, req, reply any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	resp, err := w.cfg.Client.Post(w.cfg.Coordinator+path, "application/json", bytes.NewReader(body))
-	if err != nil {
+	var last error
+	backoff := 25 * time.Millisecond
+	for attempt := 0; attempt < 4; attempt++ {
+		if attempt > 0 {
+			time.Sleep(w.jitter(backoff))
+			backoff *= 2
+		}
+		resp, err := w.cfg.Client.Post(w.cfg.Coordinator+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			last = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			last = fmt.Errorf("sweepd: %s: HTTP %d", path, resp.StatusCode)
+			if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+				return last
+			}
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(reply)
+		resp.Body.Close()
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("sweepd: %s: HTTP %d", path, resp.StatusCode)
-	}
-	return json.NewDecoder(resp.Body).Decode(reply)
+	return last
 }
 
 // sleep waits or returns early on cancellation.
@@ -121,7 +184,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		var jr JoinReply
 		if err := w.post(PathJoin, JoinRequest{WorkerID: w.cfg.ID, PID: os.Getpid()}, &jr); err != nil {
 			w.cfg.Logf("sweepd: %s: join: %v", w.cfg.ID, err)
-			if !sleep(ctx, retry) {
+			if !sleep(ctx, w.jitter(retry)) {
 				return ctx.Err()
 			}
 			if retry *= 2; retry > 2*time.Second {
@@ -134,7 +197,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			return nil
 		}
 		if jr.JobID == "" || jr.Job == nil {
-			if !sleep(ctx, w.idlePoll(jr)) {
+			if !sleep(ctx, w.jitter(w.idlePoll(jr))) {
 				return ctx.Err()
 			}
 			continue
@@ -190,7 +253,7 @@ func (w *Worker) runJob(ctx context.Context, jr JoinReply) error {
 		var lr LeaseReply
 		if err := w.post(PathLease, LeaseRequest{WorkerID: w.cfg.ID, JobID: jr.JobID, Max: w.cfg.MaxLeases}, &lr); err != nil {
 			w.cfg.Logf("sweepd: %s: lease: %v", w.cfg.ID, err)
-			if !sleep(ctx, hb/2) {
+			if !sleep(ctx, w.jitter(hb/2)) {
 				break
 			}
 			continue
@@ -203,7 +266,7 @@ func (w *Worker) runJob(ctx context.Context, jr JoinReply) error {
 		case len(lr.Leases) == 0:
 			// Nothing leasable right now: cells may be backing off or all
 			// in flight elsewhere.  Poll again shortly.
-			if !sleep(ctx, w.idlePoll(jr)) {
+			if !sleep(ctx, w.jitter(w.idlePoll(jr))) {
 				return ctx.Err()
 			}
 			continue
@@ -299,17 +362,14 @@ func (w *Worker) runLease(ctx context.Context, jr JoinReply, cells []core.Config
 	return w.report(req)
 }
 
-// report delivers a result with bounded retry; an undeliverable result
-// is dropped (the lease expires and the cell re-runs elsewhere).
+// report delivers a result; post's bounded retry absorbs transient
+// faults, and an undeliverable result is dropped (the lease expires
+// and the cell re-runs elsewhere — first result wins makes the retry
+// and the re-run equally correct).
 func (w *Worker) report(req ResultRequest) error {
 	var reply ResultReply
-	for attempt := 0; attempt < 3; attempt++ {
-		if err := w.post(PathResult, req, &reply); err == nil {
-			return nil
-		} else if attempt == 2 {
-			w.cfg.Logf("sweepd: %s: result %s undeliverable: %v", w.cfg.ID, req.CellKey, err)
-		}
-		time.Sleep(50 * time.Millisecond)
+	if err := w.post(PathResult, req, &reply); err != nil {
+		w.cfg.Logf("sweepd: %s: result %s undeliverable: %v", w.cfg.ID, req.CellKey, err)
 	}
 	return nil
 }
